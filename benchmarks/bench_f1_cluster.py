@@ -1,0 +1,31 @@
+"""F1/F2/F6 — the cluster simulator itself.
+
+Benchmarks the event-driven schedule simulation at the paper-scale problem
+and processor counts (the figures' data generators must be cheap enough to
+sweep).
+"""
+
+from repro.cluster.blockgrid import BlockGrid
+from repro.cluster.machine import ethernet_2007
+from repro.cluster.metrics import sweep_procs
+from repro.cluster.simulate import simulate_wavefront
+
+
+def test_simulate_n200_p16(benchmark):
+    grid = BlockGrid.for_sequences(200, 200, 200, 16)
+    machine = ethernet_2007(16)
+    result = benchmark(simulate_wavefront, grid, machine)
+    assert result.speedup > 1
+
+
+def test_simulate_n400_p64(benchmark):
+    grid = BlockGrid.for_sequences(400, 400, 400, 16)
+    machine = ethernet_2007(64)
+    result = benchmark(simulate_wavefront, grid, machine)
+    assert result.speedup > 8
+
+
+def test_full_f1_sweep(benchmark):
+    benchmark(
+        sweep_procs, 200, (1, 2, 4, 8, 16, 32, 64), ethernet_2007(1), 16
+    )

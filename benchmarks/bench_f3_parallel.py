@@ -1,0 +1,41 @@
+"""F3 — measured shared-memory parallel engines on this machine.
+
+Compares the serial wavefront against the multiprocess and thread-pool
+engines at the same problem size; the speedup ratio is the figure's
+measured series.
+"""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.core.wavefront import score3_wavefront
+from repro.parallel.executor import WavefrontPool
+from repro.parallel.shared import score3_shared
+from repro.parallel.threads import score3_threads
+
+_CORES = mp.cpu_count()
+
+
+@pytest.fixture(scope="module")
+def pool(dna_scheme):
+    with WavefrontPool((100, 100, 100), workers=_CORES) as p:
+        # Warm the workers before timing.
+        p.score3("ACGT", "ACG", "AGT", dna_scheme)
+        yield p
+
+
+def test_serial_baseline_n80(benchmark, dna_scheme, family80):
+    benchmark(score3_wavefront, *family80, dna_scheme)
+
+
+def test_shared_workers_n80(benchmark, dna_scheme, family80):
+    benchmark(score3_shared, *family80, dna_scheme, workers=_CORES)
+
+
+def test_threads_workers_n80(benchmark, dna_scheme, family80):
+    benchmark(score3_threads, *family80, dna_scheme, workers=_CORES)
+
+
+def test_pool_workers_n80(benchmark, dna_scheme, family80, pool):
+    benchmark(pool.score3, *family80, dna_scheme)

@@ -1,0 +1,21 @@
+"""F4 — block-size sweep and mapping ablation (simulator cost)."""
+
+import pytest
+
+from repro.cluster.blockgrid import BlockGrid
+from repro.cluster.machine import ethernet_2007
+from repro.cluster.metrics import block_sweep
+from repro.cluster.simulate import simulate_wavefront
+
+
+def test_block_sweep_n200(benchmark):
+    res = benchmark(block_sweep, 200, (4, 8, 16, 32, 64), ethernet_2007(16))
+    speedups = [r.speedup for r in res]
+    assert max(speedups) == max(speedups[1:-1])  # interior optimum
+
+
+@pytest.mark.parametrize("mapping", ["pencil", "linear", "slab"])
+def test_mapping_ablation(benchmark, mapping):
+    grid = BlockGrid.for_sequences(200, 200, 200, 16)
+    machine = ethernet_2007(16)
+    benchmark(simulate_wavefront, grid, machine, mapping)

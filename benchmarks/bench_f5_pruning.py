@@ -1,0 +1,33 @@
+"""F5 — Carrillo–Lipman pruning: mask construction and pruned sweep."""
+
+import pytest
+
+from repro.core.bounds import carrillo_lipman_mask
+from repro.core.wavefront import score3_wavefront
+
+
+@pytest.fixture(scope="module")
+def masks(dna_scheme, family60, family60_diverged):
+    similar, _ = carrillo_lipman_mask(*family60, dna_scheme)
+    diverged, _ = carrillo_lipman_mask(*family60_diverged, dna_scheme)
+    return similar, diverged
+
+
+def test_mask_construction_n60(benchmark, dna_scheme, family60):
+    benchmark(carrillo_lipman_mask, *family60, dna_scheme)
+
+
+def test_full_sweep_n60(benchmark, dna_scheme, family60):
+    benchmark(score3_wavefront, *family60, dna_scheme)
+
+
+def test_pruned_sweep_similar_n60(benchmark, dna_scheme, family60, masks):
+    benchmark(score3_wavefront, *family60, dna_scheme, mask=masks[0])
+
+
+def test_pruned_sweep_diverged_n60(
+    benchmark, dna_scheme, family60_diverged, masks
+):
+    benchmark(
+        score3_wavefront, *family60_diverged, dna_scheme, mask=masks[1]
+    )

@@ -1,0 +1,30 @@
+"""T2 — memory-light engines: score-only wavefront, Hirschberg traceback.
+
+Benchmarks the *time* cost of the O(n^2)-memory paths; the memory numbers
+themselves are in ``python -m repro.bench --exp t2``.
+"""
+
+from repro.core.hirschberg import align3_hirschberg
+from repro.core.wavefront import align3_wavefront, wavefront_sweep
+
+
+def test_wavefront_score_only_n60(benchmark, dna_scheme, family60):
+    benchmark(
+        lambda: wavefront_sweep(*family60, dna_scheme, score_only=True)
+    )
+
+
+def test_wavefront_with_traceback_n60(benchmark, dna_scheme, family60):
+    benchmark(align3_wavefront, *family60, dna_scheme)
+
+
+def test_hirschberg_n60(benchmark, dna_scheme, family60):
+    benchmark(
+        align3_hirschberg, *family60, dna_scheme, base_cells=30_000
+    )
+
+
+def test_hirschberg_n80(benchmark, dna_scheme, family80):
+    benchmark(
+        align3_hirschberg, *family80, dna_scheme, base_cells=60_000
+    )

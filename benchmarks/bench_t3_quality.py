@@ -1,0 +1,20 @@
+"""T3 — exact vs heuristic aligners (the cost of optimality).
+
+The heuristics run pairwise-sized work; exact runs the cube. The benchmark
+quantifies the runtime ratio the optimality gap buys back.
+"""
+
+from repro.core.wavefront import align3_wavefront
+from repro.heuristics import align3_centerstar, align3_progressive
+
+
+def test_exact_n60(benchmark, dna_scheme, family60):
+    benchmark(align3_wavefront, *family60, dna_scheme)
+
+
+def test_centerstar_n60(benchmark, dna_scheme, family60):
+    benchmark(align3_centerstar, *family60, dna_scheme)
+
+
+def test_progressive_n60(benchmark, dna_scheme, family60):
+    benchmark(align3_progressive, *family60, dna_scheme)

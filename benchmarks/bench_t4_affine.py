@@ -1,0 +1,21 @@
+"""T4 — affine vs linear gap model (7-state overhead factor)."""
+
+from repro.core.affine import score3_affine
+from repro.core.wavefront import score3_wavefront
+from repro.seqio.datasets import bundled_sequences
+
+
+def test_linear_globins(benchmark, protein_scheme):
+    seqs = bundled_sequences("globins")
+    benchmark(score3_wavefront, *seqs, protein_scheme)
+
+
+def test_affine_globins(benchmark, protein_scheme):
+    seqs = bundled_sequences("globins")
+    scheme = protein_scheme.with_gaps(gap=-2.0, gap_open=-10.0)
+    benchmark(score3_affine, *seqs, scheme)
+
+
+def test_affine_dna_n60(benchmark, dna_scheme, family60):
+    scheme = dna_scheme.with_gaps(gap=-4.0, gap_open=-10.0)
+    benchmark(score3_affine, *family60, scheme)

@@ -1,0 +1,45 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_*`` file regenerates the performance-critical kernel of one of
+the paper's tables/figures (see DESIGN.md section 4); the full tables are
+printed by ``python -m repro.bench``. Benchmark sizes are kept moderate so
+the whole suite finishes in a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scoring import default_scheme_for
+from repro.seqio.alphabet import DNA, PROTEIN
+from repro.seqio.generate import MutationModel, mutated_family
+
+
+@pytest.fixture(scope="session")
+def dna_scheme():
+    return default_scheme_for(DNA)
+
+
+@pytest.fixture(scope="session")
+def protein_scheme():
+    return default_scheme_for(PROTEIN)
+
+
+@pytest.fixture(scope="session")
+def family20():
+    return mutated_family(20, seed=1)
+
+
+@pytest.fixture(scope="session")
+def family60():
+    return mutated_family(60, seed=2)
+
+
+@pytest.fixture(scope="session")
+def family80():
+    return mutated_family(80, seed=3)
+
+
+@pytest.fixture(scope="session")
+def family60_diverged():
+    return mutated_family(60, model=MutationModel().scaled(4.0), seed=4)

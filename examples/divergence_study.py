@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Divergence study: pruning power and heuristic quality vs mutation rate.
+
+Sweeps a synthetic family's divergence and reports, per level:
+
+* how much of the O(n^3) lattice Carrillo–Lipman bounds eliminate,
+* how close the heuristics come to the exact optimum, and
+* the wall-time effect of pruning.
+
+This is the workflow behind experiments T3 and F5 (see EXPERIMENTS.md).
+
+Run:  python examples/divergence_study.py
+"""
+
+import time
+
+from repro import MutationModel, default_scheme_for, mutated_family
+from repro.core.bounds import carrillo_lipman_mask
+from repro.core.wavefront import score3_wavefront
+from repro.heuristics import align3_centerstar, align3_progressive
+from repro.seqio.alphabet import DNA
+from repro.util.tables import Table
+
+
+def main() -> None:
+    scheme = default_scheme_for(DNA)
+    n = 70
+    table = Table(
+        f"Divergence sweep (ancestor length {n})",
+        ["mut_scale", "exact", "best_heur", "gap", "kept_cells",
+         "t_full_ms", "t_pruned_ms"],
+    )
+
+    for scale in (0.25, 0.5, 1.0, 2.0, 4.0):
+        fam = mutated_family(
+            n, model=MutationModel().scaled(scale), seed=int(scale * 100)
+        )
+
+        t0 = time.perf_counter()
+        exact = score3_wavefront(*fam, scheme)
+        t_full = time.perf_counter() - t0
+
+        heur = max(
+            align3_centerstar(*fam, scheme).score,
+            align3_progressive(*fam, scheme).score,
+        )
+
+        mask, stats = carrillo_lipman_mask(*fam, scheme, lower_bound=heur)
+        t0 = time.perf_counter()
+        pruned = score3_wavefront(*fam, scheme, mask=mask)
+        t_pruned = time.perf_counter() - t0
+        assert pruned == exact, "pruning must preserve the optimum"
+
+        table.add_row(
+            scale,
+            exact,
+            heur,
+            exact - heur,
+            f"{stats.kept_fraction:.2%}",
+            t_full * 1e3,
+            t_pruned * 1e3,
+        )
+
+    print(table.render())
+    print(
+        "\nReading the table: closer sequences (small mut_scale) let the\n"
+        "pairwise bounds hug the 3-way optimum, so almost the entire cube\n"
+        "is pruned; as divergence grows, the heuristic gap widens (why\n"
+        "exact alignment matters) while pruning weakens (why it is hard)."
+    )
+
+
+if __name__ == "__main__":
+    main()

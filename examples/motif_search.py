@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Motif finding with local three-sequence alignment.
+
+Plants a shared motif inside three unrelated random backbones (with a few
+mutations per copy) and shows that:
+
+* global alignment is dominated by the unrelated flanks,
+* local (Smith–Waterman-style) three-way alignment recovers the planted
+  motif and reports exactly where each copy sits, and
+* semi-global (overlap) mode handles the staggered-fragments case.
+
+Run:  python examples/motif_search.py
+"""
+
+from repro import MutationModel, default_scheme_for, random_sequence
+from repro.core.local import align3_local
+from repro.core.semiglobal import align3_semiglobal
+from repro.core.api import align3
+from repro.seqio.alphabet import DNA
+from repro.seqio.generate import mutate_sequence
+
+
+def main() -> None:
+    scheme = default_scheme_for(DNA)
+    motif = "GATTACCAGGATCCTGGAAC"
+    light = MutationModel(substitution=0.08, insertion=0.0, deletion=0.0)
+
+    # Three unrelated backbones, each hiding a lightly-mutated motif copy.
+    copies = [
+        mutate_sequence(motif, light, seed=100 + i) for i in range(3)
+    ]
+    seqs = []
+    offsets = []
+    for i, copy in enumerate(copies):
+        left = random_sequence(12 + 7 * i, seed=200 + i)
+        right = random_sequence(25 - 6 * i, seed=300 + i)
+        offsets.append(len(left))
+        seqs.append(left + copy + right)
+
+    print("Planted motif:", motif)
+    for i, (seq, off) in enumerate(zip(seqs, offsets)):
+        print(f"  seq{i} ({len(seq)} nt), copy planted at {off}")
+
+    glob = align3(*seqs, scheme)
+    loc = align3_local(*seqs, scheme)
+    semi = align3_semiglobal(*seqs, scheme)
+    print(f"\nGlobal SP score     : {glob.score:8.1f} "
+          f"(whole sequences, flanks drag it down)")
+    print(f"Semi-global SP score: {semi.score:8.1f} "
+          f"(free ends, core columns {semi.meta['core']})")
+    print(f"Local SP score      : {loc.score:8.1f} "
+          f"(best conserved block only)")
+
+    print("\nLocal alignment (the recovered motif):")
+    print(loc.pretty())
+    print("\nRecovered spans vs planted positions:")
+    ok = True
+    for i, (span, off, copy) in enumerate(
+        zip(loc.meta["spans"], offsets, copies)
+    ):
+        hit = off <= span[0] and span[1] <= off + len(copy) + 2
+        # The local optimum may trim a mutated edge residue; require the
+        # span to sit inside (or equal) the planted window.
+        overlap = max(0, min(span[1], off + len(copy)) - max(span[0], off))
+        frac = overlap / len(copy)
+        ok = ok and frac > 0.7
+        print(f"  seq{i}: recovered [{span[0]}, {span[1]}) vs planted "
+              f"[{off}, {off + len(copy)}) — {frac:.0%} overlap")
+    print("\nMotif recovered." if ok else "\nWARNING: weak recovery.")
+
+
+if __name__ == "__main__":
+    main()

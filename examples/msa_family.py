@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Beyond three sequences: progressive MSA over a UPGMA guide tree.
+
+The exact 3-D DP is the core of this package; this example shows the
+N-sequence extension built on the same substrate:
+
+1. generate a six-member synthetic family,
+2. build the pairwise distance matrix and UPGMA guide tree,
+3. align progressively (profile-profile NW up the tree), and
+4. for every embedded *triple*, compare the projection of the MSA against
+   the exact three-way optimum — measuring how much SP score the
+   progressive shortcut leaves on the table, triple by triple.
+
+Run:  python examples/msa_family.py
+"""
+
+from itertools import combinations
+
+from repro import MutationModel, default_scheme_for, mutated_family
+from repro.core.api import align3_score
+from repro.msa import align_msa, distance_matrix, upgma
+from repro.seqio.alphabet import DNA
+from repro.util.tables import Table
+
+
+def main() -> None:
+    scheme = default_scheme_for(DNA)
+    family = mutated_family(
+        45, model=MutationModel(0.15, 0.04, 0.04), count=6, seed=20
+    )
+    names = [f"taxon{i}" for i in range(len(family))]
+
+    D = distance_matrix(family, scheme)
+    tree = upgma(D)
+    print("Guide tree:", tree.newick(names))
+
+    msa = align_msa(family, scheme, names=names, tree=tree)
+    print(f"\nProgressive MSA ({msa.depth} sequences, {msa.length} columns, "
+          f"SP score {msa.sp_score(scheme):g}):\n")
+    print(msa.pretty(70))
+
+    # Exact three-way optima for every embedded triple vs the projection
+    # of the MSA onto that triple.
+    table = Table(
+        "Per-triple optimality of the MSA (exact 3-D DP as ground truth)",
+        ["triple", "exact_SP", "msa_projection_SP", "gap"],
+    )
+    total_gap = 0.0
+    for a, b, c in combinations(range(msa.depth), 2 + 1):
+        exact = align3_score(family[a], family[b], family[c], scheme)
+        # Project the MSA onto the triple: keep all three rows, drop
+        # columns where all three are gaps, and rescore.
+        rows = [msa.rows[a], msa.rows[b], msa.rows[c]]
+        kept = [
+            col
+            for col in zip(*rows)
+            if any(ch != "-" for ch in col)
+        ]
+        proj = tuple("".join(col[r] for col in kept) for r in range(3))
+        proj_score = scheme.sp_score(proj)
+        total_gap += exact - proj_score
+        table.add_row(f"{a}{b}{c}", exact, proj_score, exact - proj_score)
+    print()
+    print(table.render())
+    print(f"\nTotal SP left on the table across all triples: {total_gap:g}")
+    print("Each gap is recoverable by the exact 3-D engine — the paper's "
+          "case for exact (sub)alignment inside larger MSA pipelines.")
+
+
+if __name__ == "__main__":
+    main()

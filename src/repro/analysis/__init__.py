@@ -1,0 +1,25 @@
+"""Alignment analysis: statistics, per-pair breakdowns, and comparison
+metrics between alignments of the same sequences.
+
+Used by the quality experiments (T3/T4) to go beyond a single SP number:
+where do heuristic and exact alignments actually disagree, how are gaps
+distributed, and how conserved is each column.
+"""
+
+from repro.analysis.stats import AlignmentStats, alignment_stats, gap_runs
+from repro.analysis.compare import (
+    column_agreement,
+    aligned_pair_sets,
+    pair_agreement,
+    sp_breakdown,
+)
+
+__all__ = [
+    "AlignmentStats",
+    "alignment_stats",
+    "gap_runs",
+    "column_agreement",
+    "aligned_pair_sets",
+    "pair_agreement",
+    "sp_breakdown",
+]

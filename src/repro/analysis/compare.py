@@ -1,0 +1,125 @@
+"""Comparison metrics between two alignments of the same sequences.
+
+The standard developer question behind T3: *where* does the heuristic
+alignment differ from the exact one? Two alignments of the same sequences
+are compared by the residue pairs they align:
+
+* :func:`aligned_pair_sets` — for each row pair, the set of aligned
+  residue-index pairs the alignment induces;
+* :func:`pair_agreement` — the fraction of reference pairs recovered
+  (the "developer's sum-of-pairs score" of MSA benchmarking, a.k.a. the
+  Q/SP column score);
+* :func:`column_agreement` — fraction of reference columns reproduced
+  exactly;
+* :func:`sp_breakdown` — SP score split per row pair, localising which
+  pairwise projection loses the score.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from repro.core.scoring import ScoringScheme
+from repro.seqio.alphabet import GAP_CHAR
+
+
+def _check_same_sequences(a: Sequence[str], b: Sequence[str]) -> None:
+    if len(a) != len(b):
+        raise ValueError("alignments have different row counts")
+    for ra, rb in zip(a, b):
+        if ra.replace(GAP_CHAR, "") != rb.replace(GAP_CHAR, ""):
+            raise ValueError(
+                "alignments are not over the same sequences"
+            )
+
+
+def aligned_pair_sets(
+    rows: Sequence[str],
+) -> dict[tuple[int, int], set[tuple[int, int]]]:
+    """Residue-index pairs aligned by each row pair.
+
+    For rows ``(x, y)``, the set contains ``(i, j)`` whenever residue
+    ``i`` of sequence ``x`` sits in the same column as residue ``j`` of
+    sequence ``y``.
+    """
+    counters = [0] * len(rows)
+    out: dict[tuple[int, int], set[tuple[int, int]]] = {
+        pair: set() for pair in combinations(range(len(rows)), 2)
+    }
+    for col in zip(*rows):
+        present = []
+        for r, ch in enumerate(col):
+            if ch != GAP_CHAR:
+                present.append((r, counters[r]))
+                counters[r] += 1
+        for (rx, ix), (ry, iy) in combinations(present, 2):
+            out[(rx, ry)].add((ix, iy))
+    return out
+
+
+def pair_agreement(
+    candidate: Sequence[str], reference: Sequence[str]
+) -> float:
+    """Fraction of the reference's aligned residue pairs that the
+    candidate alignment also aligns (1.0 = identical pairings).
+
+    Returns 1.0 when the reference aligns no pairs at all.
+    """
+    _check_same_sequences(candidate, reference)
+    cand = aligned_pair_sets(candidate)
+    ref = aligned_pair_sets(reference)
+    total = sum(len(s) for s in ref.values())
+    if total == 0:
+        return 1.0
+    hit = sum(len(cand[pair] & ref[pair]) for pair in ref)
+    return hit / total
+
+
+def column_agreement(
+    candidate: Sequence[str], reference: Sequence[str]
+) -> float:
+    """Fraction of reference columns reproduced exactly by the candidate.
+
+    A column is identified by the tuple of residue indices it aligns
+    (gaps as ``None``), making the metric invariant to column order
+    padding differences.
+    """
+    _check_same_sequences(candidate, reference)
+
+    def column_ids(rows: Sequence[str]) -> set[tuple]:
+        counters = [0] * len(rows)
+        ids = set()
+        for col in zip(*rows):
+            key = []
+            for r, ch in enumerate(col):
+                if ch == GAP_CHAR:
+                    key.append(None)
+                else:
+                    key.append(counters[r])
+                    counters[r] += 1
+            ids.add(tuple(key))
+        return ids
+
+    ref_ids = column_ids(reference)
+    if not ref_ids:
+        return 1.0
+    cand_ids = column_ids(candidate)
+    return len(cand_ids & ref_ids) / len(ref_ids)
+
+
+def sp_breakdown(
+    rows: Sequence[str], scheme: ScoringScheme
+) -> dict[tuple[int, int], float]:
+    """SP score decomposed per row pair (linear gap model).
+
+    The values sum to ``scheme.sp_score(rows)`` for three rows (and to the
+    generalised SP score for more).
+    """
+    out: dict[tuple[int, int], float] = {}
+    for a, b in combinations(range(len(rows)), 2):
+        total = 0.0
+        for x, y in zip(rows[a], rows[b]):
+            total += scheme.pair_score(x, y)
+        out[(a, b)] = total
+    return out

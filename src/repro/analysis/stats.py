@@ -1,0 +1,88 @@
+"""Descriptive statistics of a (multi-row) alignment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.seqio.alphabet import GAP_CHAR
+
+
+@dataclass(frozen=True)
+class AlignmentStats:
+    """Column/gap summary of an alignment.
+
+    Attributes
+    ----------
+    length:
+        Number of columns.
+    columns_identical:
+        Columns where every row holds the same residue (no gaps).
+    columns_gapless:
+        Columns with no gap in any row.
+    gap_fraction:
+        Fraction of all characters that are gaps.
+    gap_runs:
+        Total number of maximal gap runs across rows.
+    mean_gap_run:
+        Mean length of those runs (0 when there are none).
+    """
+
+    length: int
+    columns_identical: int
+    columns_gapless: int
+    gap_fraction: float
+    gap_runs: int
+    mean_gap_run: float
+
+    @property
+    def identity(self) -> float:
+        """Identical columns over total columns."""
+        return self.columns_identical / self.length if self.length else 0.0
+
+
+def gap_runs(row: str) -> list[int]:
+    """Lengths of the maximal gap runs in one row.
+
+    >>> gap_runs("A--CG-T")
+    [2, 1]
+    """
+    runs: list[int] = []
+    current = 0
+    for ch in row:
+        if ch == GAP_CHAR:
+            current += 1
+        elif current:
+            runs.append(current)
+            current = 0
+    if current:
+        runs.append(current)
+    return runs
+
+
+def alignment_stats(rows: Sequence[str]) -> AlignmentStats:
+    """Compute :class:`AlignmentStats` for aligned ``rows``."""
+    if not rows:
+        raise ValueError("no rows given")
+    lengths = {len(r) for r in rows}
+    if len(lengths) != 1:
+        raise ValueError("rows have unequal lengths")
+    length = len(rows[0])
+    identical = 0
+    gapless = 0
+    for col in zip(*rows):
+        if GAP_CHAR not in col:
+            gapless += 1
+            if all(c == col[0] for c in col):
+                identical += 1
+    total_chars = length * len(rows)
+    gap_chars = sum(r.count(GAP_CHAR) for r in rows)
+    all_runs = [run for row in rows for run in gap_runs(row)]
+    return AlignmentStats(
+        length=length,
+        columns_identical=identical,
+        columns_gapless=gapless,
+        gap_fraction=gap_chars / total_chars if total_chars else 0.0,
+        gap_runs=len(all_runs),
+        mean_gap_run=(sum(all_runs) / len(all_runs)) if all_runs else 0.0,
+    )

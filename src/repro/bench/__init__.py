@@ -1,0 +1,11 @@
+"""Benchmark harness: regenerates every table and figure of the evaluation.
+
+Run ``python -m repro.bench --exp all`` (or ``repro-bench`` once installed)
+to print each table's rows and each figure's series; see ``EXPERIMENTS.md``
+for the recorded outputs and the paper-vs-measured discussion, and
+``DESIGN.md`` §4 for the experiment index.
+"""
+
+from repro.bench.harness import ExperimentResult, run_experiment, list_experiments
+
+__all__ = ["ExperimentResult", "run_experiment", "list_experiments"]

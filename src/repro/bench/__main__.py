@@ -1,0 +1,67 @@
+"""Command-line entry point: ``python -m repro.bench --exp t1`` or
+``repro-bench --exp all``."""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.bench.harness import list_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's tables and figures "
+        "(see DESIGN.md section 4 for the experiment index).",
+    )
+    parser.add_argument(
+        "--exp",
+        default="all",
+        help="experiment id (t1, t2, f1..f6, t3, t4, engines) or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink workload sizes for a fast smoke run",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also write each experiment's rendered output to DIR/<id>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for eid, title in list_experiments():
+            print(f"{eid:8s} {title}")
+        return 0
+
+    ids = (
+        [eid for eid, _ in list_experiments()]
+        if args.exp == "all"
+        else [args.exp]
+    )
+    out_dir = None
+    if args.out is not None:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for eid in ids:
+        t0 = time.perf_counter()
+        result = run_experiment(eid, quick=args.quick)
+        dt = time.perf_counter() - t0
+        print(result.rendered)
+        print(f"[{eid} completed in {dt:.2f}s]\n")
+        if out_dir is not None:
+            (out_dir / f"{eid}.txt").write_text(result.rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

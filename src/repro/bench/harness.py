@@ -1,0 +1,65 @@
+"""Experiment runner plumbing.
+
+Every experiment is a function ``fn(quick: bool) -> ExperimentResult``
+registered in :mod:`repro.bench.experiments`. ``quick=True`` shrinks
+workload sizes so the whole suite finishes in well under a minute (used by
+CI-style runs); ``quick=False`` uses the paper-scale parameters recorded in
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered output plus structured data of one experiment."""
+
+    exp_id: str
+    title: str
+    rendered: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.rendered
+
+
+#: Registry: exp id -> (title, runner). Populated by the @experiment
+#: decorator in repro.bench.experiments.
+_REGISTRY: dict[str, tuple[str, Callable[[bool], ExperimentResult]]] = {}
+
+
+def experiment(exp_id: str, title: str):
+    """Decorator registering an experiment runner."""
+
+    def wrap(fn: Callable[[bool], ExperimentResult]):
+        if exp_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {exp_id!r}")
+        _REGISTRY[exp_id] = (title, fn)
+        return fn
+
+    return wrap
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """All registered ``(exp_id, title)`` pairs, in registration order."""
+    _ensure_loaded()
+    return [(eid, title) for eid, (title, _fn) in _REGISTRY.items()]
+
+
+def run_experiment(exp_id: str, quick: bool = False) -> ExperimentResult:
+    """Run one experiment by id (see ``DESIGN.md`` §4 for the index)."""
+    _ensure_loaded()
+    try:
+        title, fn = _REGISTRY[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+    return fn(quick)
+
+
+def _ensure_loaded() -> None:
+    # The experiments module registers itself on import.
+    import repro.bench.experiments  # noqa: F401

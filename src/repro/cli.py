@@ -1,0 +1,351 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``align``     align the sequences of a FASTA file (exact 3-way for three
+              records, progressive MSA for more)
+``score``     print the optimal SP score only (O(n^2) memory)
+``generate``  emit a synthetic mutated family as FASTA
+``simulate``  run the cluster simulator and print speedup/efficiency
+``info``      version, engines, bundled datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal three-sequence alignment (ICPP 2007 reproduction).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_align = sub.add_parser("align", help="align sequences from a FASTA file")
+    p_align.add_argument("fasta", help="input FASTA (3 records = exact 3-way)")
+    _scoring_args(p_align)
+    p_align.add_argument(
+        "--method",
+        default="auto",
+        help="engine for 3 sequences (auto/dp3d/wavefront/hirschberg/"
+        "pruned/banded/affine/shared/threads)",
+    )
+    p_align.add_argument(
+        "--mode",
+        choices=("global", "local", "semiglobal"),
+        default="global",
+        help="alignment mode (local/semiglobal need exactly 3 sequences "
+        "and the linear gap model)",
+    )
+    p_align.add_argument(
+        "--workers", type=int, default=2, help="workers for parallel engines"
+    )
+    p_align.add_argument(
+        "--format",
+        choices=("pretty", "fasta", "clustal"),
+        default="pretty",
+        help="output format",
+    )
+    p_align.add_argument(
+        "--width", type=int, default=60, help="pretty-print block width"
+    )
+
+    p_score = sub.add_parser("score", help="optimal SP score only")
+    p_score.add_argument("fasta")
+    _scoring_args(p_score)
+
+    p_count = sub.add_parser(
+        "count", help="count co-optimal alignments (3 sequences)"
+    )
+    p_count.add_argument("fasta")
+    _scoring_args(p_count)
+    p_count.add_argument(
+        "--show",
+        type=int,
+        default=0,
+        metavar="K",
+        help="also print up to K co-optimal alignments",
+    )
+
+    p_gen = sub.add_parser("generate", help="emit a synthetic family as FASTA")
+    p_gen.add_argument("--length", type=int, default=60, help="ancestor length")
+    p_gen.add_argument("--count", type=int, default=3, help="family size")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument(
+        "--alphabet", choices=("dna", "rna", "protein"), default="dna"
+    )
+    p_gen.add_argument(
+        "--divergence",
+        type=float,
+        default=1.0,
+        help="mutation-model scale factor (1.0 = defaults)",
+    )
+
+    p_sim = sub.add_parser("simulate", help="cluster-simulate the wavefront")
+    p_sim.add_argument("--n", type=int, default=200, help="sequence length")
+    p_sim.add_argument(
+        "--procs",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8, 16, 32, 64],
+        help="processor counts to sweep",
+    )
+    p_sim.add_argument("--block", type=int, default=16)
+    p_sim.add_argument(
+        "--network",
+        choices=("ethernet-2007", "gigabit-2007", "modern"),
+        default="ethernet-2007",
+    )
+    p_sim.add_argument(
+        "--mapping", choices=("pencil", "linear", "slab"), default="pencil"
+    )
+    p_sim.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="measure this machine's per-cell time instead of the default",
+    )
+
+    sub.add_parser("info", help="version, engines and datasets")
+    return parser
+
+
+def _scoring_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--matrix",
+        choices=("auto", "blosum62", "pam250", "dna", "unit"),
+        default="auto",
+        help="substitution matrix (auto = guess from the alphabet)",
+    )
+    p.add_argument("--gap", type=float, default=None, help="gap (extend) score")
+    p.add_argument(
+        "--gap-open", type=float, default=0.0, help="gap opening score (affine)"
+    )
+
+
+def _resolve_scheme(args, seqs: Sequence[str]):
+    from repro.core import matrices as m
+    from repro.core.scoring import ScoringScheme, default_scheme_for
+    from repro.seqio.alphabet import DNA, PROTEIN, guess_alphabet
+
+    if args.matrix == "auto":
+        alpha = guess_alphabet("".join(seqs) or "A")
+        scheme = default_scheme_for(alpha)
+    elif args.matrix == "blosum62":
+        scheme = ScoringScheme(PROTEIN, m.blosum62(), gap=-8.0, name="blosum62")
+    elif args.matrix == "pam250":
+        scheme = ScoringScheme(PROTEIN, m.pam250(), gap=-8.0, name="pam250")
+    elif args.matrix == "dna":
+        scheme = ScoringScheme(DNA, m.dna_simple(), gap=-6.0, name="dna5-4")
+    else:
+        alpha = guess_alphabet("".join(seqs) or "A")
+        scheme = ScoringScheme(
+            alpha, m.unit_matrix(alpha), gap=-1.0, name="unit"
+        )
+    gap = args.gap if args.gap is not None else scheme.gap
+    if gap != scheme.gap or args.gap_open:
+        scheme = scheme.with_gaps(gap=gap, gap_open=args.gap_open)
+    return scheme
+
+
+def _cmd_align(args) -> int:
+    from repro.core.api import align3
+    from repro.msa import align_msa
+    from repro.seqio.fasta import format_fasta, read_fasta
+
+    records = read_fasta(args.fasta)
+    if len(records) < 2:
+        print("error: need at least two sequences", file=sys.stderr)
+        return 2
+    names = [h for h, _ in records]
+    seqs = [s for _h, s in records]
+    scheme = _resolve_scheme(args, seqs)
+
+    if args.mode != "global" and len(records) != 3:
+        print(
+            f"error: --mode {args.mode} requires exactly three sequences",
+            file=sys.stderr,
+        )
+        return 2
+    if len(records) == 3:
+        if args.mode == "local":
+            from repro.core.local import align3_local
+
+            aln = align3_local(*seqs, scheme)
+        elif args.mode == "semiglobal":
+            from repro.core.semiglobal import align3_semiglobal
+
+            aln = align3_semiglobal(*seqs, scheme)
+        else:
+            aln = align3(
+                *seqs, scheme, method=args.method, workers=args.workers
+            )
+        rows = aln.rows
+        score = aln.score
+        engine = aln.meta["engine"]
+    else:
+        msa = align_msa(seqs, scheme, names=names)
+        rows = msa.rows
+        score = msa.sp_score(scheme)
+        engine = msa.meta["engine"]
+
+    if args.format == "fasta":
+        print(format_fasta(zip(names, rows)), end="")
+    elif args.format == "clustal":
+        from repro.seqio.clustal import format_clustal
+
+        safe_names = [n.split()[0] if n.split() else f"seq{i}"
+                      for i, n in enumerate(names)]
+        print(format_clustal(safe_names, list(rows), width=args.width), end="")
+    else:
+        label_w = max(len(n) for n in names)
+        for start in range(0, len(rows[0]), args.width):
+            for name, row in zip(names, rows):
+                print(f"{name:<{label_w}} {row[start:start + args.width]}")
+            print()
+    print(
+        f"# score={score:g} engine={engine} scheme={scheme.name} "
+        f"columns={len(rows[0])}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_score(args) -> int:
+    from repro.core.api import align3_score
+    from repro.msa import align_msa
+    from repro.seqio.fasta import read_fasta
+
+    records = read_fasta(args.fasta)
+    seqs = [s for _h, s in records]
+    scheme = _resolve_scheme(args, seqs)
+    if len(seqs) == 3:
+        score = align3_score(*seqs, scheme)
+    elif len(seqs) >= 2:
+        score = align_msa(seqs, scheme).sp_score(scheme)
+    else:
+        print("error: need at least two sequences", file=sys.stderr)
+        return 2
+    print(f"{score:g}")
+    return 0
+
+
+def _cmd_count(args) -> int:
+    from repro.core.countopt import count_optimal, enumerate_optimal
+    from repro.seqio.fasta import read_fasta
+
+    records = read_fasta(args.fasta)
+    if len(records) != 3:
+        print("error: count requires exactly three sequences", file=sys.stderr)
+        return 2
+    seqs = [s for _h, s in records]
+    scheme = _resolve_scheme(args, seqs)
+    if scheme.is_affine:
+        print("error: count supports the linear gap model", file=sys.stderr)
+        return 2
+    n = count_optimal(*seqs, scheme)
+    print(f"{n}")
+    if args.show > 0:
+        for aln in enumerate_optimal(*seqs, scheme, limit=args.show):
+            print()
+            print(aln.pretty())
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.seqio.alphabet import DNA, PROTEIN, RNA
+    from repro.seqio.fasta import format_fasta
+    from repro.seqio.generate import MutationModel, mutated_family
+
+    alpha = {"dna": DNA, "rna": RNA, "protein": PROTEIN}[args.alphabet]
+    model = MutationModel().scaled(args.divergence)
+    fam = mutated_family(
+        args.length, model=model, count=args.count, alphabet=alpha,
+        seed=args.seed,
+    )
+    records = [(f"synth{i}", s) for i, s in enumerate(fam)]
+    print(format_fasta(records), end="")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.cluster.machine import (
+        calibrate_t_cell,
+        ethernet_2007,
+        gigabit_2007,
+        modern_cluster,
+    )
+    from repro.cluster.metrics import sweep_procs
+    from repro.util.tables import format_table
+
+    maker = {
+        "ethernet-2007": ethernet_2007,
+        "gigabit-2007": gigabit_2007,
+        "modern": modern_cluster,
+    }[args.network]
+    machine = maker(1)
+    if args.calibrate:
+        t_cell = calibrate_t_cell()
+        machine = type(machine)(
+            procs=1, t_cell=t_cell, alpha=machine.alpha, beta=machine.beta,
+            name=machine.name,
+        )
+    results = sweep_procs(
+        args.n, args.procs, machine, block=args.block, mapping=args.mapping
+    )
+    rows = [
+        (
+            p,
+            r.speedup,
+            r.efficiency,
+            r.makespan,
+            r.comm_volume_bytes / 1e6,
+            r.messages,
+        )
+        for p, r in zip(args.procs, results)
+    ]
+    print(
+        format_table(
+            f"simulated wavefront: n={args.n}, block={args.block}, "
+            f"{machine.name}, {args.mapping} mapping",
+            ["P", "speedup", "efficiency", "makespan_s", "comm_MB", "messages"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    from repro.core.api import AVAILABLE_METHODS
+    from repro.seqio.datasets import list_datasets
+
+    print(f"repro {__version__}")
+    print(f"alignment methods : {', '.join(AVAILABLE_METHODS)}")
+    print(f"bundled datasets  : {', '.join(list_datasets())}")
+    print("experiments       : python -m repro.bench --list")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "align": _cmd_align,
+        "score": _cmd_score,
+        "count": _cmd_count,
+        "generate": _cmd_generate,
+        "simulate": _cmd_simulate,
+        "info": _cmd_info,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Machine models for the cluster simulation.
+
+A machine is four numbers: processor count ``procs``, per-cell compute time
+``t_cell`` (seconds to evaluate one DP cell, all seven candidates), message
+latency ``alpha`` (seconds per message) and inverse bandwidth ``beta``
+(seconds per byte). Communication cost of a message of ``b`` bytes is the
+classic ``alpha + beta * b`` model.
+
+Presets bracket the hardware of the paper's era (Fast Ethernet and Gigabit
+PC clusters, 2007) and a modern interconnect; per-cell time defaults to a
+C-kernel-like 20 ns and can be calibrated to this machine's actual
+vectorised throughput with :func:`calibrate_t_cell`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A homogeneous distributed-memory machine.
+
+    Parameters
+    ----------
+    procs:
+        Number of processors (MPI ranks / nodes).
+    t_cell:
+        Seconds to compute one DP cell.
+    alpha:
+        Per-message latency in seconds.
+    beta:
+        Seconds per byte of message payload (1 / bandwidth).
+    bytes_per_cell:
+        Payload bytes exchanged per boundary cell (8 = one float64 score).
+    name:
+        Label used in reports.
+    """
+
+    procs: int
+    t_cell: float = 2.0e-8
+    alpha: float = 1.0e-4
+    beta: float = 8.0e-8
+    bytes_per_cell: int = 8
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        check_positive("procs", self.procs)
+        check_positive("t_cell", self.t_cell)
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha and beta must be >= 0")
+        check_positive("bytes_per_cell", self.bytes_per_cell)
+
+    def comm_time(self, payload_bytes: int) -> float:
+        """Latency+bandwidth cost of one message."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be >= 0")
+        return self.alpha + self.beta * payload_bytes
+
+    def compute_time(self, cells: int) -> float:
+        """Time to evaluate ``cells`` DP cells on one processor."""
+        if cells < 0:
+            raise ValueError("cells must be >= 0")
+        return cells * self.t_cell
+
+    def with_procs(self, procs: int) -> "MachineModel":
+        """Same machine with a different processor count."""
+        return replace(self, procs=procs)
+
+
+def ethernet_2007(procs: int, t_cell: float = 2.0e-8) -> MachineModel:
+    """Fast-Ethernet PC cluster of the paper's era: ~100 us latency,
+    100 Mbit/s links (12.5 MB/s)."""
+    return MachineModel(
+        procs=procs,
+        t_cell=t_cell,
+        alpha=1.0e-4,
+        beta=8.0e-8,
+        name="ethernet-2007",
+    )
+
+
+def gigabit_2007(procs: int, t_cell: float = 2.0e-8) -> MachineModel:
+    """Gigabit PC cluster: ~50 us latency, 1 Gbit/s links."""
+    return MachineModel(
+        procs=procs,
+        t_cell=t_cell,
+        alpha=5.0e-5,
+        beta=8.0e-9,
+        name="gigabit-2007",
+    )
+
+
+def modern_cluster(procs: int, t_cell: float = 5.0e-9) -> MachineModel:
+    """Modern interconnect: ~2 us latency, ~10 GB/s effective."""
+    return MachineModel(
+        procs=procs,
+        t_cell=t_cell,
+        alpha=2.0e-6,
+        beta=1.0e-10,
+        name="modern",
+    )
+
+
+def calibrate_t_cell(n: int = 60, seed: int = 0) -> float:
+    """Measure this machine's per-cell time of the vectorised engine.
+
+    Runs a score-only wavefront sweep on an ``n x n x n`` random DNA problem
+    and divides wall time by the cell count. Use the result as ``t_cell``
+    to make the simulator predict "what a cluster of machines like this one
+    would do".
+    """
+    from repro.core.scoring import default_scheme_for
+    from repro.core.wavefront import wavefront_sweep
+    from repro.seqio.alphabet import DNA
+    from repro.seqio.generate import random_sequence
+
+    check_positive("n", n)
+    seqs = [random_sequence(n, DNA, seed=seed + t) for t in range(3)]
+    scheme = default_scheme_for(DNA)
+    # Warm-up then measure.
+    wavefront_sweep(*seqs, scheme, score_only=True)
+    t0 = time.perf_counter()
+    res = wavefront_sweep(*seqs, scheme, score_only=True)
+    elapsed = time.perf_counter() - t0
+    return elapsed / max(res.cells_computed, 1)

@@ -1,0 +1,86 @@
+"""Series builders over the cluster simulator.
+
+Each helper runs :func:`repro.cluster.simulate.simulate_wavefront` across a
+parameter sweep and returns plain lists, ready for
+:func:`repro.util.tables.format_series` — the "figure as numbers" output
+format of the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.blockgrid import BlockGrid
+from repro.cluster.machine import MachineModel
+from repro.cluster.simulate import SimResult, simulate_wavefront
+
+
+def sweep_procs(
+    n: int,
+    procs_list: Sequence[int],
+    machine: MachineModel,
+    block: int = 16,
+    mapping: str = "pencil",
+) -> list[SimResult]:
+    """Simulate an ``n``-cubed problem at each processor count."""
+    grid = BlockGrid.for_sequences(n, n, n, block)
+    return [
+        simulate_wavefront(grid, machine.with_procs(p), mapping=mapping)
+        for p in procs_list
+    ]
+
+
+def speedup_series(
+    n: int,
+    procs_list: Sequence[int],
+    machine: MachineModel,
+    block: int = 16,
+    mapping: str = "pencil",
+) -> list[float]:
+    """Speedup at each processor count (figure F1's y-values)."""
+    return [
+        r.speedup
+        for r in sweep_procs(n, procs_list, machine, block, mapping)
+    ]
+
+
+def efficiency_series(
+    n: int,
+    procs_list: Sequence[int],
+    machine: MachineModel,
+    block: int = 16,
+    mapping: str = "pencil",
+) -> list[float]:
+    """Parallel efficiency at each processor count (figure F2)."""
+    return [
+        r.efficiency
+        for r in sweep_procs(n, procs_list, machine, block, mapping)
+    ]
+
+
+def comm_volume_series(
+    n: int,
+    procs_list: Sequence[int],
+    machine: MachineModel,
+    block: int = 16,
+    mapping: str = "pencil",
+) -> list[int]:
+    """Total bytes crossing processor boundaries at each count (figure F6)."""
+    return [
+        r.comm_volume_bytes
+        for r in sweep_procs(n, procs_list, machine, block, mapping)
+    ]
+
+
+def block_sweep(
+    n: int,
+    blocks: Sequence[int],
+    machine: MachineModel,
+    mapping: str = "pencil",
+) -> list[SimResult]:
+    """Simulate a fixed problem across block sizes (figure F4)."""
+    out = []
+    for b in blocks:
+        grid = BlockGrid.for_sequences(n, n, n, b)
+        out.append(simulate_wavefront(grid, machine, mapping=mapping))
+    return out

@@ -1,0 +1,60 @@
+"""Core three-sequence alignment algorithms (the paper's contribution).
+
+Layout
+------
+``types``      result/alignment dataclasses and move encoding
+``scoring``    sum-of-pairs scoring schemes (linear and affine gap models)
+``matrices``   bundled substitution matrices (BLOSUM62, PAM250, DNA)
+``dp3d``       reference scalar full-matrix 3-D DP with traceback
+``wavefront``  vectorised anti-diagonal-plane engine (the fast path)
+``rolling``    score-only O(n^2)-memory engines with slab capture
+``hirschberg`` linear-space divide-and-conquer traceback
+``affine``     7-state quasi-natural affine-gap 3-D DP
+``bounds``     Carrillo–Lipman pruning masks
+``api``        the ``align3`` front door
+"""
+
+from repro.core.types import (
+    Alignment3,
+    MOVE_ABC,
+    MOVE_NAMES,
+    move_delta,
+    ALL_MOVES,
+)
+from repro.core.scoring import ScoringScheme
+from repro.core.matrices import (
+    blosum62,
+    dna_tstv,
+    pam250,
+    dna_simple,
+    unit_matrix,
+    edit_distance_scheme,
+)
+from repro.core.api import align3, align3_score, AVAILABLE_METHODS
+from repro.core.local import align3_local, score3_local
+from repro.core.countopt import count_optimal, enumerate_optimal
+from repro.core.band import align3_banded, score3_banded
+
+__all__ = [
+    "align3_local",
+    "score3_local",
+    "count_optimal",
+    "enumerate_optimal",
+    "align3_banded",
+    "score3_banded",
+    "Alignment3",
+    "MOVE_ABC",
+    "MOVE_NAMES",
+    "ALL_MOVES",
+    "move_delta",
+    "ScoringScheme",
+    "blosum62",
+    "pam250",
+    "dna_simple",
+    "dna_tstv",
+    "unit_matrix",
+    "edit_distance_scheme",
+    "align3",
+    "align3_score",
+    "AVAILABLE_METHODS",
+]

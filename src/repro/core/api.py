@@ -1,0 +1,174 @@
+"""High-level entry points for three-sequence alignment.
+
+:func:`align3` dispatches to the engine that fits the request:
+
+===============  =============================================================
+method           engine
+===============  =============================================================
+``auto``         affine scheme -> ``affine``; small cube -> ``wavefront``;
+                 large cube -> ``hirschberg``
+``dp3d``         scalar reference full-matrix DP
+``wavefront``    vectorised full-matrix plane sweep
+``hirschberg``   linear-space divide and conquer
+``pruned``       Carrillo–Lipman-pruned wavefront
+``affine``       7-state affine-gap DP (requires ``scheme.gap_open != 0``)
+``shared``       multiprocess shared-memory wavefront
+``threads``      thread-pool wavefront
+===============  =============================================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.scoring import ScoringScheme, default_scheme_for
+from repro.core.types import Alignment3
+from repro.seqio.alphabet import guess_alphabet
+from repro.util.validation import check_sequences
+
+#: Cube size above which ``auto`` prefers the linear-space engine.
+AUTO_HIRSCHBERG_CELLS = 8_000_000
+
+AVAILABLE_METHODS = (
+    "auto",
+    "dp3d",
+    "wavefront",
+    "hirschberg",
+    "pruned",
+    "banded",
+    "affine",
+    "shared",
+    "threads",
+)
+
+
+def _resolve_scheme(
+    seqs: Sequence[str], scheme: ScoringScheme | None
+) -> ScoringScheme:
+    if scheme is not None:
+        return scheme
+    return default_scheme_for(guess_alphabet("".join(seqs) or "A"))
+
+
+def align3(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme | None = None,
+    method: str = "auto",
+    workers: int = 2,
+) -> Alignment3:
+    """Optimal three-sequence alignment.
+
+    Parameters
+    ----------
+    sa, sb, sc:
+        The three sequences.
+    scheme:
+        Scoring scheme; when omitted, a default is chosen from the guessed
+        alphabet (BLOSUM62 for protein, 5/-4 for nucleotides).
+    method:
+        One of :data:`AVAILABLE_METHODS`.
+    workers:
+        Worker count for the ``shared``/``threads`` methods.
+
+    Returns
+    -------
+    Alignment3
+        The optimal alignment; ``meta`` records the engine, cell counts and
+        wall time.
+
+    Examples
+    --------
+    >>> from repro import align3
+    >>> aln = align3("GATTACA", "GATCA", "GATTA")
+    >>> aln.sequences()
+    ('GATTACA', 'GATCA', 'GATTA')
+    """
+    check_sequences((sa, sb, sc), count=3)
+    if method not in AVAILABLE_METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; available: {AVAILABLE_METHODS}"
+        )
+    scheme = _resolve_scheme((sa, sb, sc), scheme)
+
+    if method == "auto":
+        if scheme.is_affine:
+            method = "affine"
+        else:
+            cells = (len(sa) + 1) * (len(sb) + 1) * (len(sc) + 1)
+            method = "wavefront" if cells <= AUTO_HIRSCHBERG_CELLS else "hirschberg"
+    if scheme.is_affine and method != "affine":
+        raise ValueError(
+            f"method {method!r} implements the linear gap model but the "
+            "scheme has a nonzero gap_open; use method='affine'"
+        )
+
+    t0 = time.perf_counter()
+    if method == "dp3d":
+        from repro.core.dp3d import align3_dp3d
+
+        aln = align3_dp3d(sa, sb, sc, scheme)
+    elif method == "wavefront":
+        from repro.core.wavefront import align3_wavefront
+
+        aln = align3_wavefront(sa, sb, sc, scheme)
+    elif method == "hirschberg":
+        from repro.core.hirschberg import align3_hirschberg
+
+        aln = align3_hirschberg(sa, sb, sc, scheme)
+    elif method == "pruned":
+        from repro.core.bounds import carrillo_lipman_mask
+        from repro.core.wavefront import align3_wavefront
+
+        mask, stats = carrillo_lipman_mask(sa, sb, sc, scheme)
+        aln = align3_wavefront(sa, sb, sc, scheme, mask=mask)
+        aln.meta["pruning"] = {
+            "kept_fraction": stats.kept_fraction,
+            "lower_bound": stats.lower_bound,
+        }
+    elif method == "banded":
+        from repro.core.band import align3_banded
+
+        aln = align3_banded(sa, sb, sc, scheme)
+    elif method == "affine":
+        from repro.core.affine import align3_affine
+
+        aln = align3_affine(sa, sb, sc, scheme)
+    elif method == "shared":
+        from repro.parallel.shared import align3_shared
+
+        aln = align3_shared(sa, sb, sc, scheme, workers=workers)
+    else:  # threads
+        from repro.parallel.threads import align3_threads
+
+        aln = align3_threads(sa, sb, sc, scheme, workers=workers)
+
+    aln.meta.setdefault("engine", method)
+    aln.meta["method"] = method
+    aln.meta["wall_time_s"] = time.perf_counter() - t0
+    aln.meta["scheme"] = scheme.name
+    return aln
+
+
+def align3_score(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme | None = None,
+) -> float:
+    """Optimal SP score only, in O(n^2) memory.
+
+    Dispatches to the score-only wavefront (linear model) or the score-only
+    affine sweep.
+    """
+    check_sequences((sa, sb, sc), count=3)
+    scheme = _resolve_scheme((sa, sb, sc), scheme)
+    if scheme.is_affine:
+        from repro.core.affine import score3_affine
+
+        return score3_affine(sa, sb, sc, scheme)
+    from repro.core.wavefront import score3_wavefront
+
+    return score3_wavefront(sa, sb, sc, scheme)

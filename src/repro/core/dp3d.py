@@ -1,0 +1,178 @@
+"""Reference full-matrix 3-D dynamic program (scalar Python).
+
+This is the *specification* implementation: a direct transcription of the
+7-predecessor recurrence, looping cell by cell. It is deliberately simple —
+every faster engine in the package is validated against it. Use it for
+sequences up to a few tens of residues; beyond that, use
+:mod:`repro.core.wavefront`.
+
+Recurrence (linear gap model, similarity maximisation)
+------------------------------------------------------
+``D[i,j,k] = max over moves m in 1..7 of D[pred(m)] + delta(m, i, j, k)``
+where ``delta`` is the SP score of the alignment column the move emits:
+
+===========  =======================================================
+move (bits)  column score
+===========  =======================================================
+A (1)        2*gap                       (a_i against two gaps)
+B (2)        2*gap
+C (4)        2*gap
+AB (3)       s(a_i, b_j) + 2*gap
+AC (5)       s(a_i, c_k) + 2*gap
+BC (6)       s(b_j, c_k) + 2*gap
+ABC (7)      s(a_i, b_j) + s(a_i, c_k) + s(b_j, c_k)
+===========  =======================================================
+
+``D[0,0,0] = 0``; cells outside the cube are ``-inf``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.scoring import ScoringScheme
+from repro.core.traceback import traceback_moves
+from repro.core.types import Alignment3, moves_to_columns
+from repro.util.validation import check_sequences
+
+#: Finite stand-in for minus infinity; keeps kernel arithmetic NaN-free.
+NEG = -1.0e30
+
+
+def dp3d_matrix(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme,
+    mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute the full score cube and move cube.
+
+    Parameters
+    ----------
+    sa, sb, sc:
+        The three sequences.
+    scheme:
+        Linear-gap SP scoring scheme (``scheme.is_affine`` must be False).
+    mask:
+        Optional boolean cube of shape ``(len(sa)+1, len(sb)+1, len(sc)+1)``;
+        cells where it is False are excluded from the search (used to
+        cross-check Carrillo–Lipman pruning). The origin and terminal cells
+        must be included.
+
+    Returns
+    -------
+    (D, M):
+        ``D`` — float64 score cube, unreachable cells hold a large negative
+        sentinel; ``M`` — int8 move cube (0 at the origin).
+    """
+    check_sequences((sa, sb, sc), count=3)
+    if scheme.is_affine:
+        raise ValueError(
+            "dp3d_matrix implements the linear gap model; "
+            "use repro.core.affine for affine gaps"
+        )
+    n1, n2, n3 = len(sa), len(sb), len(sc)
+    sab, sac, sbc = scheme.profile_matrices(sa, sb, sc)
+    g2 = 2.0 * scheme.gap
+
+    if mask is not None:
+        if mask.shape != (n1 + 1, n2 + 1, n3 + 1):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match cube "
+                f"({n1 + 1}, {n2 + 1}, {n3 + 1})"
+            )
+        if not (mask[0, 0, 0] and mask[n1, n2, n3]):
+            raise ValueError("mask must include the origin and terminal cells")
+
+    D = np.full((n1 + 1, n2 + 1, n3 + 1), NEG, dtype=np.float64)
+    M = np.zeros((n1 + 1, n2 + 1, n3 + 1), dtype=np.int8)
+    D[0, 0, 0] = 0.0
+
+    for i in range(n1 + 1):
+        for j in range(n2 + 1):
+            for k in range(n3 + 1):
+                if i == j == k == 0:
+                    continue
+                if mask is not None and not mask[i, j, k]:
+                    continue
+                best = NEG
+                best_move = 0
+                # Move A (advance i only).
+                if i >= 1:
+                    v = D[i - 1, j, k] + g2
+                    if v > best:
+                        best, best_move = v, 1
+                # Move B.
+                if j >= 1:
+                    v = D[i, j - 1, k] + g2
+                    if v > best:
+                        best, best_move = v, 2
+                # Move C.
+                if k >= 1:
+                    v = D[i, j, k - 1] + g2
+                    if v > best:
+                        best, best_move = v, 4
+                # Move AB.
+                if i >= 1 and j >= 1:
+                    v = D[i - 1, j - 1, k] + sab[i - 1, j - 1] + g2
+                    if v > best:
+                        best, best_move = v, 3
+                # Move AC.
+                if i >= 1 and k >= 1:
+                    v = D[i - 1, j, k - 1] + sac[i - 1, k - 1] + g2
+                    if v > best:
+                        best, best_move = v, 5
+                # Move BC.
+                if j >= 1 and k >= 1:
+                    v = D[i, j - 1, k - 1] + sbc[j - 1, k - 1] + g2
+                    if v > best:
+                        best, best_move = v, 6
+                # Move ABC.
+                if i >= 1 and j >= 1 and k >= 1:
+                    v = (
+                        D[i - 1, j - 1, k - 1]
+                        + sab[i - 1, j - 1]
+                        + sac[i - 1, k - 1]
+                        + sbc[j - 1, k - 1]
+                    )
+                    if v > best:
+                        best, best_move = v, 7
+                D[i, j, k] = best
+                M[i, j, k] = best_move
+    return D, M
+
+
+def align3_dp3d(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme,
+    mask: np.ndarray | None = None,
+) -> Alignment3:
+    """Optimal three-way alignment via the reference full-matrix DP."""
+    D, M = dp3d_matrix(sa, sb, sc, scheme, mask=mask)
+    n1, n2, n3 = len(sa), len(sb), len(sc)
+    score = float(D[n1, n2, n3])
+    if score <= NEG / 2:
+        raise RuntimeError(
+            "terminal cell unreachable (over-aggressive pruning mask?)"
+        )
+    moves = traceback_moves(M)
+    cols = moves_to_columns(moves, sa, sb, sc)
+    rows = tuple("".join(col[r] for col in cols) for r in range(3))
+    meta: dict[str, Any] = {
+        "engine": "dp3d",
+        "cells": (n1 + 1) * (n2 + 1) * (n3 + 1),
+    }
+    return Alignment3(rows=rows, score=score, meta=meta)  # type: ignore[arg-type]
+
+
+def score3_dp3d(
+    sa: str, sb: str, sc: str, scheme: ScoringScheme
+) -> float:
+    """Optimal SP score only (reference path)."""
+    D, _ = dp3d_matrix(sa, sb, sc, scheme)
+    return float(D[len(sa), len(sb), len(sc)])

@@ -1,0 +1,161 @@
+"""Bundled substitution matrices.
+
+Protein matrices are stored in the standard NCBI residue order, which is the
+code order of :data:`repro.seqio.alphabet.PROTEIN`
+(``ARNDCQEGHILKMFPSTWYV``). Wildcard codes (``X``/``N``) score 0 against
+everything, the conventional neutral treatment.
+
+All matrices are similarity scores to be *maximised*; distance-style
+schemes (edit distance) are expressed by negating, see
+:func:`edit_distance_scheme`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.seqio.alphabet import DNA, PROTEIN, RNA, Alphabet
+
+_BLOSUM62_ROWS = """
+ 4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0
+-1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3
+-2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3
+-2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3
+ 0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1
+-1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2
+-1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2
+ 0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3
+-2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3
+-1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3
+-1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1
+-1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2
+-1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1
+-2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1
+-1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2
+ 1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0
+-3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3
+-2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1
+ 0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4
+"""
+
+_PAM250_ROWS = """
+ 2 -2  0  0 -2  0  0  1 -1 -1 -2 -1 -1 -3  1  1  1 -6 -3  0
+-2  6  0 -1 -4  1 -1 -3  2 -2 -3  3  0 -4  0  0 -1  2 -4 -2
+ 0  0  2  2 -4  1  1  0  2 -2 -3  1 -2 -3  0  1  0 -4 -2 -2
+ 0 -1  2  4 -5  2  3  1  1 -2 -4  0 -3 -6 -1  0  0 -7 -4 -2
+-2 -4 -4 -5 12 -5 -5 -3 -3 -2 -6 -5 -5 -4 -3  0 -2 -8  0 -2
+ 0  1  1  2 -5  4  2 -1  3 -2 -2  1 -1 -5  0 -1 -1 -5 -4 -2
+ 0 -1  1  3 -5  2  4  0  1 -2 -3  0 -2 -5 -1  0  0 -7 -4 -2
+ 1 -3  0  1 -3 -1  0  5 -2 -3 -4 -2 -3 -5  0  1  0 -7 -5 -1
+-1  2  2  1 -3  3  1 -2  6 -2 -2  0 -2 -2  0 -1 -1 -3  0 -2
+-1 -2 -2 -2 -2 -2 -2 -3 -2  5  2 -2  2  1 -2 -1  0 -5 -1  4
+-2 -3 -3 -4 -6 -2 -3 -4 -2  2  6 -3  4  2 -3 -3 -2 -2 -1  2
+-1  3  1  0 -5  1  0 -2  0 -2 -3  5  0 -5 -1  0  0 -3 -4 -2
+-1  0 -2 -3 -5 -1 -2 -3 -2  2  4  0  6  0 -2 -2 -1 -4 -2  2
+-3 -4 -3 -6 -4 -5 -5 -5 -2  1  2 -5  0  9 -5 -3 -3  0  7 -1
+ 1  0  0 -1 -3  0 -1  0  0 -2 -3 -1 -2 -5  6  1  0 -6 -5 -1
+ 1  0  1  0  0 -1  0  1 -1 -1 -3  0 -2 -3  1  2  1 -2 -3 -1
+ 1 -1  0  0 -2 -1  0  0 -1  0 -2  0 -1 -3  0  1  3 -5 -3  0
+-6  2 -4 -7 -8 -5 -7 -7 -3 -5 -2 -3 -4  0 -6 -2 -5 17  0 -6
+-3 -4 -2 -4  0 -4 -4 -5  0 -1 -1 -4 -2  7 -5 -3 -3  0 10 -2
+ 0 -2 -2 -2 -2 -2 -2 -1 -2  4  2 -2  2 -1 -1 -1  0 -6 -2  4
+"""
+
+
+def _parse_matrix(text: str, size: int) -> np.ndarray:
+    values = [float(tok) for tok in text.split()]
+    if len(values) != size * size:
+        raise ValueError(
+            f"matrix literal has {len(values)} entries, expected {size * size}"
+        )
+    mat = np.array(values, dtype=np.float64).reshape(size, size)
+    if not np.array_equal(mat, mat.T):
+        raise ValueError("substitution matrix literal is not symmetric")
+    return mat
+
+
+def expand_with_wildcard(core: np.ndarray, alphabet: Alphabet) -> np.ndarray:
+    """Pad ``core`` with a zero-scoring wildcard row/column when the
+    alphabet defines a wildcard code."""
+    k = len(alphabet.letters)
+    if core.shape != (k, k):
+        raise ValueError(
+            f"core matrix shape {core.shape} does not match alphabet "
+            f"{alphabet.name!r} ({k} letters)"
+        )
+    if alphabet.wildcard is None:
+        return core.copy()
+    out = np.zeros((k + 1, k + 1), dtype=np.float64)
+    out[:k, :k] = core
+    return out
+
+
+def blosum62() -> np.ndarray:
+    """BLOSUM62 over :data:`PROTEIN` codes (wildcard ``X`` scores 0)."""
+    return expand_with_wildcard(_parse_matrix(_BLOSUM62_ROWS, 20), PROTEIN)
+
+
+def pam250() -> np.ndarray:
+    """PAM250 over :data:`PROTEIN` codes (wildcard ``X`` scores 0)."""
+    return expand_with_wildcard(_parse_matrix(_PAM250_ROWS, 20), PROTEIN)
+
+
+def dna_simple(match: float = 5.0, mismatch: float = -4.0) -> np.ndarray:
+    """Match/mismatch DNA matrix (default EDNAFULL core values 5/-4)."""
+    core = np.full((4, 4), float(mismatch))
+    np.fill_diagonal(core, float(match))
+    return expand_with_wildcard(core, DNA)
+
+
+def rna_simple(match: float = 5.0, mismatch: float = -4.0) -> np.ndarray:
+    """Match/mismatch RNA matrix."""
+    core = np.full((4, 4), float(mismatch))
+    np.fill_diagonal(core, float(match))
+    return expand_with_wildcard(core, RNA)
+
+
+def dna_tstv(
+    match: float = 5.0,
+    transition: float = -1.0,
+    transversion: float = -4.0,
+) -> np.ndarray:
+    """Transition/transversion-aware DNA matrix (Kimura-style).
+
+    Transitions (purine<->purine A<->G, pyrimidine<->pyrimidine C<->T)
+    are biologically far more frequent than transversions and are
+    penalised less. Order is ``ACGT``; the wildcard scores 0.
+    """
+    if transition < transversion:
+        raise ValueError(
+            "transitions are the milder substitution: expected "
+            f"transition >= transversion, got {transition} < {transversion}"
+        )
+    core = np.full((4, 4), float(transversion))
+    np.fill_diagonal(core, float(match))
+    a, c, g, t = 0, 1, 2, 3
+    core[a, g] = core[g, a] = float(transition)
+    core[c, t] = core[t, c] = float(transition)
+    return expand_with_wildcard(core, DNA)
+
+
+def unit_matrix(alphabet: Alphabet, match: float = 1.0, mismatch: float = -1.0) -> np.ndarray:
+    """Match/mismatch matrix over an arbitrary alphabet."""
+    k = len(alphabet.letters)
+    core = np.full((k, k), float(mismatch))
+    np.fill_diagonal(core, float(match))
+    return expand_with_wildcard(core, alphabet)
+
+
+def edit_distance_scheme(alphabet: Alphabet):
+    """A :class:`~repro.core.scoring.ScoringScheme` whose *negated* optimal
+    SP score is the sum of the three pairwise weighted edit distances
+    (unit substitution and gap costs)."""
+    from repro.core.scoring import ScoringScheme
+
+    return ScoringScheme(
+        alphabet=alphabet,
+        matrix=unit_matrix(alphabet, match=0.0, mismatch=-1.0),
+        gap=-1.0,
+        name=f"edit-distance[{alphabet.name}]",
+    )

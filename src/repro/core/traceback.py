@@ -1,0 +1,58 @@
+"""Traceback shared by every engine that records a move cube.
+
+A move cube ``M`` holds, for each cell, the move (1..7) by which the optimal
+path arrives there, or 0 at the origin. Traceback simply walks from the
+terminal corner to the origin, reversing each move's (di, dj, dk).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import move_delta
+
+
+def traceback_moves(M: np.ndarray, start: tuple[int, int, int] | None = None) -> list[int]:
+    """Walk ``M`` from ``start`` (default: the terminal corner) back to the
+    origin and return the move sequence in forward order.
+
+    Raises ``RuntimeError`` when the chain is broken (a zero move before the
+    origin, or a cycle longer than the cube's diameter), which would indicate
+    a bug in the engine that produced ``M``.
+    """
+    n1, n2, n3 = (d - 1 for d in M.shape)
+    i, j, k = start if start is not None else (n1, n2, n3)
+    if not (0 <= i <= n1 and 0 <= j <= n2 and 0 <= k <= n3):
+        raise ValueError(f"start {(i, j, k)} outside cube {M.shape}")
+    moves: list[int] = []
+    limit = i + j + k  # each move decreases i+j+k by at least 1
+    while (i, j, k) != (0, 0, 0):
+        m = int(M[i, j, k])
+        if not 1 <= m <= 7:
+            raise RuntimeError(
+                f"broken traceback chain at ({i},{j},{k}): move {m}"
+            )
+        moves.append(m)
+        di, dj, dk = move_delta(m)
+        i, j, k = i - di, j - dj, k - dk
+        if i < 0 or j < 0 or k < 0:
+            raise RuntimeError("traceback stepped outside the cube")
+        if len(moves) > limit:
+            raise RuntimeError("traceback did not terminate (cycle?)")
+    moves.reverse()
+    return moves
+
+
+def path_cells(moves: list[int]) -> list[tuple[int, int, int]]:
+    """The cells visited by a move sequence, starting at the origin.
+
+    Includes both endpoints; useful for verifying that pruning masks retain
+    the optimal path.
+    """
+    i = j = k = 0
+    cells = [(0, 0, 0)]
+    for m in moves:
+        di, dj, dk = move_delta(m)
+        i, j, k = i + di, j + dj, k + dk
+        cells.append((i, j, k))
+    return cells

@@ -1,0 +1,359 @@
+"""Vectorised anti-diagonal (wavefront) 3-D DP engine.
+
+The algorithmic core of the reproduction. All cells on the plane
+``i + j + k = d`` are mutually independent given planes ``d-1``, ``d-2`` and
+``d-3`` (single-step moves read ``d-1``, double-step moves ``d-2``, the
+triple match ``d-3``). The engine therefore sweeps ``d`` from 0 to
+``n1+n2+n3``, computing each plane with whole-array NumPy operations — this
+is the vectorisation that substitutes for the compiled kernels of the
+original system, and the plane is also the unit that the parallel engines
+(:mod:`repro.parallel`) slice across workers.
+
+Plane representation
+--------------------
+Plane ``d`` is stored as a *padded* dense rectangle of shape
+``(n1+2, n2+2)``: entry ``[i+1, j+1]`` holds cell ``(i, j, d-i-j)``, and the
+leading pad row/column permanently holds the ``NEG`` sentinel so that
+shifted reads (``i-1``/``j-1``) never need bounds checks. Cells whose
+implied ``k = d-i-j`` falls outside ``[0, n3]`` also hold ``NEG``; this is
+what makes the "same (i, j), previous plane" read correctly model the
+``k-1`` moves. Only four plane buffers are live at a time.
+
+Within each plane, computation is restricted to the bounding box of valid
+cells, so the total vector work is close to the true cell count rather than
+``3x`` it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.dp3d import NEG
+from repro.core.scoring import ScoringScheme
+from repro.core.traceback import traceback_moves
+from repro.core.types import Alignment3, moves_to_columns
+from repro.util.validation import check_sequences
+
+
+def plane_bounds(
+    d: int, n1: int, n2: int, n3: int
+) -> tuple[int, int, int, int]:
+    """Bounding box ``(ilo, ihi, jlo, jhi)`` of valid cells on plane ``d``.
+
+    A cell ``(i, j)`` is on the plane when ``k = d - i - j`` lies in
+    ``[0, n3]``; the box bounds are over all such cells. ``ihi < ilo`` means
+    the plane is empty (``d`` out of range).
+    """
+    ilo = max(0, d - n2 - n3)
+    ihi = min(n1, d)
+    jlo = max(0, d - n1 - n3)
+    jhi = min(n2, d)
+    return ilo, ihi, jlo, jhi
+
+
+def compute_plane_rows(
+    d: int,
+    row_lo: int,
+    row_hi: int,
+    P1: np.ndarray,
+    P2: np.ndarray,
+    P3: np.ndarray,
+    out: np.ndarray,
+    sab: np.ndarray,
+    sac: np.ndarray,
+    sbc: np.ndarray,
+    g2: float,
+    dims: tuple[int, int, int],
+    move_cube: np.ndarray | None = None,
+    mask: np.ndarray | None = None,
+) -> int:
+    """Compute rows ``row_lo..row_hi`` (inclusive, cell coordinates) of plane
+    ``d`` into the padded buffer ``out``.
+
+    This is the kernel shared by the serial, threaded and multiprocess
+    engines: each caller decides how to partition rows across workers and
+    simply invokes this function per worker per plane.
+
+    Parameters
+    ----------
+    d:
+        Plane index (``i + j + k``).
+    row_lo, row_hi:
+        Inclusive ``i`` range this call is responsible for; it is clipped to
+        the plane's valid bounding box.
+    P1, P2, P3:
+        Padded plane buffers for ``d-1``, ``d-2``, ``d-3``.
+    out:
+        Padded plane buffer to write; rows outside the valid box in
+        ``[row_lo, row_hi]`` are reset to ``NEG``.
+    sab, sac, sbc:
+        Pairwise profile matrices from
+        :meth:`~repro.core.scoring.ScoringScheme.profile_matrices`.
+    g2:
+        ``2 * scheme.gap`` (the residue-versus-two-gaps column score).
+    dims:
+        ``(n1, n2, n3)``.
+    move_cube:
+        Optional int8 cube ``(n1+1, n2+1, n3+1)``; argmax moves are scattered
+        into it for traceback.
+    mask:
+        Optional boolean cube; cells that are False are pruned (kept at
+        ``NEG``).
+
+    Returns
+    -------
+    int
+        Number of valid (computed, unpruned) cells in this row block.
+    """
+    n1, n2, n3 = dims
+    ilo, ihi, jlo, jhi = plane_bounds(d, n1, n2, n3)
+    row_lo = max(row_lo, ilo)
+    row_hi = min(row_hi, ihi)
+    if row_lo > row_hi or jlo > jhi:
+        return 0
+
+    # Reset target rows: stale values from plane d-4 live in this buffer.
+    out[row_lo + 1 : row_hi + 2, :] = NEG
+
+    I = np.arange(row_lo, row_hi + 1)[:, None]
+    J = np.arange(jlo, jhi + 1)[None, :]
+    K = d - I - J
+    valid = (K >= 0) & (K <= n3)
+    if mask is not None:
+        Ic = I
+        Jc = np.broadcast_to(J, K.shape)
+        Kc = np.clip(K, 0, n3)
+        valid = valid & mask[Ic, Jc, Kc]
+    if d == 0:
+        # Only the origin exists; it has no predecessors.
+        if row_lo == 0 and jlo == 0 and (valid.size and valid[0, 0]):
+            out[1, 1] = 0.0
+            return 1
+        return 0
+
+    if mask is not None:
+        # Tighten the computed box to the mask's live cells: with aggressive
+        # Carrillo–Lipman pruning the live region is a thin tube around the
+        # main diagonal, so this is where the pruning speedup comes from.
+        # (The full row range was already reset to NEG above, so skipped
+        # cells correctly read as unreachable from later planes.)
+        rows_any = valid.any(axis=1)
+        if not rows_any.any():
+            return 0
+        r_lo = int(rows_any.argmax())
+        r_hi = len(rows_any) - 1 - int(rows_any[::-1].argmax())
+        cols_any = valid.any(axis=0)
+        col_lo = int(cols_any.argmax())
+        col_hi = len(cols_any) - 1 - int(cols_any[::-1].argmax())
+        row_lo, row_hi = row_lo + r_lo, row_lo + r_hi
+        jlo, jhi = jlo + col_lo, jlo + col_hi
+        I = I[r_lo : r_hi + 1]
+        J = J[:, col_lo : col_hi + 1]
+        K = d - I - J
+        valid = valid[r_lo : r_hi + 1, col_lo : col_hi + 1]
+
+    # Shifted reads of previous planes. Padded buffers make the i-1 / j-1
+    # shifts unconditional: the pad row/col holds NEG.
+    r0, r1 = row_lo + 1, row_hi + 2  # padded row slice for (i)
+    c0, c1 = jlo + 1, jhi + 2
+    p1_00 = P1[r0:r1, c0:c1]  # (i,   j)   -> move C
+    p1_10 = P1[r0 - 1 : r1 - 1, c0:c1]  # (i-1, j)   -> move A
+    p1_01 = P1[r0:r1, c0 - 1 : c1 - 1]  # (i,   j-1) -> move B
+    p2_11 = P2[r0 - 1 : r1 - 1, c0 - 1 : c1 - 1]  # move AB
+    p2_10 = P2[r0 - 1 : r1 - 1, c0:c1]  # move AC
+    p2_01 = P2[r0:r1, c0 - 1 : c1 - 1]  # move BC
+    p3_11 = P3[r0 - 1 : r1 - 1, c0 - 1 : c1 - 1]  # move ABC
+
+    # Substitution gathers. Where an index underflows the gather value is
+    # garbage, but the corresponding plane read is NEG (invalid source), so
+    # the candidate can never win; clipping just keeps indexing legal.
+    Ic = np.clip(I - 1, 0, max(n1 - 1, 0))
+    Jc = np.clip(J - 1, 0, max(n2 - 1, 0))
+    Kc = np.clip(K - 1, 0, max(n3 - 1, 0))
+    if n1 and n2:
+        g_ab = sab[Ic, Jc]
+    else:
+        g_ab = np.zeros(K.shape)
+    if n1 and n3:
+        g_ac = sac[Ic, Kc]
+    else:
+        g_ac = np.zeros(K.shape)
+    if n2 and n3:
+        g_bc = sbc[Jc, Kc]
+    else:
+        g_bc = np.zeros(K.shape)
+
+    cand = np.empty((7,) + K.shape, dtype=np.float64)
+    cand[0] = p1_10 + g2  # move 1: A
+    cand[1] = p1_01 + g2  # move 2: B
+    cand[2] = p2_11 + g_ab + g2  # move 3: AB
+    cand[3] = p1_00 + g2  # move 4: C
+    cand[4] = p2_10 + g_ac + g2  # move 5: AC
+    cand[5] = p2_01 + g_bc + g2  # move 6: BC
+    cand[6] = p3_11 + g_ab + g_ac + g_bc  # move 7: ABC
+
+    best = cand.max(axis=0)
+    # The origin may sit inside this block on plane 0 only; for d >= 1 every
+    # valid cell has at least one legal predecessor, except the origin's
+    # plane which was handled above.
+    np.copyto(best, NEG, where=~valid)
+    out[r0:r1, c0:c1] = best
+
+    if move_cube is not None:
+        moves = (cand.argmax(axis=0) + 1).astype(np.int8)
+        ii, jj = np.nonzero(valid)
+        move_cube[row_lo + ii, jlo + jj, K[ii, jj]] = moves[ii, jj]
+
+    return int(valid.sum())
+
+
+@dataclass
+class WavefrontResult:
+    """Output of a wavefront sweep."""
+
+    score: float
+    move_cube: np.ndarray | None
+    cells_computed: int
+    captured_slab: np.ndarray | None
+    planes_swept: int
+
+
+def wavefront_sweep(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme,
+    score_only: bool = False,
+    mask: np.ndarray | None = None,
+    capture_level: int | None = None,
+) -> WavefrontResult:
+    """Run the full wavefront sweep.
+
+    Parameters
+    ----------
+    score_only:
+        Skip move-cube storage; memory drops from O(n^3) to O(n^2).
+    mask:
+        Optional Carrillo–Lipman pruning cube (see :mod:`repro.core.bounds`).
+    capture_level:
+        When given, collect the full slab ``F[capture_level, j, k]`` during
+        the sweep (used by the Hirschberg divide-and-conquer, which needs
+        forward scores on one ``i`` level but not the whole cube).
+    """
+    check_sequences((sa, sb, sc), count=3)
+    if scheme.is_affine:
+        raise ValueError(
+            "wavefront_sweep implements the linear gap model; "
+            "use repro.core.affine for affine gaps"
+        )
+    n1, n2, n3 = len(sa), len(sb), len(sc)
+    if mask is not None and mask.shape != (n1 + 1, n2 + 1, n3 + 1):
+        raise ValueError(f"mask shape {mask.shape} does not match cube")
+    if capture_level is not None and not 0 <= capture_level <= n1:
+        raise ValueError(
+            f"capture_level must be in [0, {n1}], got {capture_level}"
+        )
+    sab, sac, sbc = scheme.profile_matrices(sa, sb, sc)
+    g2 = 2.0 * scheme.gap
+    dims = (n1, n2, n3)
+
+    planes = [np.full((n1 + 2, n2 + 2), NEG) for _ in range(4)]
+    move_cube = (
+        None
+        if score_only
+        else np.zeros((n1 + 1, n2 + 1, n3 + 1), dtype=np.int8)
+    )
+    slab = (
+        np.full((n2 + 1, n3 + 1), NEG) if capture_level is not None else None
+    )
+
+    cells = 0
+    dmax = n1 + n2 + n3
+    for d in range(dmax + 1):
+        out = planes[d % 4]
+        cells += compute_plane_rows(
+            d,
+            0,
+            n1,
+            planes[(d - 1) % 4],
+            planes[(d - 2) % 4],
+            planes[(d - 3) % 4],
+            out,
+            sab,
+            sac,
+            sbc,
+            g2,
+            dims,
+            move_cube=move_cube,
+            mask=mask,
+        )
+        if slab is not None:
+            _capture_row(out, d, capture_level, n2, n3, slab)
+
+    score = float(planes[dmax % 4][n1 + 1, n2 + 1])
+    return WavefrontResult(
+        score=score,
+        move_cube=move_cube,
+        cells_computed=cells,
+        captured_slab=slab,
+        planes_swept=dmax + 1,
+    )
+
+
+def _capture_row(
+    plane: np.ndarray,
+    d: int,
+    level: int,
+    n2: int,
+    n3: int,
+    slab: np.ndarray,
+) -> None:
+    """Copy the ``i == level`` row of plane ``d`` into ``slab[j, k]``."""
+    jlo = max(0, d - level - n3)
+    jhi = min(n2, d - level)
+    if jlo > jhi:
+        return
+    js = np.arange(jlo, jhi + 1)
+    ks = d - level - js
+    slab[js, ks] = plane[level + 1, jlo + 1 : jhi + 2]
+
+
+def align3_wavefront(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme,
+    mask: np.ndarray | None = None,
+) -> Alignment3:
+    """Optimal three-way alignment via the vectorised wavefront engine."""
+    res = wavefront_sweep(sa, sb, sc, scheme, score_only=False, mask=mask)
+    if res.score <= NEG / 2:
+        raise RuntimeError(
+            "terminal cell unreachable (over-aggressive pruning mask?)"
+        )
+    assert res.move_cube is not None
+    moves = traceback_moves(res.move_cube)
+    cols = moves_to_columns(moves, sa, sb, sc)
+    rows = tuple("".join(col[r] for col in cols) for r in range(3))
+    meta: dict[str, Any] = {
+        "engine": "wavefront",
+        "cells": res.cells_computed,
+        "planes": res.planes_swept,
+    }
+    return Alignment3(rows=rows, score=res.score, meta=meta)  # type: ignore[arg-type]
+
+
+def score3_wavefront(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme,
+    mask: np.ndarray | None = None,
+) -> float:
+    """Optimal SP score via a memory-light (O(n^2)) wavefront sweep."""
+    return wavefront_sweep(
+        sa, sb, sc, scheme, score_only=True, mask=mask
+    ).score

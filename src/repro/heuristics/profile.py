@@ -1,0 +1,139 @@
+"""Alignment profiles and profile-to-sequence alignment.
+
+A profile summarises the columns of an existing alignment; aligning a new
+sequence against it is a plain 2-D DP where the "substitution" score of
+(profile column, residue) is the summed pair score of the residue against
+every row of the column (gap rows contribute the gap score), and inserting
+a gap into the new sequence costs the column's residue count times the gap
+score. This is the classic sum-of-pairs profile extension used by
+progressive aligners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.scoring import ScoringScheme
+from repro.seqio.alphabet import GAP_CHAR
+
+
+@dataclass
+class Profile:
+    """Column summary of a gapped alignment.
+
+    Attributes
+    ----------
+    columns:
+        List of column tuples (characters, gaps included) of the source
+        alignment, in order.
+    depth:
+        Number of rows of the source alignment.
+    """
+
+    columns: list[tuple[str, ...]]
+    depth: int
+
+    @classmethod
+    def from_rows(cls, rows: tuple[str, ...] | list[str]) -> "Profile":
+        """Build a profile from aligned rows (equal lengths required)."""
+        if not rows:
+            raise ValueError("profile requires at least one row")
+        lengths = {len(r) for r in rows}
+        if len(lengths) != 1:
+            raise ValueError("profile rows have unequal lengths")
+        return cls(columns=list(zip(*rows)), depth=len(rows))
+
+    @property
+    def length(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    def residue_count(self, col_idx: int) -> int:
+        """Number of non-gap characters in a column."""
+        return sum(1 for c in self.columns[col_idx] if c != GAP_CHAR)
+
+    def column_vs_residue(
+        self, col_idx: int, residue: str, scheme: ScoringScheme
+    ) -> float:
+        """Summed pair score of ``residue`` against every row of a column."""
+        total = 0.0
+        for c in self.columns[col_idx]:
+            total += scheme.gap if c == GAP_CHAR else scheme.pair_score(c, residue)
+        return total
+
+    def column_vs_gap(self, col_idx: int, scheme: ScoringScheme) -> float:
+        """Summed pair score of a gap against every row of a column
+        (gap/gap pairs score 0)."""
+        return self.residue_count(col_idx) * scheme.gap
+
+
+def align_profile_sequence(
+    profile: Profile,
+    seq: str,
+    scheme: ScoringScheme,
+) -> tuple[list[tuple[str, ...]], str]:
+    """Globally align ``seq`` against ``profile``.
+
+    Returns ``(new_columns, aligned_seq_row)`` where ``new_columns`` are the
+    profile's columns with all-gap columns inserted wherever the sequence
+    required an insertion, and ``aligned_seq_row`` is the gapped sequence of
+    the same length.
+    """
+    n, m = profile.length, len(seq)
+    gap_row = (GAP_CHAR,) * profile.depth
+    # Precompute scores to keep the fill tight.
+    sub = np.empty((n, m))
+    for i in range(n):
+        for j in range(m):
+            sub[i, j] = profile.column_vs_residue(i, seq[j], scheme)
+    col_gap = np.array(
+        [profile.column_vs_gap(i, scheme) for i in range(n)]
+    )  # profile column against a gap in seq
+    ins_gap = profile.depth * scheme.gap  # seq residue against all-gap column
+
+    NEG = -1.0e30
+    D = np.full((n + 1, m + 1), NEG)
+    M = np.zeros((n + 1, m + 1), dtype=np.int8)
+    D[0, 0] = 0.0
+    for i in range(1, n + 1):
+        D[i, 0] = D[i - 1, 0] + col_gap[i - 1]
+        M[i, 0] = 1
+    for j in range(1, m + 1):
+        D[0, j] = D[0, j - 1] + ins_gap
+        M[0, j] = 2
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            diag = D[i - 1, j - 1] + sub[i - 1, j - 1]
+            up = D[i - 1, j] + col_gap[i - 1]
+            left = D[i, j - 1] + ins_gap
+            if diag >= up and diag >= left:
+                D[i, j], M[i, j] = diag, 3
+            elif up >= left:
+                D[i, j], M[i, j] = up, 1
+            else:
+                D[i, j], M[i, j] = left, 2
+
+    cols: list[tuple[str, ...]] = []
+    row: list[str] = []
+    i, j = n, m
+    while (i, j) != (0, 0):
+        mv = int(M[i, j])
+        if mv == 3:
+            cols.append(profile.columns[i - 1])
+            row.append(seq[j - 1])
+            i, j = i - 1, j - 1
+        elif mv == 1:
+            cols.append(profile.columns[i - 1])
+            row.append(GAP_CHAR)
+            i -= 1
+        elif mv == 2:
+            cols.append(gap_row)
+            row.append(seq[j - 1])
+            j -= 1
+        else:  # pragma: no cover
+            raise RuntimeError("broken profile traceback")
+    cols.reverse()
+    row.reverse()
+    return cols, "".join(row)

@@ -1,0 +1,31 @@
+"""Multiple (N-sequence) alignment extension.
+
+Exact SP-optimal alignment is practical for three sequences (this
+package's core); for N > 3 the O(n^N) lattice is out of reach and the
+standard practice — and the natural extension direction of the paper
+family — is *progressive* alignment over a guide tree:
+
+1. score all pairs (:mod:`distance`),
+2. cluster them into a binary guide tree with UPGMA (:mod:`guidetree`),
+3. align profiles up the tree with profile-profile NW
+   (:mod:`profilealign`, :mod:`progressive`).
+
+For N = 3 the exact engines remain available through
+:func:`repro.core.api.align3`; :func:`align_msa` uses them as the seed
+when asked (``exact_triples=True``), tying the extension back to the
+paper's contribution.
+"""
+
+from repro.msa.types import MultiAlignment
+from repro.msa.distance import distance_matrix, score_matrix
+from repro.msa.guidetree import GuideTree, upgma
+from repro.msa.progressive import align_msa
+
+__all__ = [
+    "MultiAlignment",
+    "distance_matrix",
+    "score_matrix",
+    "GuideTree",
+    "upgma",
+    "align_msa",
+]

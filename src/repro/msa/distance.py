@@ -1,0 +1,57 @@
+"""Pairwise score and distance matrices for guide-tree construction."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.scoring import ScoringScheme
+from repro.pairwise.nw import score2
+from repro.util.validation import check_sequences
+
+
+def score_matrix(
+    seqs: Sequence[str], scheme: ScoringScheme
+) -> np.ndarray:
+    """Symmetric matrix of optimal global pairwise scores.
+
+    ``S[i, i]`` is the self-alignment score (sum of diagonal matrix
+    entries), which normalises the distance transform below.
+    """
+    check_sequences(seqs)
+    n = len(seqs)
+    S = np.zeros((n, n))
+    for i in range(n):
+        S[i, i] = sum(scheme.pair_score(c, c) for c in seqs[i])
+        for j in range(i + 1, n):
+            S[i, j] = S[j, i] = score2(seqs[i], seqs[j], scheme)
+    return S
+
+
+def distance_matrix(
+    seqs: Sequence[str],
+    scheme: ScoringScheme,
+    scores: np.ndarray | None = None,
+) -> np.ndarray:
+    """Dissimilarity matrix derived from pairwise alignment scores.
+
+    Uses the Feng–Doolittle-style normalisation
+
+        D[i, j] = 1 - S(i, j) / min(S(i, i), S(j, j))
+
+    clipped below at 0, so identical sequences are at distance 0 and
+    unrelated ones approach (or exceed) 1. Self-scores of empty sequences
+    are treated as 1 to avoid division by zero.
+    """
+    S = score_matrix(seqs, scheme) if scores is None else scores
+    n = S.shape[0]
+    D = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            denom = min(S[i, i], S[j, j])
+            if denom <= 0:
+                denom = 1.0
+            d = max(0.0, 1.0 - S[i, j] / denom)
+            D[i, j] = D[j, i] = d
+    return D

@@ -1,0 +1,114 @@
+"""UPGMA guide trees for progressive alignment.
+
+UPGMA (unweighted pair-group method with arithmetic mean) repeatedly
+merges the two closest clusters, with inter-cluster distance the mean of
+the member pairwise distances. The merge order is exactly the order the
+progressive aligner joins profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class GuideTree:
+    """A rooted binary guide tree over leaf indices ``0..n-1``.
+
+    Attributes
+    ----------
+    merges:
+        Ordered list of ``(left, right, height)``: cluster ids merged at
+        each step. Leaves are ids ``0..n-1``; the merge at position ``t``
+        creates cluster id ``n + t``.
+    n_leaves:
+        Number of leaves.
+    """
+
+    merges: list[tuple[int, int, float]]
+    n_leaves: int
+
+    @property
+    def root(self) -> int:
+        """Cluster id of the root."""
+        if self.n_leaves == 1:
+            return 0
+        return self.n_leaves + len(self.merges) - 1
+
+    def members(self, cluster: int) -> list[int]:
+        """Leaf indices under ``cluster``, in left-to-right order."""
+        if cluster < self.n_leaves:
+            return [cluster]
+        left, right, _h = self.merges[cluster - self.n_leaves]
+        return self.members(left) + self.members(right)
+
+    def newick(self, names: list[str] | None = None) -> str:
+        """Newick rendering (branch lengths = merge-height differences)."""
+        names = names or [f"seq{i}" for i in range(self.n_leaves)]
+
+        def height(c: int) -> float:
+            return 0.0 if c < self.n_leaves else self.merges[c - self.n_leaves][2]
+
+        def render(c: int) -> str:
+            if c < self.n_leaves:
+                return names[c]
+            left, right, h = self.merges[c - self.n_leaves]
+            return (
+                f"({render(left)}:{h - height(left):.4g},"
+                f"{render(right)}:{h - height(right):.4g})"
+            )
+
+        return render(self.root) + ";"
+
+
+def upgma(distances: np.ndarray) -> GuideTree:
+    """Build a UPGMA guide tree from a symmetric distance matrix.
+
+    Deterministic: ties are broken towards the smallest cluster ids.
+    """
+    D = np.asarray(distances, dtype=np.float64)
+    if D.ndim != 2 or D.shape[0] != D.shape[1]:
+        raise ValueError(f"distance matrix must be square, got {D.shape}")
+    if not np.allclose(D, D.T):
+        raise ValueError("distance matrix must be symmetric")
+    if np.any(np.diag(D) != 0):
+        raise ValueError("distance matrix diagonal must be zero")
+    n = D.shape[0]
+    if n == 0:
+        raise ValueError("empty distance matrix")
+    if n == 1:
+        return GuideTree(merges=[], n_leaves=1)
+
+    # Active clusters: id -> (size, height); distances in a dict keyed by
+    # frozenset pairs for clarity (n is small for guide trees).
+    active: dict[int, tuple[int, float]] = {i: (1, 0.0) for i in range(n)}
+    dist: dict[frozenset[int], float] = {
+        frozenset((i, j)): float(D[i, j])
+        for i in range(n)
+        for j in range(i + 1, n)
+    }
+    merges: list[tuple[int, int, float]] = []
+    next_id = n
+    while len(active) > 1:
+        best_pair = min(
+            (pair for pair in dist if pair <= active.keys()),
+            key=lambda p: (dist[p], sorted(p)),
+        )
+        a, b = sorted(best_pair)
+        d_ab = dist.pop(best_pair)
+        size_a, _ = active.pop(a)
+        size_b, _ = active.pop(b)
+        height = d_ab / 2.0
+        # UPGMA average-linkage update.
+        for other in list(active):
+            d_new = (
+                size_a * dist.pop(frozenset((a, other)))
+                + size_b * dist.pop(frozenset((b, other)))
+            ) / (size_a + size_b)
+            dist[frozenset((next_id, other))] = d_new
+        active[next_id] = (size_a + size_b, height)
+        merges.append((a, b, height))
+        next_id += 1
+    return GuideTree(merges=merges, n_leaves=n)

@@ -1,0 +1,107 @@
+"""Progressive N-sequence alignment over a UPGMA guide tree."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.scoring import ScoringScheme
+from repro.msa.distance import distance_matrix
+from repro.msa.guidetree import GuideTree, upgma
+from repro.msa.profilealign import align_profiles
+from repro.msa.types import MultiAlignment
+from repro.pairwise.nw import align2
+from repro.util.validation import check_sequences
+
+
+def align_msa(
+    seqs: Sequence[str],
+    scheme: ScoringScheme,
+    names: Sequence[str] | None = None,
+    tree: GuideTree | None = None,
+    exact_triples: bool = False,
+) -> MultiAlignment:
+    """Progressively align N sequences.
+
+    Parameters
+    ----------
+    seqs:
+        Two or more sequences.
+    scheme:
+        Linear-gap SP scoring scheme.
+    names:
+        Optional row labels.
+    tree:
+        A precomputed guide tree; by default UPGMA over the pairwise
+        distance matrix.
+    exact_triples:
+        When True and ``len(seqs) == 3``, solve exactly with the 3-D DP
+        (the package's core contribution) instead of progressively — the
+        N=3 case is precisely where exactness is affordable.
+
+    Returns
+    -------
+    MultiAlignment
+        Rows in the input order; ``meta`` records the guide tree (newick)
+        and whether the exact engine was used.
+    """
+    check_sequences(seqs)
+    if scheme.is_affine:
+        raise ValueError("align_msa implements the linear gap model")
+    n = len(seqs)
+    if n < 2:
+        raise ValueError("align_msa requires at least two sequences")
+    names_t = tuple(names) if names else tuple(f"seq{i}" for i in range(n))
+    if len(names_t) != n:
+        raise ValueError("names/seqs length mismatch")
+
+    if n == 3 and exact_triples:
+        from repro.core.api import align3
+
+        aln3 = align3(seqs[0], seqs[1], seqs[2], scheme)
+        return MultiAlignment(
+            rows=aln3.rows,
+            names=names_t,
+            meta={"engine": "exact-3d", "score": aln3.score},
+        )
+
+    if n == 2:
+        aln2 = align2(seqs[0], seqs[1], scheme)
+        return MultiAlignment(
+            rows=aln2.rows,
+            names=names_t,
+            meta={"engine": "pairwise", "score": aln2.score},
+        )
+
+    if tree is None:
+        tree = upgma(distance_matrix(seqs, scheme))
+    if tree.n_leaves != n:
+        raise ValueError(
+            f"guide tree has {tree.n_leaves} leaves for {n} sequences"
+        )
+
+    # Walk the merges bottom-up; each cluster carries its aligned rows and
+    # the leaf order those rows correspond to.
+    profiles: dict[int, tuple[tuple[str, ...], list[int]]] = {
+        i: ((seqs[i],), [i]) for i in range(n)
+    }
+    for t, (left, right, _height) in enumerate(tree.merges):
+        rows_l, order_l = profiles.pop(left)
+        rows_r, order_r = profiles.pop(right)
+        merged, _score = align_profiles(rows_l, rows_r, scheme)
+        profiles[n + t] = (merged, order_l + order_r)
+
+    (rows, order), = profiles.values()
+    # Restore the caller's row order.
+    inverse = [0] * n
+    for pos, leaf in enumerate(order):
+        inverse[leaf] = pos
+    ordered_rows = tuple(rows[inverse[i]] for i in range(n))
+    return MultiAlignment(
+        rows=ordered_rows,
+        names=names_t,
+        meta={
+            "engine": "progressive-upgma",
+            "tree": tree.newick(list(names_t)),
+            "merges": list(tree.merges),
+        },
+    )

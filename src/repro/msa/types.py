@@ -1,0 +1,118 @@
+"""N-row alignment container and SP scoring."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Any, Iterator, Sequence
+
+from repro.core.scoring import ScoringScheme
+from repro.seqio.alphabet import GAP_CHAR
+
+
+@dataclass
+class MultiAlignment:
+    """An alignment of N sequences.
+
+    Attributes
+    ----------
+    rows:
+        N aligned strings of equal length (gaps as ``-``).
+    names:
+        Optional per-row labels (defaults to ``seq0..seqN-1``).
+    meta:
+        Provenance (guide tree, merge order, scores).
+    """
+
+    rows: tuple[str, ...]
+    names: tuple[str, ...] = ()
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.rows) < 2:
+            raise ValueError("MultiAlignment requires at least two rows")
+        lengths = {len(r) for r in self.rows}
+        if len(lengths) != 1:
+            raise ValueError(f"rows have unequal lengths: {sorted(lengths)}")
+        if not self.names:
+            object.__setattr__(
+                self, "names", tuple(f"seq{i}" for i in range(len(self.rows)))
+            )
+        if len(self.names) != len(self.rows):
+            raise ValueError("names/rows length mismatch")
+        for col in zip(*self.rows):
+            if all(c == GAP_CHAR for c in col):
+                raise ValueError("alignment contains an all-gap column")
+
+    @property
+    def depth(self) -> int:
+        """Number of rows."""
+        return len(self.rows)
+
+    @property
+    def length(self) -> int:
+        """Number of alignment columns."""
+        return len(self.rows[0])
+
+    def columns(self) -> Iterator[tuple[str, ...]]:
+        """Iterate over alignment columns."""
+        return zip(*self.rows)
+
+    def sequences(self) -> tuple[str, ...]:
+        """Input sequences, reconstructed by stripping gaps."""
+        return tuple(r.replace(GAP_CHAR, "") for r in self.rows)
+
+    def sp_score(self, scheme: ScoringScheme) -> float:
+        """Sum-of-pairs score over all row pairs (linear gap model)."""
+        total = 0.0
+        for a, b in combinations(range(self.depth), 2):
+            for x, y in zip(self.rows[a], self.rows[b]):
+                total += scheme.pair_score(x, y)
+        return total
+
+    def pairwise_projection(self, a: int, b: int) -> tuple[str, str]:
+        """The induced pairwise alignment of rows ``a`` and ``b`` (columns
+        where both are gaps removed)."""
+        ra: list[str] = []
+        rb: list[str] = []
+        for x, y in zip(self.rows[a], self.rows[b]):
+            if x == GAP_CHAR and y == GAP_CHAR:
+                continue
+            ra.append(x)
+            rb.append(y)
+        return "".join(ra), "".join(rb)
+
+    def identity(self) -> float:
+        """Fraction of columns where every row has the same residue."""
+        if self.length == 0:
+            return 0.0
+        same = sum(
+            1
+            for col in self.columns()
+            if col[0] != GAP_CHAR and all(c == col[0] for c in col)
+        )
+        return same / self.length
+
+    def pretty(self, width: int = 60) -> str:
+        """Block-formatted rendering with row names."""
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        label_w = max(len(n) for n in self.names)
+        blocks = []
+        for start in range(0, self.length, width):
+            blocks.append(
+                "\n".join(
+                    f"{name:<{label_w}} {row[start:start + width]}"
+                    for name, row in zip(self.names, self.rows)
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def from_rows(
+    rows: Sequence[str], names: Sequence[str] | None = None
+) -> MultiAlignment:
+    """Convenience constructor from any sequence of rows."""
+    return MultiAlignment(
+        rows=tuple(rows), names=tuple(names) if names else ()
+    )

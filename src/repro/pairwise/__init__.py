@@ -1,0 +1,32 @@
+"""Pairwise alignment substrate.
+
+Exact three-sequence alignment leans on pairwise machinery in three places:
+the faces of the 3-D DP cube are pairwise problems, Carrillo–Lipman pruning
+needs full pairwise forward/backward score matrices, and the heuristic
+baselines (center-star, progressive) are built from pairwise alignments.
+"""
+
+from repro.pairwise.types import Alignment2
+from repro.pairwise.nw import (
+    nw_matrix,
+    align2,
+    score2,
+    nw_score_last_row,
+)
+from repro.pairwise.matrices2d import forward_matrix, backward_matrix, through_matrix
+from repro.pairwise.gotoh import align2_affine, score2_affine
+from repro.pairwise.hirschberg2 import align2_linear_space
+
+__all__ = [
+    "Alignment2",
+    "nw_matrix",
+    "align2",
+    "score2",
+    "nw_score_last_row",
+    "forward_matrix",
+    "backward_matrix",
+    "through_matrix",
+    "align2_affine",
+    "score2_affine",
+    "align2_linear_space",
+]

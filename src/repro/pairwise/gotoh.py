@@ -1,0 +1,126 @@
+"""Gotoh affine-gap global pairwise alignment.
+
+Three-state DP: ``M`` (last column is a match/mismatch), ``X`` (last column
+consumes ``sx`` against a gap), ``Y`` (gap against ``sy``-consuming column).
+Opening a gap run costs ``gap_open + gap``; extending costs ``gap``.
+
+Used by the affine heuristic baselines and as the pairwise ground truth for
+the affine three-sequence engine's degenerate cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scoring import ScoringScheme
+from repro.pairwise.types import Alignment2
+from repro.seqio.alphabet import GAP_CHAR
+
+NEG = -1.0e30
+
+_STATE_M, _STATE_X, _STATE_Y = 0, 1, 2
+
+
+def _fill(
+    sx: str, sy: str, scheme: ScoringScheme
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fill the three state matrices; returns ``(M, X, Y)``."""
+    n, m = len(sx), len(sy)
+    g, go = scheme.gap, scheme.gap_open
+    sub = scheme.pairwise_profile(sx, sy)
+    M = np.full((n + 1, m + 1), NEG)
+    X = np.full((n + 1, m + 1), NEG)
+    Y = np.full((n + 1, m + 1), NEG)
+    M[0, 0] = 0.0
+    for i in range(1, n + 1):
+        X[i, 0] = go + i * g
+    for j in range(1, m + 1):
+        Y[0, j] = go + j * g
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            best_prev = max(M[i - 1, j - 1], X[i - 1, j - 1], Y[i - 1, j - 1])
+            M[i, j] = best_prev + sub[i - 1, j - 1]
+            X[i, j] = max(
+                M[i - 1, j] + go + g,
+                X[i - 1, j] + g,
+                Y[i - 1, j] + go + g,
+            )
+            Y[i, j] = max(
+                M[i, j - 1] + go + g,
+                Y[i, j - 1] + g,
+                X[i, j - 1] + go + g,
+            )
+    return M, X, Y
+
+
+def score2_affine(sx: str, sy: str, scheme: ScoringScheme) -> float:
+    """Optimal affine-gap global pairwise score."""
+    if not scheme.is_affine:
+        # A zero opening penalty degenerates to the linear model.
+        from repro.pairwise.nw import score2
+
+        return score2(sx, sy, scheme)
+    M, X, Y = _fill(sx, sy, scheme)
+    n, m = len(sx), len(sy)
+    return float(max(M[n, m], X[n, m], Y[n, m]))
+
+
+def align2_affine(sx: str, sy: str, scheme: ScoringScheme) -> Alignment2:
+    """Optimal affine-gap global pairwise alignment with traceback."""
+    n, m = len(sx), len(sy)
+    g, go = scheme.gap, scheme.gap_open
+    sub = scheme.pairwise_profile(sx, sy)
+    M, X, Y = _fill(sx, sy, scheme)
+    mats = (M, X, Y)
+    state = int(np.argmax([M[n, m], X[n, m], Y[n, m]]))
+    score = float(mats[state][n, m])
+    i, j = n, m
+    ra: list[str] = []
+    rb: list[str] = []
+    eps = 1e-9
+    while (i, j) != (0, 0):
+        if state == _STATE_M:
+            ra.append(sx[i - 1])
+            rb.append(sy[j - 1])
+            target = M[i, j] - sub[i - 1, j - 1]
+            i, j = i - 1, j - 1
+            state = _pick_state(mats, i, j, target, eps)
+        elif state == _STATE_X:
+            ra.append(sx[i - 1])
+            rb.append(GAP_CHAR)
+            val = X[i, j]
+            i -= 1
+            if abs(X[i, j] + g - val) < eps:
+                state = _STATE_X
+            elif abs(M[i, j] + go + g - val) < eps:
+                state = _STATE_M
+            else:
+                state = _STATE_Y
+        else:  # _STATE_Y
+            ra.append(GAP_CHAR)
+            rb.append(sy[j - 1])
+            val = Y[i, j]
+            j -= 1
+            if abs(Y[i, j] + g - val) < eps:
+                state = _STATE_Y
+            elif abs(M[i, j] + go + g - val) < eps:
+                state = _STATE_M
+            else:
+                state = _STATE_X
+    rows = ("".join(reversed(ra)), "".join(reversed(rb)))
+    return Alignment2(rows=rows, score=score, meta={"engine": "gotoh"})
+
+
+def _pick_state(
+    mats: tuple[np.ndarray, np.ndarray, np.ndarray],
+    i: int,
+    j: int,
+    target: float,
+    eps: float,
+) -> int:
+    for s in (_STATE_M, _STATE_X, _STATE_Y):
+        if abs(mats[s][i, j] - target) < eps:
+            return s
+    # Fall back to the best-valued state; only reachable through floating
+    # point degeneracy between equal-scoring predecessors.
+    return int(np.argmax([mats[s][i, j] for s in range(3)]))

@@ -1,0 +1,54 @@
+"""Full pairwise forward/backward score matrices.
+
+Carrillo–Lipman pruning (:mod:`repro.core.bounds`) needs, for every pair of
+sequences and every cell ``(i, j)``, the best pairwise score of any global
+alignment *through* that cell. That is ``F[i, j] + B[i, j]`` where ``F`` is
+the standard forward NW matrix and ``B`` the suffix (backward) matrix.
+
+The fill uses the same vectorised running-maximum row update as
+:func:`repro.pairwise.nw.nw_score_last_row`, but keeps every row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scoring import ScoringScheme
+
+
+def forward_matrix(sx: str, sy: str, scheme: ScoringScheme) -> np.ndarray:
+    """The full NW score matrix ``F`` (``F[i, j]`` = best alignment of
+    ``sx[:i]`` with ``sy[:j]``), shape ``(len(sx)+1, len(sy)+1)``."""
+    n, m = len(sx), len(sy)
+    g = scheme.gap
+    jg = np.arange(m + 1) * g
+    F = np.empty((n + 1, m + 1), dtype=np.float64)
+    F[0] = jg
+    if n == 0:
+        return F
+    sub = scheme.pairwise_profile(sx, sy)
+    for i in range(1, n + 1):
+        base = np.empty(m + 1)
+        base[0] = i * g
+        np.maximum(F[i - 1, 1:] + g, F[i - 1, :-1] + sub[i - 1], out=base[1:])
+        shifted = base - jg
+        np.maximum.accumulate(shifted, out=shifted)
+        F[i] = shifted + jg
+    return F
+
+
+def backward_matrix(sx: str, sy: str, scheme: ScoringScheme) -> np.ndarray:
+    """The suffix score matrix ``B`` (``B[i, j]`` = best alignment of
+    ``sx[i:]`` with ``sy[j:]``)."""
+    rev = forward_matrix(sx[::-1], sy[::-1], scheme)
+    return np.ascontiguousarray(rev[::-1, ::-1])
+
+
+def through_matrix(sx: str, sy: str, scheme: ScoringScheme) -> np.ndarray:
+    """``T[i, j] = F[i, j] + B[i, j]``: the best score of any global
+    alignment whose path passes through cell ``(i, j)``.
+
+    ``T.max() == score2(sx, sy)`` and every cell of an optimal path attains
+    the maximum — both properties are exercised by the test suite.
+    """
+    return forward_matrix(sx, sy, scheme) + backward_matrix(sx, sy, scheme)

@@ -1,0 +1,62 @@
+"""Pairwise alignment result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.seqio.alphabet import GAP_CHAR
+
+
+@dataclass
+class Alignment2:
+    """An alignment of two sequences.
+
+    Attributes
+    ----------
+    rows:
+        The two aligned strings (equal length, gaps as ``-``).
+    score:
+        Objective value under the scheme that produced the alignment.
+    meta:
+        Engine provenance.
+    """
+
+    rows: tuple[str, str]
+    score: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.rows) != 2:
+            raise ValueError("Alignment2 requires exactly two rows")
+        if len(self.rows[0]) != len(self.rows[1]):
+            raise ValueError("rows have unequal lengths")
+        for x, y in zip(*self.rows):
+            if x == GAP_CHAR and y == GAP_CHAR:
+                raise ValueError("alignment contains an all-gap column")
+
+    @property
+    def length(self) -> int:
+        """Number of alignment columns."""
+        return len(self.rows[0])
+
+    def columns(self) -> Iterator[tuple[str, str]]:
+        """Iterate over alignment columns."""
+        return zip(*self.rows)
+
+    def sequences(self) -> tuple[str, str]:
+        """The two input sequences, reconstructed by stripping gaps."""
+        return tuple(r.replace(GAP_CHAR, "") for r in self.rows)  # type: ignore[return-value]
+
+    def identity(self) -> float:
+        """Fraction of columns with identical residues."""
+        if self.length == 0:
+            return 0.0
+        same = sum(
+            1 for x, y in self.columns() if x == y and x != GAP_CHAR
+        )
+        return same / self.length
+
+    def score_with(self, scheme) -> float:
+        """Recompute the linear-model pairwise score under ``scheme``."""
+        return sum(scheme.pair_score(x, y) for x, y in self.columns())

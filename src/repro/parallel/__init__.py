@@ -1,0 +1,36 @@
+"""Shared-memory parallel wavefront engines.
+
+The anti-diagonal plane is the natural parallel unit: all cells on plane
+``i + j + k = d`` are independent given the previous three planes, so each
+plane's rows are sliced across workers with one barrier per plane. Two
+executors are provided:
+
+* :mod:`repro.parallel.shared` — ``multiprocessing`` workers over
+  ``SharedMemory`` buffers: true multi-core speedup (the measured
+  counterpart of the cluster simulation's modelled speedup);
+* :mod:`repro.parallel.threads` — a thread pool: mostly a GIL
+  demonstration, though NumPy kernels release the GIL enough for modest
+  gains on large planes.
+
+Partitioning helpers live in :mod:`repro.parallel.partition`.
+"""
+
+from repro.parallel.partition import (
+    split_range,
+    split_cyclic,
+    balanced_blocks,
+)
+from repro.parallel.shared import align3_shared, score3_shared
+from repro.parallel.threads import align3_threads, score3_threads
+from repro.parallel.executor import WavefrontPool
+
+__all__ = [
+    "split_range",
+    "split_cyclic",
+    "balanced_blocks",
+    "align3_shared",
+    "score3_shared",
+    "align3_threads",
+    "score3_threads",
+    "WavefrontPool",
+]

@@ -1,0 +1,329 @@
+"""Persistent multiprocess worker pool for the wavefront engine.
+
+:mod:`repro.parallel.shared` spawns its workers per call, which costs tens
+of milliseconds — more than the whole sweep below n ≈ 100 (the F3 caveat
+in ``EXPERIMENTS.md``). :class:`WavefrontPool` keeps the workers, barriers
+and shared buffers alive across calls, the way a long-running MPI rank set
+would, so repeated alignments pay only the per-plane barrier cost.
+
+Protocol
+--------
+The pool allocates capacity-sized shared buffers once (four plane buffers,
+three profile-matrix buffers, a move cube and a small control block). Per
+job the main process writes the job descriptor (dims, gap, score-only
+flag) and the profile matrices, resets the planes, and everyone meets at
+the start barrier; workers then run the standard one-barrier-per-plane
+sweep and return to the start barrier for the next job. Shutdown is a job
+with the shutdown flag set.
+
+Determinism matches :mod:`repro.parallel.shared`: identical row splits,
+identical argmax tie-breaking, bit-identical output to the serial engine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.core.dp3d import NEG
+from repro.core.scoring import ScoringScheme
+from repro.core.traceback import traceback_moves
+from repro.core.types import Alignment3, moves_to_columns
+from repro.core.wavefront import compute_plane_rows, plane_bounds
+from repro.parallel.partition import split_range
+from repro.parallel.shared import fork_available
+from repro.util.validation import check_positive, check_sequences
+
+# Control-block slots (float64 each).
+_CTRL_SHUTDOWN = 0
+_CTRL_N1 = 1
+_CTRL_N2 = 2
+_CTRL_N3 = 3
+_CTRL_G2 = 4
+_CTRL_SCORE_ONLY = 5
+_CTRL_SLOTS = 8
+
+
+def _pool_worker(
+    worker_id: int,
+    workers: int,
+    capacity: tuple[int, int, int],
+    names: dict[str, str],
+    start_barrier,
+    plane_barrier,
+) -> None:
+    """Worker main loop: wait for a job, sweep, repeat until shutdown."""
+    c1, c2, c3 = capacity
+    shms = {key: shared_memory.SharedMemory(name=name) for key, name in names.items()}
+    try:
+        ctrl = np.ndarray((_CTRL_SLOTS,), dtype=np.float64, buffer=shms["ctrl"].buf)
+        while True:
+            start_barrier.wait()
+            if ctrl[_CTRL_SHUTDOWN]:
+                return
+            n1 = int(ctrl[_CTRL_N1])
+            n2 = int(ctrl[_CTRL_N2])
+            n3 = int(ctrl[_CTRL_N3])
+            g2 = float(ctrl[_CTRL_G2])
+            score_only = bool(ctrl[_CTRL_SCORE_ONLY])
+            dims = (n1, n2, n3)
+            planes = [
+                np.ndarray(
+                    (n1 + 2, n2 + 2), dtype=np.float64, buffer=shms[f"plane{r}"].buf
+                )
+                for r in range(4)
+            ]
+            sab = np.ndarray((n1, n2), dtype=np.float64, buffer=shms["sab"].buf)
+            sac = np.ndarray((n1, n3), dtype=np.float64, buffer=shms["sac"].buf)
+            sbc = np.ndarray((n2, n3), dtype=np.float64, buffer=shms["sbc"].buf)
+            move_cube = (
+                None
+                if score_only
+                else np.ndarray(
+                    (n1 + 1, n2 + 1, n3 + 1), dtype=np.int8, buffer=shms["moves"].buf
+                )
+            )
+            for d in range(n1 + n2 + n3 + 1):
+                ilo, ihi, _jlo, _jhi = plane_bounds(d, n1, n2, n3)
+                if ilo <= ihi:
+                    lo, hi = split_range(ilo, ihi, workers)[worker_id]
+                    if lo <= hi:
+                        compute_plane_rows(
+                            d,
+                            lo,
+                            hi,
+                            planes[(d - 1) % 4],
+                            planes[(d - 2) % 4],
+                            planes[(d - 3) % 4],
+                            planes[d % 4],
+                            sab,
+                            sac,
+                            sbc,
+                            g2,
+                            dims,
+                            move_cube=move_cube,
+                        )
+                plane_barrier.wait()
+            # Signal job completion back to the dispatcher.
+            plane_barrier.wait()
+    finally:
+        for shm in shms.values():
+            shm.close()
+
+
+class WavefrontPool:
+    """A reusable pool of wavefront workers.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum sequence lengths ``(n1, n2, n3)`` any job may have; buffers
+        are sized once for this.
+    workers:
+        Total workers including the dispatching process (so ``workers=2``
+        spawns one child). Falls back to serial execution when 1, or when
+        the platform lacks ``fork``.
+
+    Use as a context manager::
+
+        with WavefrontPool((120, 120, 120), workers=2) as pool:
+            for job in jobs:
+                aln = pool.align3(*job, scheme)
+    """
+
+    def __init__(self, capacity: tuple[int, int, int], workers: int = 2):
+        check_positive("workers", workers)
+        for c in capacity:
+            if c < 0:
+                raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = tuple(int(c) for c in capacity)
+        self.workers = workers
+        self._serial = workers == 1 or not fork_available()
+        self._closed = False
+        self._shms: dict[str, shared_memory.SharedMemory] = {}
+        self._procs: list[mp.Process] = []
+        if self._serial:
+            return
+
+        c1, c2, c3 = self.capacity
+        ctx = mp.get_context("fork")
+        sizes = {
+            "ctrl": _CTRL_SLOTS * 8,
+            "sab": max(1, c1 * c2 * 8),
+            "sac": max(1, c1 * c3 * 8),
+            "sbc": max(1, c2 * c3 * 8),
+            "moves": max(1, (c1 + 1) * (c2 + 1) * (c3 + 1)),
+        }
+        for r in range(4):
+            sizes[f"plane{r}"] = (c1 + 2) * (c2 + 2) * 8
+        for key, size in sizes.items():
+            self._shms[key] = shared_memory.SharedMemory(create=True, size=size)
+        self._ctrl = np.ndarray(
+            (_CTRL_SLOTS,), dtype=np.float64, buffer=self._shms["ctrl"].buf
+        )
+        self._ctrl[:] = 0.0
+        self._start_barrier = ctx.Barrier(workers)
+        self._plane_barrier = ctx.Barrier(workers)
+        names = {key: shm.name for key, shm in self._shms.items()}
+        for w in range(1, workers):
+            proc = ctx.Process(
+                target=_pool_worker,
+                args=(
+                    w,
+                    workers,
+                    self.capacity,
+                    names,
+                    self._start_barrier,
+                    self._plane_barrier,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "WavefrontPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the workers down and release the shared buffers."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._serial:
+            self._ctrl[_CTRL_SHUTDOWN] = 1.0
+            self._start_barrier.wait()
+            for proc in self._procs:
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover
+                    proc.terminate()
+        for shm in self._shms.values():
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+
+    def _check_job(self, sa: str, sb: str, sc: str, scheme: ScoringScheme):
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        check_sequences((sa, sb, sc), count=3)
+        if scheme.is_affine:
+            raise ValueError("WavefrontPool implements the linear gap model")
+        dims = (len(sa), len(sb), len(sc))
+        for n, cap in zip(dims, self.capacity):
+            if n > cap:
+                raise ValueError(
+                    f"job dims {dims} exceed pool capacity {self.capacity}"
+                )
+        return dims
+
+    def _run(
+        self,
+        sa: str,
+        sb: str,
+        sc: str,
+        scheme: ScoringScheme,
+        score_only: bool,
+    ) -> tuple[float, np.ndarray | None]:
+        n1, n2, n3 = self._check_job(sa, sb, sc, scheme)
+        if self._serial:
+            from repro.core.wavefront import wavefront_sweep
+
+            res = wavefront_sweep(sa, sb, sc, scheme, score_only=score_only)
+            return res.score, res.move_cube
+
+        sab, sac, sbc = scheme.profile_matrices(sa, sb, sc)
+        dims = (n1, n2, n3)
+        # Stage the job into the shared buffers.
+        if n1 and n2:
+            np.ndarray((n1, n2), dtype=np.float64, buffer=self._shms["sab"].buf)[:] = sab
+        if n1 and n3:
+            np.ndarray((n1, n3), dtype=np.float64, buffer=self._shms["sac"].buf)[:] = sac
+        if n2 and n3:
+            np.ndarray((n2, n3), dtype=np.float64, buffer=self._shms["sbc"].buf)[:] = sbc
+        planes = [
+            np.ndarray(
+                (n1 + 2, n2 + 2), dtype=np.float64, buffer=self._shms[f"plane{r}"].buf
+            )
+            for r in range(4)
+        ]
+        for p in planes:
+            p.fill(NEG)
+        move_cube = None
+        if not score_only:
+            move_cube = np.ndarray(
+                (n1 + 1, n2 + 1, n3 + 1), dtype=np.int8, buffer=self._shms["moves"].buf
+            )
+            move_cube.fill(0)
+        self._ctrl[_CTRL_N1] = n1
+        self._ctrl[_CTRL_N2] = n2
+        self._ctrl[_CTRL_N3] = n3
+        self._ctrl[_CTRL_G2] = 2.0 * scheme.gap
+        self._ctrl[_CTRL_SCORE_ONLY] = 1.0 if score_only else 0.0
+
+        self._start_barrier.wait()
+        # The dispatcher is worker 0.
+        g2 = 2.0 * scheme.gap
+        sab_v = np.ndarray((n1, n2), dtype=np.float64, buffer=self._shms["sab"].buf)
+        sac_v = np.ndarray((n1, n3), dtype=np.float64, buffer=self._shms["sac"].buf)
+        sbc_v = np.ndarray((n2, n3), dtype=np.float64, buffer=self._shms["sbc"].buf)
+        for d in range(n1 + n2 + n3 + 1):
+            ilo, ihi, _jlo, _jhi = plane_bounds(d, n1, n2, n3)
+            if ilo <= ihi:
+                lo, hi = split_range(ilo, ihi, self.workers)[0]
+                if lo <= hi:
+                    compute_plane_rows(
+                        d,
+                        lo,
+                        hi,
+                        planes[(d - 1) % 4],
+                        planes[(d - 2) % 4],
+                        planes[(d - 3) % 4],
+                        planes[d % 4],
+                        sab_v,
+                        sac_v,
+                        sbc_v,
+                        g2,
+                        dims,
+                        move_cube=move_cube,
+                    )
+            self._plane_barrier.wait()
+        self._plane_barrier.wait()  # job-completion rendezvous
+
+        dmax = n1 + n2 + n3
+        score = float(planes[dmax % 4][n1 + 1, n2 + 1])
+        moves = None if move_cube is None else move_cube.copy()
+        return score, moves
+
+    # ------------------------------------------------------------------
+
+    def score3(self, sa: str, sb: str, sc: str, scheme: ScoringScheme) -> float:
+        """Optimal SP score (score-only sweep on the pool)."""
+        score, _ = self._run(sa, sb, sc, scheme, score_only=True)
+        return score
+
+    def align3(
+        self, sa: str, sb: str, sc: str, scheme: ScoringScheme
+    ) -> Alignment3:
+        """Optimal alignment with traceback, computed on the pool."""
+        score, move_cube = self._run(sa, sb, sc, scheme, score_only=False)
+        assert move_cube is not None
+        moves = traceback_moves(move_cube)
+        cols = moves_to_columns(moves, sa, sb, sc)
+        rows = tuple("".join(col[r] for col in cols) for r in range(3))
+        meta = {
+            "engine": "pool",
+            "workers": self.workers,
+            "serial_fallback": self._serial,
+        }
+        return Alignment3(rows=rows, score=score, meta=meta)  # type: ignore[arg-type]

@@ -1,0 +1,58 @@
+"""Work-partitioning utilities shared by the parallel engines and the
+cluster simulator."""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive
+
+
+def split_range(lo: int, hi: int, parts: int) -> list[tuple[int, int]]:
+    """Split the inclusive range ``[lo, hi]`` into ``parts`` contiguous
+    inclusive chunks whose sizes differ by at most one.
+
+    Empty chunks (``(x, x-1)``) are emitted when the range is shorter than
+    ``parts`` so that every worker index always receives a (possibly empty)
+    assignment.
+
+    >>> split_range(0, 9, 3)
+    [(0, 3), (4, 6), (7, 9)]
+    """
+    check_positive("parts", parts)
+    n = hi - lo + 1
+    if n <= 0:
+        return [(lo, lo - 1)] * parts
+    base, extra = divmod(n, parts)
+    out = []
+    start = lo
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        out.append((start, start + size - 1))
+        start += size
+    return out
+
+
+def split_cyclic(count: int, parts: int) -> list[list[int]]:
+    """Deal indices ``0..count-1`` to ``parts`` owners round-robin.
+
+    >>> split_cyclic(5, 2)
+    [[0, 2, 4], [1, 3]]
+    """
+    check_positive("parts", parts)
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return [list(range(p, count, parts)) for p in range(parts)]
+
+
+def balanced_blocks(total: int, block: int) -> list[tuple[int, int]]:
+    """Chop ``0..total-1`` into inclusive blocks of at most ``block``.
+
+    >>> balanced_blocks(10, 4)
+    [(0, 3), (4, 7), (8, 9)]
+    """
+    check_positive("block", block)
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    return [
+        (start, min(start + block - 1, total - 1))
+        for start in range(0, total, block)
+    ]

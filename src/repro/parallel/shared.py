@@ -1,0 +1,232 @@
+"""Multiprocess shared-memory wavefront engine.
+
+Parallel structure (the measured analogue of the paper's cluster algorithm):
+each anti-diagonal plane is row-sliced across ``workers`` processes; one
+barrier per plane enforces the wavefront dependence. All mutable state (the
+four rotating plane buffers and the move cube) lives in
+``multiprocessing.shared_memory`` blocks, so workers cooperate with zero
+copying. The main process participates as worker 0.
+
+Requires the ``fork`` start method (read-only inputs ride along with the
+fork); on platforms without it the engine degrades to a serial sweep.
+
+Determinism: every worker computes the same bounding box and the same
+contiguous row split per plane (:func:`repro.parallel.partition.split_range`),
+so writes are disjoint and the result is bit-identical to the serial engine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.core.dp3d import NEG
+from repro.core.scoring import ScoringScheme
+from repro.core.traceback import traceback_moves
+from repro.core.types import Alignment3, moves_to_columns
+from repro.core.wavefront import compute_plane_rows, plane_bounds
+from repro.parallel.partition import split_range
+from repro.util.validation import check_positive, check_sequences
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def _attach(name: str, shape: tuple[int, ...], dtype) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    shm = shared_memory.SharedMemory(name=name)
+    return np.ndarray(shape, dtype=dtype, buffer=shm.buf), shm
+
+
+def _worker_loop(
+    worker_id: int,
+    workers: int,
+    dims: tuple[int, int, int],
+    plane_names: list[str],
+    move_name: str | None,
+    barrier,
+    sab: np.ndarray,
+    sac: np.ndarray,
+    sbc: np.ndarray,
+    g2: float,
+) -> None:
+    """Per-process plane loop. ``sab``/``sac``/``sbc`` arrive through fork
+    copy-on-write; only planes and the move cube are shared for writing."""
+    n1, n2, n3 = dims
+    handles = []
+    planes = []
+    for name in plane_names:
+        arr, shm = _attach(name, (n1 + 2, n2 + 2), np.float64)
+        planes.append(arr)
+        handles.append(shm)
+    move_cube = None
+    if move_name is not None:
+        move_cube, shm = _attach(
+            move_name, (n1 + 1, n2 + 1, n3 + 1), np.int8
+        )
+        handles.append(shm)
+    try:
+        dmax = n1 + n2 + n3
+        for d in range(dmax + 1):
+            ilo, ihi, _jlo, _jhi = plane_bounds(d, n1, n2, n3)
+            if ilo <= ihi:
+                lo, hi = split_range(ilo, ihi, workers)[worker_id]
+                if lo <= hi:
+                    compute_plane_rows(
+                        d,
+                        lo,
+                        hi,
+                        planes[(d - 1) % 4],
+                        planes[(d - 2) % 4],
+                        planes[(d - 3) % 4],
+                        planes[d % 4],
+                        sab,
+                        sac,
+                        sbc,
+                        g2,
+                        dims,
+                        move_cube=move_cube,
+                    )
+            barrier.wait()
+    finally:
+        for shm in handles:
+            shm.close()
+
+
+def _shared_sweep(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme,
+    workers: int,
+    score_only: bool,
+) -> tuple[float, np.ndarray | None, dict[str, Any]]:
+    """Run the parallel sweep; returns (score, move_cube_copy, meta)."""
+    check_sequences((sa, sb, sc), count=3)
+    check_positive("workers", workers)
+    if scheme.is_affine:
+        raise ValueError("the shared engine implements the linear gap model")
+    n1, n2, n3 = len(sa), len(sb), len(sc)
+    dims = (n1, n2, n3)
+    sab, sac, sbc = scheme.profile_matrices(sa, sb, sc)
+    g2 = 2.0 * scheme.gap
+
+    if workers == 1 or not fork_available():
+        # Serial fallback keeps behaviour identical with zero IPC.
+        from repro.core.wavefront import wavefront_sweep
+
+        res = wavefront_sweep(sa, sb, sc, scheme, score_only=score_only)
+        meta = {"engine": "shared", "workers": 1, "fallback": "serial"}
+        return res.score, res.move_cube, meta
+
+    ctx = mp.get_context("fork")
+    plane_bytes = (n1 + 2) * (n2 + 2) * 8
+    shms: list[shared_memory.SharedMemory] = []
+    procs: list[mp.Process] = []
+    try:
+        plane_shms = [
+            shared_memory.SharedMemory(create=True, size=plane_bytes)
+            for _ in range(4)
+        ]
+        shms.extend(plane_shms)
+        planes = [
+            np.ndarray((n1 + 2, n2 + 2), dtype=np.float64, buffer=s.buf)
+            for s in plane_shms
+        ]
+        for p in planes:
+            p.fill(NEG)
+        move_shm = None
+        move_cube = None
+        if not score_only:
+            move_shm = shared_memory.SharedMemory(
+                create=True, size=max(1, (n1 + 1) * (n2 + 1) * (n3 + 1))
+            )
+            shms.append(move_shm)
+            move_cube = np.ndarray(
+                (n1 + 1, n2 + 1, n3 + 1), dtype=np.int8, buffer=move_shm.buf
+            )
+            move_cube.fill(0)
+
+        barrier = ctx.Barrier(workers)
+        plane_names = [s.name for s in plane_shms]
+        move_name = move_shm.name if move_shm is not None else None
+        for w in range(1, workers):
+            proc = ctx.Process(
+                target=_worker_loop,
+                args=(
+                    w,
+                    workers,
+                    dims,
+                    plane_names,
+                    move_name,
+                    barrier,
+                    sab,
+                    sac,
+                    sbc,
+                    g2,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            procs.append(proc)
+        # The main process is worker 0.
+        _worker_loop(
+            0, workers, dims, plane_names, move_name, barrier, sab, sac, sbc, g2
+        )
+        for proc in procs:
+            proc.join()
+            if proc.exitcode != 0:
+                raise RuntimeError(
+                    f"shared-memory worker exited with code {proc.exitcode}"
+                )
+        dmax = n1 + n2 + n3
+        score = float(planes[dmax % 4][n1 + 1, n2 + 1])
+        moves_copy = None if move_cube is None else move_cube.copy()
+        meta = {"engine": "shared", "workers": workers}
+        return score, moves_copy, meta
+    finally:
+        for proc in procs:
+            if proc.is_alive():  # pragma: no cover - only on error paths
+                proc.terminate()
+        for shm in shms:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+
+def score3_shared(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme,
+    workers: int = 2,
+) -> float:
+    """Optimal SP score via the multiprocess wavefront (O(n^2) memory)."""
+    score, _moves, _meta = _shared_sweep(
+        sa, sb, sc, scheme, workers, score_only=True
+    )
+    return score
+
+
+def align3_shared(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme,
+    workers: int = 2,
+) -> Alignment3:
+    """Optimal three-way alignment via the multiprocess wavefront."""
+    score, move_cube, meta = _shared_sweep(
+        sa, sb, sc, scheme, workers, score_only=False
+    )
+    assert move_cube is not None
+    moves = traceback_moves(move_cube)
+    cols = moves_to_columns(moves, sa, sb, sc)
+    rows = tuple("".join(col[r] for col in cols) for r in range(3))
+    return Alignment3(rows=rows, score=score, meta=meta)  # type: ignore[arg-type]

@@ -1,0 +1,130 @@
+"""Thread-pool wavefront engine.
+
+Same plane-sliced structure as :mod:`repro.parallel.shared` but with
+threads: workers share the process address space, so no shared-memory
+plumbing is needed — only a ``threading.Barrier`` per plane. NumPy's
+element-wise kernels release the GIL for large arrays, so modest speedup is
+possible on big planes; for small planes the GIL serialises the work and
+this engine is mostly a measurement baseline for experiment F3 (it shows
+*why* the paper's algorithm needs processes/ranks rather than threads in a
+GIL runtime).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.core.dp3d import NEG
+from repro.core.scoring import ScoringScheme
+from repro.core.traceback import traceback_moves
+from repro.core.types import Alignment3, moves_to_columns
+from repro.core.wavefront import compute_plane_rows, plane_bounds
+from repro.parallel.partition import split_range
+from repro.util.validation import check_positive, check_sequences
+
+
+def _threaded_sweep(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme,
+    workers: int,
+    score_only: bool,
+) -> tuple[float, np.ndarray | None, dict[str, Any]]:
+    check_sequences((sa, sb, sc), count=3)
+    check_positive("workers", workers)
+    if scheme.is_affine:
+        raise ValueError("the threads engine implements the linear gap model")
+    n1, n2, n3 = len(sa), len(sb), len(sc)
+    dims = (n1, n2, n3)
+    sab, sac, sbc = scheme.profile_matrices(sa, sb, sc)
+    g2 = 2.0 * scheme.gap
+
+    planes = [np.full((n1 + 2, n2 + 2), NEG) for _ in range(4)]
+    move_cube = (
+        None
+        if score_only
+        else np.zeros((n1 + 1, n2 + 1, n3 + 1), dtype=np.int8)
+    )
+    dmax = n1 + n2 + n3
+    barrier = threading.Barrier(workers)
+    errors: list[BaseException] = []
+
+    def loop(worker_id: int) -> None:
+        try:
+            for d in range(dmax + 1):
+                ilo, ihi, _jlo, _jhi = plane_bounds(d, n1, n2, n3)
+                if ilo <= ihi:
+                    lo, hi = split_range(ilo, ihi, workers)[worker_id]
+                    if lo <= hi:
+                        compute_plane_rows(
+                            d,
+                            lo,
+                            hi,
+                            planes[(d - 1) % 4],
+                            planes[(d - 2) % 4],
+                            planes[(d - 3) % 4],
+                            planes[d % 4],
+                            sab,
+                            sac,
+                            sbc,
+                            g2,
+                            dims,
+                            move_cube=move_cube,
+                        )
+                barrier.wait()
+        except BaseException as exc:  # pragma: no cover - debugging aid
+            errors.append(exc)
+            barrier.abort()
+            raise
+
+    threads = [
+        threading.Thread(target=loop, args=(w,), daemon=True)
+        for w in range(1, workers)
+    ]
+    for t in threads:
+        t.start()
+    loop(0)
+    for t in threads:
+        t.join()
+    if errors:  # pragma: no cover
+        raise errors[0]
+
+    score = float(planes[dmax % 4][n1 + 1, n2 + 1])
+    meta = {"engine": "threads", "workers": workers}
+    return score, move_cube, meta
+
+
+def score3_threads(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme,
+    workers: int = 2,
+) -> float:
+    """Optimal SP score via the thread-pool wavefront."""
+    score, _moves, _meta = _threaded_sweep(
+        sa, sb, sc, scheme, workers, score_only=True
+    )
+    return score
+
+
+def align3_threads(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme,
+    workers: int = 2,
+) -> Alignment3:
+    """Optimal three-way alignment via the thread-pool wavefront."""
+    score, move_cube, meta = _threaded_sweep(
+        sa, sb, sc, scheme, workers, score_only=False
+    )
+    assert move_cube is not None
+    moves = traceback_moves(move_cube)
+    cols = moves_to_columns(moves, sa, sb, sc)
+    rows = tuple("".join(col[r] for col in cols) for r in range(3))
+    return Alignment3(rows=rows, score=score, meta=meta)  # type: ignore[arg-type]

@@ -1,0 +1,44 @@
+"""Sequence input/output substrate.
+
+Provides alphabets with integer encodings (the DP kernels work on ``uint8``
+code arrays), a small FASTA reader/writer, seeded synthetic sequence
+generators (random sequences and mutated families descending from a common
+ancestor), and a handful of bundled real sequence fragments used by the
+examples and benchmarks.
+"""
+
+from repro.seqio.alphabet import Alphabet, DNA, RNA, PROTEIN, GAP_CHAR
+from repro.seqio.fasta import read_fasta, write_fasta, parse_fasta, format_fasta
+from repro.seqio.generate import (
+    random_sequence,
+    mutate_sequence,
+    mutated_family,
+    mutate_with_blocks,
+    block_indel_family,
+    MutationModel,
+)
+from repro.seqio.datasets import bundled_sequences, list_datasets, load_dataset
+from repro.seqio.clustal import format_clustal, parse_clustal
+
+__all__ = [
+    "Alphabet",
+    "DNA",
+    "RNA",
+    "PROTEIN",
+    "GAP_CHAR",
+    "read_fasta",
+    "write_fasta",
+    "parse_fasta",
+    "format_fasta",
+    "random_sequence",
+    "mutate_sequence",
+    "mutated_family",
+    "mutate_with_blocks",
+    "block_indel_family",
+    "MutationModel",
+    "bundled_sequences",
+    "format_clustal",
+    "parse_clustal",
+    "list_datasets",
+    "load_dataset",
+]

@@ -1,0 +1,109 @@
+"""Alphabets and integer encodings for sequences.
+
+All DP kernels operate on ``numpy.uint8`` code arrays so that substitution
+scores can be gathered with plain integer indexing (``matrix[codes_a[:,None],
+codes_b[None,:]]``); this module owns the string<->code mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Character used for gaps in rendered alignments.
+GAP_CHAR = "-"
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered residue alphabet with a bidirectional integer encoding.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (``"dna"``, ``"protein"``...).
+    letters:
+        The residue characters in code order; code of ``letters[i]`` is ``i``.
+    wildcard:
+        Optional character accepted on input and mapped to code
+        ``len(letters)`` (scored as a neutral residue by scoring schemes that
+        support it) — e.g. ``N`` for DNA, ``X`` for protein.
+    """
+
+    name: str
+    letters: str
+    wildcard: str | None = None
+    _index: dict[str, int] = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.letters)) != len(self.letters):
+            raise ValueError(f"alphabet {self.name!r} has duplicate letters")
+        if GAP_CHAR in self.letters:
+            raise ValueError("the gap character cannot be an alphabet letter")
+        index = {ch: i for i, ch in enumerate(self.letters)}
+        if self.wildcard is not None:
+            if self.wildcard in index:
+                raise ValueError("wildcard collides with an alphabet letter")
+            index[self.wildcard] = len(self.letters)
+        object.__setattr__(self, "_index", index)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct codes (letters plus wildcard if present)."""
+        return len(self.letters) + (1 if self.wildcard is not None else 0)
+
+    def encode(self, seq: str) -> np.ndarray:
+        """Encode ``seq`` into a ``uint8`` code array.
+
+        Raises ``ValueError`` on characters outside the alphabet. Lowercase
+        input is accepted and upcased.
+        """
+        seq = seq.upper()
+        try:
+            return np.fromiter(
+                (self._index[ch] for ch in seq), dtype=np.uint8, count=len(seq)
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"character {exc.args[0]!r} is not in alphabet {self.name!r}"
+            ) from None
+
+    def decode(self, codes: np.ndarray) -> str:
+        """Inverse of :meth:`encode`."""
+        table = self.letters + (self.wildcard or "")
+        out = []
+        for c in np.asarray(codes, dtype=np.int64):
+            if not 0 <= c < len(table):
+                raise ValueError(f"code {c} outside alphabet {self.name!r}")
+            out.append(table[c])
+        return "".join(out)
+
+    def is_valid(self, seq: str) -> bool:
+        """True when every character of ``seq`` encodes successfully."""
+        return all(ch in self._index for ch in seq.upper())
+
+    def __contains__(self, ch: str) -> bool:
+        return ch.upper() in self._index
+
+
+#: The four DNA nucleotides, with ``N`` as wildcard.
+DNA = Alphabet("dna", "ACGT", wildcard="N")
+
+#: The four RNA nucleotides, with ``N`` as wildcard.
+RNA = Alphabet("rna", "ACGU", wildcard="N")
+
+#: The twenty standard amino acids (BLOSUM/PAM order: alphabetical by
+#: one-letter code), with ``X`` as wildcard.
+PROTEIN = Alphabet("protein", "ARNDCQEGHILKMFPSTWYV", wildcard="X")
+
+
+def guess_alphabet(seq: str) -> Alphabet:
+    """Guess the alphabet of ``seq`` (DNA first, then RNA, then protein).
+
+    Raises ``ValueError`` when no bundled alphabet matches.
+    """
+    for alpha in (DNA, RNA, PROTEIN):
+        if alpha.is_valid(seq):
+            return alpha
+    raise ValueError("sequence does not match any bundled alphabet")

@@ -1,0 +1,110 @@
+"""Clustal-style alignment rendering and parsing.
+
+The interchange format most alignment viewers accept: a header line,
+blank line, then blocks of ``name  chunk`` rows with a conservation line.
+Supported for both :class:`~repro.core.types.Alignment3` and
+:class:`~repro.msa.types.MultiAlignment` via plain (names, rows) pairs so
+this module stays dependency-light.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.seqio.alphabet import GAP_CHAR
+
+_HEADER = "CLUSTAL W (repro) multiple sequence alignment"
+
+
+def conservation_line(rows: Sequence[str], column_slice: slice) -> str:
+    """The Clustal conservation markers for a block of columns.
+
+    ``*`` — column fully conserved (identical residues, no gaps);
+    ``:`` — all residues present (no gaps) but not identical;
+    space — at least one gap.
+
+    (The real Clustal distinguishes strong/weak groups; this simplified
+    convention is documented and deterministic.)
+    """
+    out = []
+    for col in zip(*(row[column_slice] for row in rows)):
+        if any(ch == GAP_CHAR for ch in col):
+            out.append(" ")
+        elif all(ch == col[0] for ch in col):
+            out.append("*")
+        else:
+            out.append(":")
+    return "".join(out)
+
+
+def format_clustal(
+    names: Sequence[str],
+    rows: Sequence[str],
+    width: int = 60,
+) -> str:
+    """Render aligned ``rows`` with ``names`` in Clustal block format."""
+    if len(names) != len(rows):
+        raise ValueError("names/rows length mismatch")
+    if not rows:
+        raise ValueError("no rows to format")
+    lengths = {len(r) for r in rows}
+    if len(lengths) != 1:
+        raise ValueError("rows have unequal lengths")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    for name in names:
+        if any(ch.isspace() for ch in name):
+            raise ValueError(f"Clustal names cannot contain whitespace: {name!r}")
+
+    label_w = max(len(n) for n in names) + 2
+    total = len(rows[0])
+    out = [_HEADER, ""]
+    for start in range(0, total, width):
+        block = slice(start, min(start + width, total))
+        for name, row in zip(names, rows):
+            out.append(f"{name:<{label_w}}{row[block]}")
+        out.append(" " * label_w + conservation_line(rows, block))
+        out.append("")
+    if total == 0:
+        for name in names:
+            out.append(f"{name:<{label_w}}")
+        out.append("")
+    return "\n".join(out) + "\n"
+
+
+def parse_clustal(text: str) -> list[tuple[str, str]]:
+    """Parse Clustal-format ``text`` back into ``(name, row)`` pairs.
+
+    Tolerates any first line starting with ``CLUSTAL`` and ignores
+    conservation lines (they never start with a non-space character).
+    """
+    lines = text.splitlines()
+    if not lines or not lines[0].upper().startswith("CLUSTAL"):
+        raise ValueError("not a Clustal file (missing CLUSTAL header)")
+    chunks: dict[str, list[str]] = {}
+    order: list[str] = []
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        if line[0].isspace():
+            continue  # conservation line
+        parts = line.split()
+        if len(parts) < 2:
+            # A name with an empty (zero-length) alignment block.
+            name = parts[0]
+            if name not in chunks:
+                chunks[name] = []
+                order.append(name)
+            continue
+        name, chunk = parts[0], parts[1]
+        if name not in chunks:
+            chunks[name] = []
+            order.append(name)
+        chunks[name].append(chunk)
+    if not order:
+        raise ValueError("Clustal file contains no sequence rows")
+    records = [(name, "".join(chunks[name])) for name in order]
+    lengths = {len(r) for _n, r in records}
+    if len(lengths) != 1:
+        raise ValueError("Clustal rows have unequal reconstructed lengths")
+    return records

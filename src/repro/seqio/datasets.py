@@ -1,0 +1,90 @@
+"""Bundled sequence fragments used by examples and benchmarks.
+
+The paper family evaluates on globin-style protein triples (the classic
+three-sequence alignment demonstration since Murata et al. 1985 aligned
+alpha-, beta-globin and myoglobin) and on nucleotide sequences. Shipping a
+few short fragments inline keeps the examples runnable offline; lengths are
+kept modest because exact three-way alignment is O(n^3).
+
+These fragments are *illustrative* globin-family N-terminal regions; the
+benchmarks that need controlled lengths/similarities use
+:mod:`repro.seqio.generate` instead.
+"""
+
+from __future__ import annotations
+
+# N-terminal fragments of the three classic globins (alpha, beta, myoglobin).
+_HBA_FRAGMENT = (
+    "MVLSPADKTNVKAAWGKVGAHAGEYGAEALERMFLSFPTTKTYFPHFDLSHGSAQVKGHGKKVADALTNAVAHVDD"
+)
+_HBB_FRAGMENT = (
+    "MVHLTPEEKSAVTALWGKVNVDEVGGEALGRLLVVYPWTQRFFESFGDLSTPDAVMGNPKVKAHGKKVLGAFSDGL"
+)
+_MYG_FRAGMENT = (
+    "MGLSDGEWQLVLNVWGKVEADIPGHGQEVLIRLFKGHPETLEKFDKFKHLKSEDEMKASEDLKKHGATVLTALGGI"
+)
+
+# Short homologous DNA fragments (synthetic but fixed, mimicking a conserved
+# coding region with scattered substitutions and small indels).
+_DNA_A = (
+    "ATGGCTCTGTGGATGCGCCTCCTGCCCCTGCTGGCGCTGCTGGCCCTCTGGGGACCTGACCCAGCCGCAGCC"
+)
+_DNA_B = (
+    "ATGGCACTGTGGATGCGTTTCCTGCCCCTGCTGGCGCTGCTGGCCCTGTGGGGACCAGACCCAGCAGCC"
+)
+_DNA_C = (
+    "ATGGCTCTGTGGATACGCCTCCTGCCTCTGCTGGCGTTGCTGGCCCTCTGGGGACCTGACACAGCCGCAGCCGCC"
+)
+
+_DATASETS: dict[str, dict[str, object]] = {
+    "globins": {
+        "alphabet": "protein",
+        "description": "N-terminal fragments of alpha-globin, beta-globin "
+        "and myoglobin — the canonical three-sequence alignment example.",
+        "records": [
+            ("HBA_fragment", _HBA_FRAGMENT),
+            ("HBB_fragment", _HBB_FRAGMENT),
+            ("MYG_fragment", _MYG_FRAGMENT),
+        ],
+    },
+    "insulin_dna": {
+        "alphabet": "dna",
+        "description": "Homologous signal-peptide-like DNA fragments with "
+        "scattered substitutions and small indels.",
+        "records": [
+            ("dnaA", _DNA_A),
+            ("dnaB", _DNA_B),
+            ("dnaC", _DNA_C),
+        ],
+    },
+}
+
+
+def list_datasets() -> list[str]:
+    """Names of all bundled datasets."""
+    return sorted(_DATASETS)
+
+
+def load_dataset(name: str) -> dict[str, object]:
+    """Load a bundled dataset by name.
+
+    Returns a dict with keys ``alphabet`` (str), ``description`` (str) and
+    ``records`` (list of ``(header, sequence)``).
+    """
+    try:
+        entry = _DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {list_datasets()}"
+        ) from None
+    # Return a shallow copy so callers cannot mutate the registry.
+    return {
+        "alphabet": entry["alphabet"],
+        "description": entry["description"],
+        "records": list(entry["records"]),  # type: ignore[arg-type]
+    }
+
+
+def bundled_sequences(name: str) -> list[str]:
+    """Just the three sequence strings of dataset ``name``."""
+    return [seq for _hdr, seq in load_dataset(name)["records"]]  # type: ignore[union-attr]

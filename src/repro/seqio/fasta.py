@@ -1,0 +1,104 @@
+"""Minimal FASTA reader/writer.
+
+Supports the subset of FASTA that alignment workloads need: ``>`` headers,
+multi-line wrapped sequence bodies, ``;`` comment lines, and blank lines.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator
+
+
+def parse_fasta(text: str) -> list[tuple[str, str]]:
+    """Parse FASTA-formatted ``text`` into ``(header, sequence)`` pairs.
+
+    The header is everything after ``>`` up to the newline, stripped.
+    Sequence lines are concatenated with internal whitespace removed.
+    """
+    records: list[tuple[str, str]] = []
+    header: str | None = None
+    chunks: list[str] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        if line.startswith(">"):
+            if header is not None:
+                records.append((header, "".join(chunks)))
+            header = line[1:].strip()
+            chunks = []
+        else:
+            if header is None:
+                raise ValueError(
+                    f"line {lineno}: sequence data before any '>' header"
+                )
+            chunks.append("".join(line.split()))
+    if header is not None:
+        records.append((header, "".join(chunks)))
+    return records
+
+
+def read_fasta(path: str | os.PathLike) -> list[tuple[str, str]]:
+    """Read a FASTA file from ``path``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_fasta(fh.read())
+
+
+def format_fasta(
+    records: Iterable[tuple[str, str]],
+    width: int = 70,
+) -> str:
+    """Format ``(header, sequence)`` pairs as a FASTA string.
+
+    ``width`` controls the line-wrapping of sequence bodies; ``0`` disables
+    wrapping.
+    """
+    if width < 0:
+        raise ValueError(f"width must be >= 0, got {width}")
+    out: list[str] = []
+    for header, seq in records:
+        if "\n" in header:
+            raise ValueError("FASTA headers cannot contain newlines")
+        out.append(f">{header}")
+        if width == 0 or not seq:
+            out.append(seq)
+        else:
+            out.extend(seq[i : i + width] for i in range(0, len(seq), width))
+    return "\n".join(out) + "\n"
+
+
+def write_fasta(
+    path: str | os.PathLike,
+    records: Iterable[tuple[str, str]],
+    width: int = 70,
+) -> None:
+    """Write ``records`` to ``path`` in FASTA format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(format_fasta(records, width=width))
+
+
+def iter_fasta(path: str | os.PathLike) -> Iterator[tuple[str, str]]:
+    """Stream records from a FASTA file one at a time.
+
+    Unlike :func:`read_fasta` this never holds more than one record in
+    memory, which matters for genome-scale inputs.
+    """
+    header: str | None = None
+    chunks: list[str] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line or line.startswith(";"):
+                continue
+            if line.startswith(">"):
+                if header is not None:
+                    yield header, "".join(chunks)
+                header = line[1:].strip()
+                chunks = []
+            else:
+                if header is None:
+                    raise ValueError("sequence data before any '>' header")
+                chunks.append("".join(line.split()))
+    if header is not None:
+        yield header, "".join(chunks)

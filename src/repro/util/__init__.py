@@ -1,0 +1,29 @@
+"""Cross-cutting utilities: timing, validation, table emission.
+
+These helpers are deliberately dependency-free (NumPy only) so that every
+other subpackage may import them without cycles.
+"""
+
+from repro.util.timing import Timer, repeat_min, format_seconds
+from repro.util.validation import (
+    check_positive,
+    check_nonnegative,
+    check_in_range,
+    check_type,
+    check_sequences,
+)
+from repro.util.tables import Table, format_table, format_series
+
+__all__ = [
+    "Timer",
+    "repeat_min",
+    "format_seconds",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_type",
+    "check_sequences",
+    "Table",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,97 @@
+"""ASCII table and data-series rendering for the benchmark harness.
+
+The experiment runner regenerates the rows of each of the paper's tables and
+the series of each figure; these helpers render them uniformly so that
+``EXPERIMENTS.md`` can quote harness output verbatim.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e5 or (abs(value) < 1e-3 and value != 0.0):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """Accumulates rows and renders an aligned ASCII table.
+
+    >>> t = Table("demo", ["n", "time"])
+    >>> t.add_row(10, 0.5)
+    >>> "demo" in t.render()
+    True
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append([_render_cell(v) for v in values])
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows)
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        buf.write(",".join(self.columns) + "\n")
+        for row in self.rows:
+            buf.write(",".join(row) + "\n")
+        return buf.getvalue()
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+) -> str:
+    """Render ``rows`` under ``columns`` as a boxed ASCII table string."""
+    str_rows = [[_render_cell(c) for c in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    out = [f"== {title} ==", sep]
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    out.append(f"| {header} |")
+    out.append(sep)
+    for row in str_rows:
+        line = " | ".join(c.rjust(w) for c, w in zip(row, widths))
+        out.append(f"| {line} |")
+    out.append(sep)
+    return "\n".join(out)
+
+
+def format_series(
+    title: str,
+    x_name: str,
+    xs: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+) -> str:
+    """Render figure data as one x column plus one column per series.
+
+    This is the canonical "figure as numbers" format: each named series is a
+    line in the original plot.
+    """
+    columns = [x_name, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x, *(vals[i] for vals in series.values())])
+    return format_table(title, columns, rows)

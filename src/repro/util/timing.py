@@ -1,0 +1,93 @@
+"""Timing helpers used by the benchmark harness and the examples.
+
+The conventions follow the optimisation workflow recommended for scientific
+Python: measure before optimising, prefer the *minimum* of several repeats
+(it is the least noisy estimator of the true cost on an otherwise idle
+machine), and keep individual measurement runs short.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch outside a ``with`` block."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the elapsed time in seconds."""
+        self.elapsed = time.perf_counter() - self._start
+        return self.elapsed
+
+
+def repeat_min(
+    fn: Callable[[], Any],
+    repeats: int = 3,
+    warmup: int = 0,
+) -> tuple[float, Any]:
+    """Run ``fn`` ``repeats`` times and return ``(min_seconds, last_result)``.
+
+    ``warmup`` extra untimed calls are made first, which matters for code
+    paths that allocate pools of worker processes or fill caches.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable to measure.
+    repeats:
+        Number of timed invocations; the minimum is reported.
+    warmup:
+        Number of untimed invocations run before measuring.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    best = math.inf
+    result: Any = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+    return best, result
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly rendering of a duration (``1.23 s``, ``45.6 ms`` ...)."""
+    if seconds != seconds:  # NaN
+        return "nan"
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.2f} us"
+    return f"{seconds * 1e9:.1f} ns"

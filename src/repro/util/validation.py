@@ -1,0 +1,67 @@
+"""Argument-validation helpers.
+
+Every public entry point validates its inputs eagerly so that misuse fails
+with a clear message at the API boundary instead of deep inside a vectorised
+kernel, where NumPy's broadcasting errors are hard to map back to the
+caller's mistake.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_type(name: str, value: Any, types: type | tuple[type, ...]) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        expected = (
+            types.__name__
+            if isinstance(types, type)
+            else " | ".join(t.__name__ for t in types)
+        )
+        raise TypeError(
+            f"{name} must be {expected}, got {type(value).__name__}"
+        )
+
+
+def check_sequences(seqs: Sequence[str], count: int | None = None) -> None:
+    """Validate a collection of raw sequence strings.
+
+    Ensures each element is a ``str``; empty sequences are *allowed* (the
+    alignment algorithms handle them and several tests rely on it), but
+    non-string entries and a wrong count are rejected.
+    """
+    if count is not None and len(seqs) != count:
+        raise ValueError(f"expected {count} sequences, got {len(seqs)}")
+    for idx, s in enumerate(seqs):
+        if not isinstance(s, str):
+            raise TypeError(
+                f"sequence #{idx} must be str, got {type(s).__name__}"
+            )
+
+
+def ensure_distinct(names: Iterable[str]) -> None:
+    """Raise ``ValueError`` when ``names`` contains duplicates."""
+    seen: set[str] = set()
+    for n in names:
+        if n in seen:
+            raise ValueError(f"duplicate name: {n!r}")
+        seen.add(n)

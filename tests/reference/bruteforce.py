@@ -1,0 +1,100 @@
+"""Independent ground-truth implementations used only by tests.
+
+Two oracles, both deliberately written in a different style from the
+library code so a shared bug is unlikely:
+
+* :func:`bruteforce_enumerate` — literally enumerates every three-way
+  alignment (every move sequence) and scores the emitted columns with the
+  scheme's column scorer. Exponential; use for sequence lengths <= 3.
+* :func:`memo_optimal_score` — top-down memoised recursion on (i, j, k)
+  suffixes. Polynomial but scalar; use for lengths <= ~12.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.scoring import ScoringScheme
+from repro.seqio.alphabet import GAP_CHAR
+
+_MOVES = [
+    (1, 0, 0),
+    (0, 1, 0),
+    (0, 0, 1),
+    (1, 1, 0),
+    (1, 0, 1),
+    (0, 1, 1),
+    (1, 1, 1),
+]
+
+
+def bruteforce_enumerate(
+    sa: str, sb: str, sc: str, scheme: ScoringScheme
+) -> float:
+    """Exhaustive maximum over all three-way alignments (tiny inputs!)."""
+    best = [float("-inf")]
+
+    def go(i: int, j: int, k: int, acc: float) -> None:
+        if i == len(sa) and j == len(sb) and k == len(sc):
+            if acc > best[0]:
+                best[0] = acc
+            return
+        for di, dj, dk in _MOVES:
+            ni, nj, nk = i + di, j + dj, k + dk
+            if ni > len(sa) or nj > len(sb) or nk > len(sc):
+                continue
+            ca = sa[i] if di else GAP_CHAR
+            cb = sb[j] if dj else GAP_CHAR
+            cc = sc[k] if dk else GAP_CHAR
+            go(ni, nj, nk, acc + scheme.column_score(ca, cb, cc))
+
+    go(0, 0, 0, 0.0)
+    return best[0]
+
+
+def memo_optimal_score(
+    sa: str, sb: str, sc: str, scheme: ScoringScheme
+) -> float:
+    """Memoised top-down optimum (suffix formulation, unlike the library's
+    bottom-up prefix DP)."""
+
+    @lru_cache(maxsize=None)
+    def best_from(i: int, j: int, k: int) -> float:
+        if i == len(sa) and j == len(sb) and k == len(sc):
+            return 0.0
+        out = float("-inf")
+        for di, dj, dk in _MOVES:
+            ni, nj, nk = i + di, j + dj, k + dk
+            if ni > len(sa) or nj > len(sb) or nk > len(sc):
+                continue
+            ca = sa[i] if di else GAP_CHAR
+            cb = sb[j] if dj else GAP_CHAR
+            cc = sc[k] if dk else GAP_CHAR
+            v = scheme.column_score(ca, cb, cc) + best_from(ni, nj, nk)
+            if v > out:
+                out = v
+        return out
+
+    return best_from(0, 0, 0)
+
+
+def memo_optimal_pairwise(sx: str, sy: str, scheme: ScoringScheme) -> float:
+    """Memoised pairwise optimum (suffix formulation)."""
+
+    @lru_cache(maxsize=None)
+    def best_from(i: int, j: int) -> float:
+        if i == len(sx) and j == len(sy):
+            return 0.0
+        out = float("-inf")
+        if i < len(sx) and j < len(sy):
+            out = max(
+                out,
+                scheme.pair_score(sx[i], sy[j]) + best_from(i + 1, j + 1),
+            )
+        if i < len(sx):
+            out = max(out, scheme.gap + best_from(i + 1, j))
+        if j < len(sy):
+            out = max(out, scheme.gap + best_from(i, j + 1))
+        return out
+
+    return best_from(0, 0)

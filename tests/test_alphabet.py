@@ -1,0 +1,103 @@
+"""Unit tests for repro.seqio.alphabet."""
+
+import numpy as np
+import pytest
+
+from repro.seqio.alphabet import (
+    DNA,
+    GAP_CHAR,
+    PROTEIN,
+    RNA,
+    Alphabet,
+    guess_alphabet,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_dna(self):
+        seq = "ACGTACGT"
+        assert DNA.decode(DNA.encode(seq)) == seq
+
+    def test_roundtrip_protein(self):
+        seq = "ARNDCQEGHILKMFPSTWYV"
+        assert PROTEIN.decode(PROTEIN.encode(seq)) == seq
+
+    def test_codes_are_positional(self):
+        codes = DNA.encode("ACGT")
+        assert list(codes) == [0, 1, 2, 3]
+
+    def test_encode_dtype(self):
+        assert DNA.encode("ACGT").dtype == np.uint8
+
+    def test_lowercase_accepted(self):
+        assert list(DNA.encode("acgt")) == [0, 1, 2, 3]
+
+    def test_empty_sequence(self):
+        assert len(DNA.encode("")) == 0
+        assert DNA.decode(np.array([], dtype=np.uint8)) == ""
+
+    def test_wildcard_encodes_to_last_code(self):
+        assert int(DNA.encode("N")[0]) == 4
+        assert int(PROTEIN.encode("X")[0]) == 20
+
+    def test_wildcard_decodes(self):
+        assert DNA.decode(np.array([4])) == "N"
+
+    def test_invalid_character_raises(self):
+        with pytest.raises(ValueError, match="not in alphabet"):
+            DNA.encode("ACGZ")
+
+    def test_decode_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="outside alphabet"):
+            DNA.decode(np.array([99]))
+
+
+class TestAlphabetProperties:
+    def test_sizes(self):
+        assert DNA.size == 5  # ACGT + N
+        assert RNA.size == 5
+        assert PROTEIN.size == 21  # 20 + X
+
+    def test_contains(self):
+        assert "A" in DNA
+        assert "a" in DNA
+        assert "N" in DNA
+        assert "Z" not in DNA
+
+    def test_is_valid(self):
+        assert DNA.is_valid("ACGTN")
+        assert not DNA.is_valid("ACGU")
+
+    def test_duplicate_letters_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Alphabet("bad", "AAC")
+
+    def test_gap_char_rejected_as_letter(self):
+        with pytest.raises(ValueError, match="gap character"):
+            Alphabet("bad", "AB-")
+
+    def test_wildcard_collision_rejected(self):
+        with pytest.raises(ValueError, match="collides"):
+            Alphabet("bad", "ABC", wildcard="A")
+
+    def test_gap_char_constant(self):
+        assert GAP_CHAR == "-"
+
+
+class TestGuessAlphabet:
+    def test_guess_dna(self):
+        assert guess_alphabet("ACGTACGT").name == "dna"
+
+    def test_guess_rna(self):
+        assert guess_alphabet("ACGUACGU").name == "rna"
+
+    def test_guess_protein(self):
+        assert guess_alphabet("MVLSPADKTNVK").name == "protein"
+
+    def test_guess_failure(self):
+        with pytest.raises(ValueError, match="does not match"):
+            guess_alphabet("B1Z@")
+
+    def test_dna_preferred_over_protein(self):
+        # ACGT are all valid amino acids too; DNA wins by priority.
+        assert guess_alphabet("ACGT").name == "dna"

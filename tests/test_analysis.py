@@ -1,0 +1,136 @@
+"""Unit tests for repro.analysis (stats and comparison metrics)."""
+
+import pytest
+
+from repro.analysis.compare import (
+    aligned_pair_sets,
+    column_agreement,
+    pair_agreement,
+    sp_breakdown,
+)
+from repro.analysis.stats import alignment_stats, gap_runs
+from repro.core.api import align3
+from repro.heuristics import align3_centerstar
+from repro.seqio.generate import MutationModel, mutated_family
+
+
+class TestGapRuns:
+    def test_basic(self):
+        assert gap_runs("A--CG-T") == [2, 1]
+
+    def test_leading_trailing(self):
+        assert gap_runs("--AC--") == [2, 2]
+
+    def test_no_gaps(self):
+        assert gap_runs("ACGT") == []
+
+    def test_all_gaps(self):
+        assert gap_runs("---") == [3]
+
+    def test_empty(self):
+        assert gap_runs("") == []
+
+
+class TestAlignmentStats:
+    def test_identical_rows(self):
+        s = alignment_stats(("ACGT", "ACGT", "ACGT"))
+        assert s.identity == 1.0
+        assert s.columns_gapless == 4
+        assert s.gap_fraction == 0.0
+        assert s.gap_runs == 0
+
+    def test_mixed(self):
+        s = alignment_stats(("AC-G", "A-CG", "ACCG"))
+        assert s.length == 4
+        assert s.columns_identical == 2  # col 0 (AAA) and col 3 (GGG)
+        assert s.columns_gapless == 2
+        assert s.gap_fraction == pytest.approx(2 / 12)
+        assert s.gap_runs == 2
+        assert s.mean_gap_run == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no rows"):
+            alignment_stats(())
+        with pytest.raises(ValueError, match="unequal"):
+            alignment_stats(("AC", "A"))
+
+    def test_empty_alignment(self):
+        s = alignment_stats(("", ""))
+        assert s.length == 0
+        assert s.identity == 0.0
+
+
+class TestAlignedPairSets:
+    def test_simple(self):
+        sets = aligned_pair_sets(("AC", "AC"))
+        assert sets[(0, 1)] == {(0, 0), (1, 1)}
+
+    def test_gaps_drop_pairs(self):
+        sets = aligned_pair_sets(("A-C", "AGC"))
+        assert sets[(0, 1)] == {(0, 0), (1, 2)}
+
+    def test_three_rows(self):
+        sets = aligned_pair_sets(("A", "A", "A"))
+        assert all(s == {(0, 0)} for s in sets.values())
+
+
+class TestAgreement:
+    def test_identical_alignments(self):
+        rows = ("AC-G", "A-CG", "ACCG")
+        assert pair_agreement(rows, rows) == 1.0
+        assert column_agreement(rows, rows) == 1.0
+
+    def test_different_sequences_rejected(self):
+        with pytest.raises(ValueError, match="same sequences"):
+            pair_agreement(("AC", "AC"), ("AG", "AC"))
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row counts"):
+            pair_agreement(("AC", "AC"), ("AC", "AC", "AC"))
+
+    def test_shifted_gap_lowers_agreement(self):
+        ref = ("AAC", "AAC")
+        cand = ("AAC-", "-AAC")
+        # cand aligns (1,0) and (2,1); ref aligns (0,0),(1,1),(2,2).
+        assert pair_agreement(cand, ref) == 0.0
+        assert column_agreement(cand, ref) == 0.0
+
+    def test_partial_agreement(self):
+        ref = ("ACG", "ACG")
+        cand = ("ACG-", "AC-G")
+        # cand aligns (0,0),(1,1); ref aligns those plus (2,2).
+        assert pair_agreement(cand, ref) == pytest.approx(2 / 3)
+
+    def test_empty_reference(self):
+        assert pair_agreement(("A-", "-C"), ("A-", "-C")) == 1.0
+
+    def test_heuristic_vs_exact_workflow(self, dna_scheme):
+        fam = mutated_family(
+            30, model=MutationModel(0.3, 0.08, 0.08), seed=30
+        )
+        exact = align3(*fam, dna_scheme)
+        heur = align3_centerstar(*fam, dna_scheme)
+        q = pair_agreement(heur.rows, exact.rows)
+        assert 0.0 <= q <= 1.0
+        # Equal-score alignments need not be identical, but a worse-scoring
+        # heuristic cannot perfectly reproduce a strictly better optimum.
+        if heur.score < exact.score - 1e-9:
+            assert q < 1.0
+
+
+class TestSpBreakdown:
+    def test_sums_to_sp_score(self, dna_scheme):
+        rows = ("AC-G", "A-CG", "ACCG")
+        parts = sp_breakdown(rows, dna_scheme)
+        assert sum(parts.values()) == pytest.approx(dna_scheme.sp_score(rows))
+        assert set(parts) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_matches_pairwise_projection_scores(self, dna_scheme):
+        rows = ("AC-G", "A-CG", "ACCG")
+        parts = sp_breakdown(rows, dna_scheme)
+        for (a, b), val in parts.items():
+            manual = sum(
+                dna_scheme.pair_score(x, y)
+                for x, y in zip(rows[a], rows[b])
+            )
+            assert val == pytest.approx(manual)

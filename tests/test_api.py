@@ -1,0 +1,85 @@
+"""Unit tests for the align3 front door (repro.core.api)."""
+
+import pytest
+
+import repro
+from repro.core.api import AVAILABLE_METHODS, align3, align3_score
+from repro.core.dp3d import score3_dp3d
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "method",
+        ["dp3d", "wavefront", "hirschberg", "pruned", "banded", "shared",
+         "threads"],
+    )
+    def test_all_linear_methods_agree(self, method, dna_scheme, family_small):
+        expected = score3_dp3d(*family_small, dna_scheme)
+        aln = align3(*family_small, dna_scheme, method=method)
+        assert aln.score == pytest.approx(expected), method
+        assert dna_scheme.sp_score(aln.rows) == pytest.approx(expected)
+        assert aln.meta["method"] == method
+        assert "wall_time_s" in aln.meta
+
+    def test_auto_small_is_wavefront(self, dna_scheme):
+        aln = align3("GATTACA", "GATCA", "GTT", dna_scheme)
+        assert aln.meta["engine"] == "wavefront"
+
+    def test_auto_affine_scheme_routes_to_affine(self, affine_dna_scheme):
+        aln = align3("GAT", "GT", "GAT", affine_dna_scheme)
+        assert aln.meta["engine"] == "affine"
+
+    def test_affine_scheme_with_linear_method_rejected(self, affine_dna_scheme):
+        with pytest.raises(ValueError, match="gap_open"):
+            align3("A", "A", "A", affine_dna_scheme, method="wavefront")
+
+    def test_unknown_method_rejected(self, dna_scheme):
+        with pytest.raises(ValueError, match="unknown method"):
+            align3("A", "A", "A", dna_scheme, method="magic")
+
+    def test_pruned_records_stats(self, dna_scheme, family_small):
+        aln = align3(*family_small, dna_scheme, method="pruned")
+        assert 0 < aln.meta["pruning"]["kept_fraction"] <= 1
+
+    def test_methods_listed(self):
+        assert "wavefront" in AVAILABLE_METHODS
+        assert "auto" in AVAILABLE_METHODS
+
+
+class TestSchemeGuessing:
+    def test_dna_guessed(self):
+        aln = align3("GATTACA", "GATCA", "GTTACA")
+        assert aln.meta["scheme"] == "dna5-4"
+
+    def test_protein_guessed(self):
+        aln = align3("MVLSPAD", "MVHLTPE", "MGLSDGE")
+        assert aln.meta["scheme"] == "blosum62"
+
+    def test_explicit_scheme_wins(self, protein_scheme):
+        # ACGT is valid protein too; forcing the protein scheme must work.
+        aln = align3("ACGT", "ACG", "AGT", scheme=protein_scheme)
+        assert aln.meta["scheme"] == "blosum62"
+
+
+class TestScoreOnly:
+    def test_matches_alignment_score(self, dna_scheme, family_small):
+        aln = align3(*family_small, dna_scheme)
+        assert align3_score(*family_small, dna_scheme) == pytest.approx(aln.score)
+
+    def test_affine_score(self, affine_dna_scheme, family_small):
+        from repro.core.affine import score3_affine
+
+        got = align3_score(*family_small, affine_dna_scheme)
+        assert got == pytest.approx(score3_affine(*family_small, affine_dna_scheme))
+
+
+class TestTopLevelExports:
+    def test_align3_reexported(self):
+        assert repro.align3 is align3
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_docstring_example(self):
+        aln = repro.align3("GATTACA", "GATCA", "GATTA")
+        assert aln.sequences() == ("GATTACA", "GATCA", "GATTA")

@@ -1,0 +1,103 @@
+"""Unit tests for repro.cluster.blockgrid."""
+
+import pytest
+
+from repro.cluster.blockgrid import MAPPINGS, BlockGrid
+
+
+@pytest.fixture
+def grid():
+    return BlockGrid.for_sequences(50, 50, 50, 16)
+
+
+class TestShape:
+    def test_grid_shape_ceiling(self, grid):
+        assert grid.grid_shape == (4, 4, 4)  # ceil(51/16)
+
+    def test_n_blocks(self, grid):
+        assert grid.n_blocks == 64
+
+    def test_anisotropic_blocks(self):
+        g = BlockGrid.for_sequences(10, 20, 30, (4, 8, 16))
+        assert g.grid_shape == (3, 3, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockGrid(dims=(0, 5, 5), block=(2, 2, 2))
+        with pytest.raises(ValueError):
+            BlockGrid(dims=(5, 5, 5), block=(0, 2, 2))
+
+
+class TestEnumeration:
+    def test_every_block_once(self, grid):
+        blocks = list(grid.blocks())
+        assert len(blocks) == grid.n_blocks
+        assert len(set(blocks)) == grid.n_blocks
+
+    def test_wavefront_order(self, grid):
+        planes = [sum(b) for b in grid.blocks()]
+        assert planes == sorted(planes)
+
+    def test_cells_partition_lattice(self, grid):
+        assert sum(grid.block_cells(b) for b in grid.blocks()) == grid.total_cells()
+
+    def test_boundary_blocks_smaller(self, grid):
+        assert grid.block_cells((0, 0, 0)) == 16**3
+        assert grid.block_cells((3, 3, 3)) == 3**3  # 51 = 3*16 + 3
+
+    def test_block_index_out_of_range(self, grid):
+        with pytest.raises(IndexError):
+            grid.block_cells((4, 0, 0))
+
+
+class TestDependencies:
+    def test_origin_has_none(self, grid):
+        assert grid.dependencies((0, 0, 0)) == []
+
+    def test_interior_has_seven(self, grid):
+        deps = grid.dependencies((1, 1, 1))
+        assert len(deps) == 7
+
+    def test_payloads(self, grid):
+        deps = dict(grid.dependencies((1, 1, 1)))
+        assert deps[(0, 1, 1)] == 16 * 16  # face
+        assert deps[(0, 0, 1)] == 16  # edge
+        assert deps[(0, 0, 0)] == 1  # corner
+
+    def test_boundary_payloads_shrink(self, grid):
+        deps = dict(grid.dependencies((3, 3, 3)))
+        assert deps[(2, 3, 3)] == 3 * 3
+
+    def test_edges_point_backwards(self, grid):
+        for blk in grid.blocks():
+            for src, _payload in grid.dependencies(blk):
+                assert sum(src) < sum(blk)
+                assert all(s <= b for s, b in zip(src, blk))
+
+
+class TestOwnership:
+    @pytest.mark.parametrize("mapping", MAPPINGS)
+    def test_owners_in_range(self, grid, mapping):
+        for blk in grid.blocks():
+            assert 0 <= grid.owner(blk, 7, mapping) < 7
+
+    def test_pencil_keeps_i_axis_local(self, grid):
+        for bj in range(4):
+            for bk in range(4):
+                owners = {grid.owner((bi, bj, bk), 5, "pencil") for bi in range(4)}
+                assert len(owners) == 1
+
+    def test_slab_contiguous(self, grid):
+        owners = [grid.owner((bi, 0, 0), 2, "slab") for bi in range(4)]
+        assert owners == sorted(owners)
+
+    def test_unknown_mapping(self, grid):
+        with pytest.raises(ValueError, match="unknown mapping"):
+            grid.owner((0, 0, 0), 2, "bogus")
+
+    def test_procs_validated(self, grid):
+        with pytest.raises(ValueError):
+            grid.owner((0, 0, 0), 0)
+
+    def test_single_proc_owns_everything(self, grid):
+        assert {grid.owner(b, 1) for b in grid.blocks()} == {0}

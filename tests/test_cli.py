@@ -1,0 +1,213 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.seqio.fasta import parse_fasta, write_fasta
+from repro.seqio.generate import mutated_family
+
+
+@pytest.fixture
+def fasta3(tmp_path):
+    fam = mutated_family(25, seed=2)
+    path = tmp_path / "three.fasta"
+    write_fasta(path, [(f"s{i}", s) for i, s in enumerate(fam)])
+    return str(path), fam
+
+
+@pytest.fixture
+def fasta5(tmp_path):
+    fam = mutated_family(20, count=5, seed=3)
+    path = tmp_path / "five.fasta"
+    write_fasta(path, [(f"s{i}", s) for i, s in enumerate(fam)])
+    return str(path), fam
+
+
+class TestAlign:
+    def test_pretty_output(self, fasta3, capsys):
+        path, fam = fasta3
+        assert main(["align", path]) == 0
+        captured = capsys.readouterr()
+        assert "s0" in captured.out
+        assert "score=" in captured.err
+
+    def test_fasta_output_roundtrip(self, fasta3, capsys):
+        path, fam = fasta3
+        assert main(["align", path, "--format", "fasta"]) == 0
+        out = capsys.readouterr().out
+        records = parse_fasta(out)
+        assert len(records) == 3
+        assert [s.replace("-", "") for _h, s in records] == fam
+
+    def test_method_selection(self, fasta3, capsys):
+        path, _fam = fasta3
+        assert main(["align", path, "--method", "hirschberg"]) == 0
+        assert "engine=hirschberg" in capsys.readouterr().err
+
+    def test_affine_via_gap_open(self, fasta3, capsys):
+        path, _fam = fasta3
+        assert main(
+            ["align", path, "--gap", "-3", "--gap-open", "-9"]
+        ) == 0
+        assert "engine=affine" in capsys.readouterr().err
+
+    def test_msa_for_five(self, fasta5, capsys):
+        path, fam = fasta5
+        assert main(["align", path, "--format", "fasta"]) == 0
+        records = parse_fasta(capsys.readouterr().out)
+        assert len(records) == 5
+        assert [s.replace("-", "") for _h, s in records] == fam
+
+    def test_single_record_errors(self, tmp_path, capsys):
+        path = tmp_path / "one.fasta"
+        write_fasta(path, [("only", "ACGT")])
+        assert main(["align", str(path)]) == 2
+        assert "at least two" in capsys.readouterr().err
+
+
+class TestScore:
+    def test_matches_api(self, fasta3, capsys, dna_scheme):
+        from repro.core.api import align3_score
+
+        path, fam = fasta3
+        assert main(["score", path]) == 0
+        printed = float(capsys.readouterr().out.strip())
+        assert printed == pytest.approx(align3_score(*fam, dna_scheme))
+
+    def test_explicit_matrix_and_gap(self, fasta3, capsys):
+        path, _fam = fasta3
+        assert main(["score", path, "--matrix", "unit", "--gap", "-2"]) == 0
+        float(capsys.readouterr().out.strip())  # parses as a number
+
+
+class TestGenerate:
+    def test_emits_fasta(self, capsys):
+        assert main(["generate", "--length", "30", "--count", "4",
+                     "--seed", "9"]) == 0
+        records = parse_fasta(capsys.readouterr().out)
+        assert len(records) == 4
+        assert all(set(s) <= set("ACGT") for _h, s in records)
+
+    def test_deterministic(self, capsys):
+        main(["generate", "--seed", "11"])
+        first = capsys.readouterr().out
+        main(["generate", "--seed", "11"])
+        assert capsys.readouterr().out == first
+
+    def test_protein_alphabet(self, capsys):
+        assert main(["generate", "--alphabet", "protein", "--length", "20"]) == 0
+        _h, seq = parse_fasta(capsys.readouterr().out)[0]
+        from repro.seqio.alphabet import PROTEIN
+
+        assert PROTEIN.is_valid(seq)
+
+
+class TestSimulate:
+    def test_table_printed(self, capsys):
+        assert main(["simulate", "--n", "60", "--procs", "1", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "comm_MB" in out
+
+    def test_network_choice(self, capsys):
+        assert main(
+            ["simulate", "--n", "60", "--procs", "2", "--network", "modern"]
+        ) == 0
+        assert "modern" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro 1.0.0" in out
+        assert "wavefront" in out
+
+
+class TestAlignModes:
+    def test_local_mode(self, fasta3, capsys):
+        path, _fam = fasta3
+        assert main(["align", path, "--mode", "local"]) == 0
+        assert "engine=local" in capsys.readouterr().err
+
+    def test_semiglobal_mode(self, fasta3, capsys):
+        path, _fam = fasta3
+        assert main(["align", path, "--mode", "semiglobal"]) == 0
+        captured = capsys.readouterr()
+        assert "engine=semiglobal" in captured.err
+
+    def test_semiglobal_rows_cover_inputs(self, fasta3, capsys):
+        path, fam = fasta3
+        assert main(["align", path, "--mode", "semiglobal",
+                     "--format", "fasta"]) == 0
+        records = parse_fasta(capsys.readouterr().out)
+        assert [s.replace("-", "") for _h, s in records] == fam
+
+    def test_mode_requires_three(self, fasta5, capsys):
+        path, _fam = fasta5
+        assert main(["align", path, "--mode", "local"]) == 2
+        assert "exactly three" in capsys.readouterr().err
+
+    def test_banded_method(self, fasta3, capsys):
+        path, _fam = fasta3
+        assert main(["align", path, "--method", "banded"]) == 0
+        assert "engine=banded" in capsys.readouterr().err
+
+
+class TestBenchOut:
+    def test_out_dir_written(self, tmp_path, capsys):
+        from repro.bench.__main__ import main as bench_main
+
+        out = tmp_path / "results"
+        assert bench_main(["--exp", "f6", "--quick", "--out", str(out)]) == 0
+        text = (out / "f6.txt").read_text()
+        assert "comm_MB" in text
+
+
+class TestCount:
+    def test_count_printed(self, fasta3, capsys):
+        path, fam = fasta3
+        assert main(["count", path]) == 0
+        n = int(capsys.readouterr().out.strip())
+        from repro.core.countopt import count_optimal
+        from repro.core.scoring import default_scheme_for
+        from repro.seqio.alphabet import DNA
+
+        assert n == count_optimal(*fam, default_scheme_for(DNA))
+
+    def test_show_alignments(self, fasta3, capsys):
+        path, _fam = fasta3
+        assert main(["count", path, "--show", "2"]) == 0
+        out = capsys.readouterr().out
+        # The count line plus at least one pretty-printed block.
+        assert out.splitlines()[0].strip().isdigit()
+        assert "\nA " in out
+
+    def test_requires_three(self, fasta5, capsys):
+        path, _fam = fasta5
+        assert main(["count", path]) == 2
+        assert "exactly three" in capsys.readouterr().err
+
+    def test_affine_rejected(self, fasta3, capsys):
+        path, _fam = fasta3
+        assert main(["count", path, "--gap-open", "-5"]) == 2
+        assert "linear" in capsys.readouterr().err
+
+
+class TestSimulateExtras:
+    def test_calibrate_flag(self, capsys):
+        assert main(
+            ["simulate", "--n", "60", "--procs", "1", "2", "--calibrate"]
+        ) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_mapping_flag(self, capsys):
+        assert main(
+            ["simulate", "--n", "60", "--procs", "4", "--mapping", "slab"]
+        ) == 0
+        assert "slab" in capsys.readouterr().out
+
+    def test_block_flag(self, capsys):
+        assert main(
+            ["simulate", "--n", "60", "--procs", "2", "--block", "8"]
+        ) == 0
+        assert "block=8" in capsys.readouterr().out

@@ -1,0 +1,107 @@
+"""Unit tests for Clustal rendering/parsing and the ts/tv matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrices import dna_tstv
+from repro.seqio.clustal import conservation_line, format_clustal, parse_clustal
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        names = ["alpha", "beta", "gamma"]
+        rows = ["AC-GT" * 20, "ACTG-" * 20, "AC--T" * 20]
+        text = format_clustal(names, rows, width=50)
+        assert parse_clustal(text) == list(zip(names, rows))
+
+    def test_header_present(self):
+        text = format_clustal(["a"], ["ACGT"])
+        assert text.startswith("CLUSTAL")
+
+    def test_blocks_respect_width(self):
+        text = format_clustal(["x"], ["A" * 100], width=30)
+        seq_lines = [l for l in text.splitlines() if l.startswith("x")]
+        assert len(seq_lines) == 4  # 30+30+30+10
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            format_clustal(["a"], ["AC", "AC"])
+        with pytest.raises(ValueError, match="unequal"):
+            format_clustal(["a", "b"], ["AC", "A"])
+        with pytest.raises(ValueError, match="whitespace"):
+            format_clustal(["a b"], ["AC"])
+        with pytest.raises(ValueError, match="width"):
+            format_clustal(["a"], ["AC"], width=0)
+        with pytest.raises(ValueError, match="no rows"):
+            format_clustal([], [])
+
+    def test_empty_alignment(self):
+        text = format_clustal(["a", "b"], ["", ""])
+        assert parse_clustal(text) == [("a", ""), ("b", "")]
+
+    def test_works_with_alignment3(self, dna_scheme):
+        from repro.core.api import align3
+
+        aln = align3("GATTACA", "GATCA", "GTTACA", dna_scheme)
+        text = format_clustal(["A", "B", "C"], list(aln.rows))
+        parsed = parse_clustal(text)
+        assert tuple(r for _n, r in parsed) == aln.rows
+
+
+class TestConservation:
+    def test_markers(self):
+        rows = ("ACG-", "ACT-", "ACTA")
+        line = conservation_line(rows, slice(0, 4))
+        assert line[0] == "*"  # all A
+        assert line[1] == "*"  # all C
+        assert line[2] == ":"  # G/T/T residues, not identical
+        assert line[3] == " "  # gaps present
+
+    def test_alignment_between_markers_and_columns(self):
+        rows = ("AAAA", "AAAA")
+        assert conservation_line(rows, slice(1, 3)) == "**"
+
+
+class TestParse:
+    def test_missing_header(self):
+        with pytest.raises(ValueError, match="CLUSTAL"):
+            parse_clustal("a ACGT\n")
+
+    def test_no_rows(self):
+        with pytest.raises(ValueError, match="no sequence rows"):
+            parse_clustal("CLUSTAL W\n\n")
+
+    def test_unequal_rows(self):
+        bad = "CLUSTAL W\n\na ACGT\nb AC\n"
+        with pytest.raises(ValueError, match="unequal"):
+            parse_clustal(bad)
+
+
+class TestTsTvMatrix:
+    def test_shape_and_symmetry(self):
+        m = dna_tstv()
+        assert m.shape == (5, 5)
+        assert np.array_equal(m, m.T)
+
+    def test_transitions_milder(self):
+        m = dna_tstv(match=5, transition=-1, transversion=-4)
+        # A<->G and C<->T are transitions.
+        assert m[0, 2] == -1 and m[1, 3] == -1
+        # A<->C, A<->T, C<->G, G<->T are transversions.
+        assert m[0, 1] == -4 and m[0, 3] == -4
+        assert m[1, 2] == -4 and m[2, 3] == -4
+
+    def test_ordering_validated(self):
+        with pytest.raises(ValueError, match="milder"):
+            dna_tstv(transition=-5, transversion=-1)
+
+    def test_usable_in_alignment(self, dna_scheme):
+        from repro.core.scoring import ScoringScheme
+        from repro.core.wavefront import score3_wavefront
+        from repro.seqio.alphabet import DNA
+
+        scheme = ScoringScheme(DNA, dna_tstv(), gap=-6.0, name="tstv")
+        # A G<->A substitution (transition) should cost less than G<->C.
+        s_transition = score3_wavefront("AG", "AA", "AG", scheme)
+        s_transversion = score3_wavefront("AC", "AA", "AC", scheme)
+        assert s_transition > s_transversion

@@ -1,0 +1,69 @@
+"""Unit tests for repro.cluster.machine."""
+
+import pytest
+
+from repro.cluster.machine import (
+    MachineModel,
+    calibrate_t_cell,
+    ethernet_2007,
+    gigabit_2007,
+    modern_cluster,
+)
+
+
+class TestMachineModel:
+    def test_comm_time_affine_in_bytes(self):
+        m = MachineModel(procs=4, alpha=1e-4, beta=1e-8)
+        assert m.comm_time(0) == pytest.approx(1e-4)
+        assert m.comm_time(1000) == pytest.approx(1e-4 + 1e-5)
+
+    def test_compute_time_linear(self):
+        m = MachineModel(procs=1, t_cell=2e-8)
+        assert m.compute_time(1_000_000) == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineModel(procs=0)
+        with pytest.raises(ValueError):
+            MachineModel(procs=1, t_cell=0)
+        with pytest.raises(ValueError):
+            MachineModel(procs=1, alpha=-1)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            MachineModel(procs=1).comm_time(-1)
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ValueError):
+            MachineModel(procs=1).compute_time(-1)
+
+    def test_with_procs(self):
+        m = ethernet_2007(4)
+        m2 = m.with_procs(16)
+        assert m2.procs == 16
+        assert m2.alpha == m.alpha
+        assert m2.name == m.name
+
+
+class TestPresets:
+    def test_era_ordering(self):
+        # Latency and per-byte cost must improve era over era.
+        eth, gig, mod = ethernet_2007(1), gigabit_2007(1), modern_cluster(1)
+        assert eth.alpha > gig.alpha > mod.alpha
+        assert eth.beta > gig.beta > mod.beta
+
+    def test_names(self):
+        assert ethernet_2007(1).name == "ethernet-2007"
+        assert gigabit_2007(1).name == "gigabit-2007"
+        assert modern_cluster(1).name == "modern"
+
+
+class TestCalibration:
+    def test_calibrate_returns_plausible_value(self):
+        t = calibrate_t_cell(n=24, seed=1)
+        # Vectorised NumPy on this machine: between 0.1 ns and 10 us/cell.
+        assert 1e-10 < t < 1e-5
+
+    def test_calibrate_validates_n(self):
+        with pytest.raises(ValueError):
+            calibrate_t_cell(n=0)

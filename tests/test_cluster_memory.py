@@ -1,0 +1,100 @@
+"""Unit tests for per-rank memory accounting (repro.cluster.memory)."""
+
+import pytest
+
+from repro.cluster.blockgrid import BlockGrid
+from repro.cluster.memory import (
+    FULL_CELL_BYTES,
+    MemoryProfile,
+    max_length_for_budget,
+    per_rank_memory,
+)
+
+
+@pytest.fixture
+def grid():
+    return BlockGrid.for_sequences(60, 60, 60, 16)
+
+
+class TestPerRankMemory:
+    def test_single_rank_full_holds_whole_cube(self, grid):
+        prof = per_rank_memory(grid, 1, mode="full")
+        assert prof.per_rank[0] == grid.total_cells() * FULL_CELL_BYTES
+        assert prof.imbalance == pytest.approx(1.0)
+
+    def test_full_memory_splits_across_ranks(self, grid):
+        p1 = per_rank_memory(grid, 1, mode="full").max_rank
+        p8 = per_rank_memory(grid, 8, mode="full").max_rank
+        assert p8 < p1
+        assert p8 >= p1 / 8  # ghosts make it strictly super-ideal
+
+    def test_score_only_much_smaller_than_full(self, grid):
+        full = per_rank_memory(grid, 4, mode="full").max_rank
+        so = per_rank_memory(grid, 4, mode="score_only").max_rank
+        assert so < full / 5
+
+    def test_owned_cells_partition(self, grid):
+        prof = per_rank_memory(grid, 8, mode="full")
+        ghost_free = sum(prof.per_rank)
+        # Sum of owned cells (9 B each) plus ghosts >= the whole cube.
+        assert ghost_free >= grid.total_cells() * FULL_CELL_BYTES
+
+    def test_mode_validated(self, grid):
+        with pytest.raises(ValueError, match="unknown mode"):
+            per_rank_memory(grid, 2, mode="bogus")
+
+    def test_procs_validated(self, grid):
+        with pytest.raises(ValueError):
+            per_rank_memory(grid, 0)
+
+    def test_profile_properties(self):
+        prof = MemoryProfile(per_rank=[10, 20, 30], mode="full")
+        assert prof.max_rank == 30
+        assert prof.mean_rank == pytest.approx(20.0)
+        assert prof.imbalance == pytest.approx(1.5)
+
+    def test_empty_profile(self):
+        prof = MemoryProfile(per_rank=[], mode="full")
+        assert prof.max_rank == 0
+        assert prof.mean_rank == 0.0
+        assert prof.imbalance == 0.0
+
+
+class TestMaxLengthForBudget:
+    def test_more_ranks_allow_longer_sequences(self):
+        budget = 8 * 2**20
+        n1 = max_length_for_budget(budget, 1, mode="full", max_n=256)
+        n16 = max_length_for_budget(budget, 16, mode="full", max_n=256)
+        assert n16 > n1
+
+    def test_score_only_allows_much_longer(self):
+        budget = 2 * 2**20
+        nf = max_length_for_budget(budget, 1, mode="full", max_n=256)
+        ns = max_length_for_budget(budget, 1, mode="score_only", max_n=256)
+        assert ns > nf
+
+    def test_budget_monotone(self):
+        small = max_length_for_budget(1 * 2**20, 4, mode="full", max_n=256)
+        large = max_length_for_budget(16 * 2**20, 4, mode="full", max_n=256)
+        assert large >= small
+
+    def test_cap_respected(self):
+        n = max_length_for_budget(1 << 60, 4, mode="score_only", max_n=64)
+        assert n == 64
+
+    def test_tiny_budget(self):
+        assert max_length_for_budget(1, 1, max_n=32) == 0
+
+    def test_result_actually_fits(self):
+        budget = 4 * 2**20
+        n = max_length_for_budget(budget, 2, mode="full", max_n=256)
+        grid = BlockGrid.for_sequences(n, n, n, 16)
+        assert per_rank_memory(grid, 2, mode="full").max_rank <= budget
+        grid1 = BlockGrid.for_sequences(n + 1, n + 1, n + 1, 16)
+        assert per_rank_memory(grid1, 2, mode="full").max_rank > budget
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_length_for_budget(0, 1)
+        with pytest.raises(ValueError):
+            max_length_for_budget(100, 1, max_n=0)

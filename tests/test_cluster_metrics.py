@@ -1,0 +1,48 @@
+"""Unit tests for repro.cluster.metrics."""
+
+import pytest
+
+from repro.cluster.machine import ethernet_2007
+from repro.cluster.metrics import (
+    block_sweep,
+    comm_volume_series,
+    efficiency_series,
+    speedup_series,
+    sweep_procs,
+)
+
+
+class TestSweeps:
+    def test_speedup_series_shapes(self):
+        s = speedup_series(60, [1, 2, 4], ethernet_2007(1), block=16)
+        assert len(s) == 3
+        assert s[0] == pytest.approx(1.0)
+
+    def test_efficiency_starts_at_one(self):
+        e = efficiency_series(60, [1, 2, 4], ethernet_2007(1), block=16)
+        assert e[0] == pytest.approx(1.0)
+        assert all(0 < x <= 1 + 1e-9 for x in e)
+
+    def test_comm_volume_zero_at_one_proc(self):
+        v = comm_volume_series(60, [1, 4], ethernet_2007(1), block=16)
+        assert v[0] == 0
+        assert v[1] > 0
+
+    def test_sweep_procs_consistent_with_series(self):
+        machine = ethernet_2007(1)
+        res = sweep_procs(60, [1, 2], machine, block=16)
+        s = speedup_series(60, [1, 2], machine, block=16)
+        assert [r.speedup for r in res] == pytest.approx(s)
+
+    def test_block_sweep_has_interior_optimum_for_lossy_network(self):
+        # With high latency, very small and very large blocks both lose:
+        # the best block size is strictly interior (the F4 story).
+        res = block_sweep(200, [4, 8, 16, 32, 64], ethernet_2007(16))
+        speedups = [r.speedup for r in res]
+        best = speedups.index(max(speedups))
+        assert 0 < best < len(speedups) - 1
+
+    def test_block_sweep_messages_monotone_decreasing(self):
+        res = block_sweep(100, [4, 8, 16, 32], ethernet_2007(8))
+        msgs = [r.messages for r in res]
+        assert msgs == sorted(msgs, reverse=True)

@@ -1,0 +1,96 @@
+"""Unit tests for co-optimal counting/enumeration (repro.core.countopt)."""
+
+import pytest
+
+from repro.core.countopt import (
+    count_optimal,
+    enumerate_optimal,
+    iter_optimal_moves,
+    score_cube,
+)
+from repro.core.dp3d import dp3d_matrix, score3_dp3d
+import numpy as np
+
+
+class TestScoreCube:
+    def test_matches_reference(self, dna_scheme):
+        sa, sb, sc = "GAT", "GT", "AT"
+        D_ref, _ = dp3d_matrix(sa, sb, sc, dna_scheme)
+        D = score_cube(sa, sb, sc, dna_scheme)
+        np.testing.assert_allclose(D, D_ref, atol=1e-9)
+
+
+class TestCount:
+    def test_identical_sequences_unique_optimum(self, dna_scheme):
+        assert count_optimal("ACGT", "ACGT", "ACGT", dna_scheme) == 1
+
+    def test_empty_input(self, dna_scheme):
+        assert count_optimal("", "", "", dna_scheme) == 1
+
+    def test_known_degeneracy(self, dna_scheme):
+        # "A" vs "" vs "": the single residue pairs with gaps either way —
+        # only one column possible, so exactly one alignment.
+        assert count_optimal("A", "", "", dna_scheme) == 1
+
+    def test_symmetric_two_residue_tie(self, dna_scheme):
+        # AA vs A vs A: the single A of rows B and C can sit under either
+        # A of row A; co-optimal placements multiply.
+        n = count_optimal("AA", "A", "A", dna_scheme)
+        assert n >= 2
+
+    def test_count_at_least_one(self, dna_scheme, small_triples):
+        for triple in small_triples:
+            assert count_optimal(*triple, dna_scheme) >= 1, triple
+
+    def test_count_matches_enumeration(self, dna_scheme, small_triples):
+        for triple in small_triples:
+            if sum(len(s) for s in triple) > 12:
+                continue
+            n = count_optimal(*triple, dna_scheme)
+            alns = enumerate_optimal(*triple, dna_scheme, limit=10_000)
+            assert len(alns) == n, triple
+
+    def test_affine_rejected(self, dna_scheme):
+        with pytest.raises(ValueError, match="linear"):
+            count_optimal("A", "A", "A", dna_scheme.with_gaps(-1, -1))
+
+
+class TestEnumerate:
+    def test_all_enumerated_are_optimal_and_distinct(self, dna_scheme):
+        sa, sb, sc = "GATTA", "GTA", "GAT"
+        opt = score3_dp3d(sa, sb, sc, dna_scheme)
+        alns = enumerate_optimal(sa, sb, sc, dna_scheme, limit=500)
+        assert all(a.score == pytest.approx(opt) for a in alns)
+        assert all(a.sequences() == (sa, sb, sc) for a in alns)
+        assert len({a.rows for a in alns}) == len(alns)
+
+    def test_limit_respected(self, dna_scheme):
+        alns = enumerate_optimal("AAAA", "AA", "AA", dna_scheme, limit=3)
+        assert len(alns) <= 3
+
+    def test_limit_validated(self, dna_scheme):
+        with pytest.raises(ValueError):
+            enumerate_optimal("A", "A", "A", dna_scheme, limit=0)
+
+    def test_deterministic(self, dna_scheme):
+        a = enumerate_optimal("GAT", "GT", "AT", dna_scheme, limit=50)
+        b = enumerate_optimal("GAT", "GT", "AT", dna_scheme, limit=50)
+        assert [x.rows for x in a] == [x.rows for x in b]
+
+    def test_empty_input(self, dna_scheme):
+        alns = enumerate_optimal("", "", "", dna_scheme)
+        assert len(alns) == 1
+        assert alns[0].rows == ("", "", "")
+
+    def test_iter_streams_lazily(self, dna_scheme):
+        it = iter_optimal_moves("AAAA", "AA", "AA", dna_scheme)
+        first = next(it)
+        assert isinstance(first, list)
+        assert all(1 <= m <= 7 for m in first)
+
+
+class TestDegeneracyGrowth:
+    def test_repeats_increase_degeneracy(self, dna_scheme):
+        small = count_optimal("AA", "A", "A", dna_scheme)
+        large = count_optimal("AAAA", "AA", "AA", dna_scheme)
+        assert large > small

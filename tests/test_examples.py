@@ -1,0 +1,52 @@
+"""Smoke tests: every shipped example must run cleanly end-to-end.
+
+Run as subprocesses so import side effects and __main__ blocks are
+exercised exactly as a user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_checks_passed():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert "All checks passed." in result.stdout
+
+
+def test_motif_search_recovers_motif():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "motif_search.py")],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert "Motif recovered." in result.stdout

@@ -1,0 +1,78 @@
+"""Unit tests for the blocked executor (repro.cluster.execute).
+
+These tie the timing simulator to a functional execution: same grid, same
+mapping, same communication ledger — and the blocked computation must
+reproduce the monolithic engines' optimum exactly.
+"""
+
+import pytest
+
+from repro.cluster.blockgrid import BlockGrid
+from repro.cluster.execute import execute_blocked
+from repro.cluster.machine import MachineModel
+from repro.cluster.simulate import simulate_wavefront
+from repro.core.dp3d import score3_dp3d
+from repro.seqio.generate import mutated_family, random_sequence
+
+
+class TestCorrectness:
+    def test_small_battery(self, small_triples, dna_scheme):
+        for triple in small_triples:
+            res = execute_blocked(*triple, dna_scheme, block=3, procs=3)
+            assert res.score == pytest.approx(
+                score3_dp3d(*triple, dna_scheme)
+            ), triple
+
+    @pytest.mark.parametrize("block", [2, 5, 8, 100])
+    def test_block_size_irrelevant_to_result(self, block, dna_scheme):
+        fam = mutated_family(20, seed=17)
+        res = execute_blocked(*fam, dna_scheme, block=block, procs=4)
+        assert res.score == pytest.approx(score3_dp3d(*fam, dna_scheme))
+
+    @pytest.mark.parametrize("mapping", ["pencil", "linear", "slab"])
+    def test_mapping_irrelevant_to_result(self, mapping, dna_scheme):
+        fam = mutated_family(15, seed=18)
+        res = execute_blocked(*fam, dna_scheme, block=4, procs=3, mapping=mapping)
+        assert res.score == pytest.approx(score3_dp3d(*fam, dna_scheme))
+
+    def test_uneven_lengths(self, dna_scheme):
+        seqs = (
+            random_sequence(25, seed=1),
+            random_sequence(7, seed=2),
+            random_sequence(14, seed=3),
+        )
+        res = execute_blocked(*seqs, dna_scheme, block=(8, 3, 5), procs=5)
+        assert res.score == pytest.approx(score3_dp3d(*seqs, dna_scheme))
+
+    def test_affine_rejected(self, dna_scheme):
+        with pytest.raises(ValueError, match="linear"):
+            execute_blocked("A", "A", "A", dna_scheme.with_gaps(-1, -1))
+
+
+class TestLedgerMatchesSimulator:
+    @pytest.mark.parametrize("procs", [1, 2, 5])
+    @pytest.mark.parametrize("mapping", ["pencil", "linear"])
+    def test_messages_and_bytes_match(self, procs, mapping, dna_scheme):
+        fam = mutated_family(20, seed=19)
+        n1, n2, n3 = (len(s) for s in fam)
+        res = execute_blocked(
+            *fam, dna_scheme, block=6, procs=procs, mapping=mapping
+        )
+        grid = BlockGrid.for_sequences(n1, n2, n3, 6)
+        sim = simulate_wavefront(
+            grid, MachineModel(procs=procs), mapping=mapping
+        )
+        assert res.messages == sim.messages
+        assert res.comm_bytes == sim.comm_volume_bytes
+        assert res.blocks == sim.blocks
+
+    def test_single_proc_no_messages(self, dna_scheme, family_small):
+        res = execute_blocked(*family_small, dna_scheme, block=5, procs=1)
+        assert res.messages == 0
+        assert res.comm_bytes == 0
+
+    def test_work_partition(self, dna_scheme, family_small):
+        res = execute_blocked(*family_small, dna_scheme, block=5, procs=3)
+        total = sum(res.per_proc_cells)
+        n1, n2, n3 = (len(s) for s in family_small)
+        assert total == (n1 + 1) * (n2 + 1) * (n3 + 1)

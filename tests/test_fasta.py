@@ -1,0 +1,92 @@
+"""Unit tests for repro.seqio.fasta."""
+
+import pytest
+
+from repro.seqio.fasta import (
+    format_fasta,
+    iter_fasta,
+    parse_fasta,
+    read_fasta,
+    write_fasta,
+)
+
+
+class TestParse:
+    def test_single_record(self):
+        recs = parse_fasta(">seq1\nACGT\n")
+        assert recs == [("seq1", "ACGT")]
+
+    def test_multiline_body_concatenated(self):
+        recs = parse_fasta(">s\nACGT\nTTTT\nGG\n")
+        assert recs == [("s", "ACGTTTTTGG")]
+
+    def test_multiple_records(self):
+        recs = parse_fasta(">a\nAC\n>b\nGT\n>c\nTT\n")
+        assert [h for h, _ in recs] == ["a", "b", "c"]
+        assert [s for _, s in recs] == ["AC", "GT", "TT"]
+
+    def test_blank_lines_and_comments_skipped(self):
+        recs = parse_fasta(";comment\n>a\n\nAC\n;mid\nGT\n")
+        assert recs == [("a", "ACGT")]
+
+    def test_header_whitespace_stripped(self):
+        recs = parse_fasta(">  padded header  \nAC\n")
+        assert recs[0][0] == "padded header"
+
+    def test_internal_whitespace_removed(self):
+        recs = parse_fasta(">a\nAC GT\tTT\n")
+        assert recs[0][1] == "ACGTTT"
+
+    def test_data_before_header_raises(self):
+        with pytest.raises(ValueError, match="before any '>'"):
+            parse_fasta("ACGT\n>a\nAC\n")
+
+    def test_empty_input(self):
+        assert parse_fasta("") == []
+
+    def test_empty_body_allowed(self):
+        assert parse_fasta(">a\n>b\nAC\n") == [("a", ""), ("b", "AC")]
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        records = [("alpha", "ACGT" * 30), ("beta", "TT")]
+        assert parse_fasta(format_fasta(records)) == records
+
+    def test_wrapping_width(self):
+        text = format_fasta([("a", "A" * 100)], width=10)
+        body_lines = [l for l in text.splitlines() if not l.startswith(">")]
+        assert all(len(l) <= 10 for l in body_lines)
+        assert sum(len(l) for l in body_lines) == 100
+
+    def test_width_zero_disables_wrapping(self):
+        text = format_fasta([("a", "A" * 100)], width=0)
+        assert "A" * 100 in text
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            format_fasta([("a", "AC")], width=-1)
+
+    def test_newline_in_header_rejected(self):
+        with pytest.raises(ValueError, match="newline"):
+            format_fasta([("a\nb", "AC")])
+
+
+class TestFiles:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "x.fasta"
+        records = [("r1", "ACGTACGT"), ("r2", ""), ("r3", "TTTT")]
+        write_fasta(path, records)
+        assert read_fasta(path) == records
+
+    def test_iter_fasta_streams_records(self, tmp_path):
+        path = tmp_path / "x.fasta"
+        records = [(f"r{i}", "ACGT" * i) for i in range(1, 6)]
+        write_fasta(path, records)
+        assert list(iter_fasta(path)) == records
+
+    def test_iter_fasta_bad_input(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text("ACGT\n")
+        with pytest.raises(ValueError):
+            list(iter_fasta(path))

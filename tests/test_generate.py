@@ -1,0 +1,206 @@
+"""Unit tests for repro.seqio.generate."""
+
+import pytest
+
+from repro.seqio.alphabet import DNA, PROTEIN
+from repro.seqio.generate import (
+    MutationModel,
+    identity_fraction,
+    mutate_sequence,
+    mutated_family,
+    random_sequence,
+)
+
+
+class TestRandomSequence:
+    def test_length(self):
+        assert len(random_sequence(50, seed=1)) == 50
+
+    def test_deterministic_given_seed(self):
+        assert random_sequence(40, seed=7) == random_sequence(40, seed=7)
+
+    def test_seeds_differ(self):
+        assert random_sequence(40, seed=1) != random_sequence(40, seed=2)
+
+    def test_alphabet_respected(self):
+        seq = random_sequence(200, DNA, seed=3)
+        assert set(seq) <= set("ACGT")
+
+    def test_no_wildcards_emitted(self):
+        seq = random_sequence(500, PROTEIN, seed=4)
+        assert "X" not in seq
+
+    def test_zero_length(self):
+        assert random_sequence(0, seed=1) == ""
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            random_sequence(-1)
+
+
+class TestMutationModel:
+    def test_defaults_valid(self):
+        MutationModel()
+
+    def test_rate_bounds_checked(self):
+        with pytest.raises(ValueError):
+            MutationModel(substitution=1.5)
+        with pytest.raises(ValueError):
+            MutationModel(insertion=-0.1)
+
+    def test_indel_sum_bound(self):
+        with pytest.raises(ValueError, match="insertion"):
+            MutationModel(insertion=0.6, deletion=0.6)
+
+    def test_scaled(self):
+        m = MutationModel(0.1, 0.02, 0.02).scaled(2.0)
+        assert m.substitution == pytest.approx(0.2)
+        assert m.insertion == pytest.approx(0.04)
+
+    def test_scaled_clips_at_one(self):
+        m = MutationModel(0.5, 0.0, 0.0).scaled(10.0)
+        assert m.substitution == 1.0
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            MutationModel().scaled(0.0)
+
+
+class TestMutateSequence:
+    def test_zero_rates_identity(self):
+        model = MutationModel(0.0, 0.0, 0.0)
+        seq = random_sequence(60, seed=5)
+        assert mutate_sequence(seq, model, seed=9) == seq
+
+    def test_full_deletion(self):
+        model = MutationModel(0.0, 0.0, 1.0)
+        assert mutate_sequence("ACGTACGT", model, seed=1) == ""
+
+    def test_substitution_changes_residue(self):
+        model = MutationModel(1.0, 0.0, 0.0)
+        seq = "A" * 50
+        mutated = mutate_sequence(seq, model, seed=2)
+        assert len(mutated) == 50
+        assert all(c != "A" for c in mutated)
+
+    def test_deterministic(self):
+        model = MutationModel(0.3, 0.1, 0.1)
+        seq = random_sequence(80, seed=6)
+        assert mutate_sequence(seq, model, seed=3) == mutate_sequence(
+            seq, model, seed=3
+        )
+
+    def test_alphabet_respected(self):
+        model = MutationModel(0.5, 0.2, 0.2)
+        seq = random_sequence(100, DNA, seed=8)
+        assert set(mutate_sequence(seq, model, seed=4)) <= set("ACGT")
+
+
+class TestMutatedFamily:
+    def test_count(self):
+        fam = mutated_family(30, count=3, seed=1)
+        assert len(fam) == 3
+
+    def test_members_are_related(self):
+        fam = mutated_family(200, model=MutationModel(0.05, 0.0, 0.0), seed=2)
+        # With only 5% substitutions and no indels, identity stays high.
+        assert identity_fraction(fam[0], fam[1]) > 0.8
+
+    def test_members_differ(self):
+        fam = mutated_family(100, seed=3)
+        assert len(set(fam)) > 1
+
+    def test_deterministic(self):
+        assert mutated_family(40, seed=4) == mutated_family(40, seed=4)
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            mutated_family(10, count=0)
+
+
+class TestIdentityFraction:
+    def test_identical(self):
+        assert identity_fraction("ACGT", "ACGT") == 1.0
+
+    def test_disjoint(self):
+        assert identity_fraction("AAAA", "CCCC") == 0.0
+
+    def test_empty(self):
+        assert identity_fraction("", "ACGT") == 0.0
+
+
+class TestBlockIndels:
+    def test_zero_rates_identity(self):
+        from repro.seqio.generate import mutate_with_blocks
+
+        model = MutationModel(0.0, 0.0, 0.0)
+        seq = random_sequence(60, seed=31)
+        assert mutate_with_blocks(seq, model, seed=5, block_rate=0.0) == seq
+
+    def test_deterministic(self):
+        from repro.seqio.generate import mutate_with_blocks
+
+        model = MutationModel(0.1, 0.0, 0.0)
+        seq = random_sequence(80, seed=32)
+        a = mutate_with_blocks(seq, model, seed=6, block_rate=0.05)
+        b = mutate_with_blocks(seq, model, seed=6, block_rate=0.05)
+        assert a == b
+
+    def test_blocks_change_length_substantially(self):
+        from repro.seqio.generate import mutate_with_blocks
+
+        model = MutationModel(0.0, 0.0, 0.0)
+        seq = random_sequence(200, seed=33)
+        mutated = mutate_with_blocks(
+            seq, model, seed=7, block_rate=0.2, mean_block=8.0
+        )
+        assert mutated != seq
+        assert abs(len(mutated) - len(seq)) > 0
+
+    def test_alphabet_respected(self):
+        from repro.seqio.generate import mutate_with_blocks
+
+        model = MutationModel(0.2, 0.0, 0.0)
+        seq = random_sequence(100, seed=34)
+        out = mutate_with_blocks(seq, model, seed=8, block_rate=0.1)
+        assert set(out) <= set("ACGT")
+
+    def test_rate_validated(self):
+        from repro.seqio.generate import mutate_with_blocks
+
+        with pytest.raises(ValueError):
+            mutate_with_blocks("ACGT", MutationModel(), block_rate=2.0)
+        with pytest.raises(ValueError):
+            mutate_with_blocks("ACGT", MutationModel(), mean_block=0.0)
+
+    def test_family(self):
+        from repro.seqio.generate import block_indel_family, identity_fraction
+
+        fam = block_indel_family(80, seed=9)
+        assert len(fam) == 3
+        # Members share ancestry: decent identity despite indels.
+        assert identity_fraction(fam[0], fam[1]) > 0.3
+
+    def test_family_count_validated(self):
+        from repro.seqio.generate import block_indel_family
+
+        with pytest.raises(ValueError):
+            block_indel_family(10, count=0)
+
+    def test_affine_prefers_block_indel_families(self, dna_scheme):
+        """On a block-indel workload, the affine optimum concentrates gaps:
+        its alignment has fewer, longer gap runs than the linear one."""
+        from repro.analysis.stats import alignment_stats
+        from repro.core.affine import align3_affine
+        from repro.core.wavefront import align3_wavefront
+        from repro.seqio.generate import block_indel_family
+
+        fam = block_indel_family(40, seed=10, block_rate=0.05, mean_block=6.0)
+        linear = align3_wavefront(*fam, dna_scheme.with_gaps(gap=-2.0))
+        affine = align3_affine(
+            *fam, dna_scheme.with_gaps(gap=-0.5, gap_open=-12.0)
+        )
+        s_lin = alignment_stats(linear.rows)
+        s_aff = alignment_stats(affine.rows)
+        if s_aff.gap_runs and s_lin.gap_runs:
+            assert s_aff.mean_gap_run >= s_lin.mean_gap_run - 1e-9

@@ -1,0 +1,85 @@
+"""Unit tests for the affine-gap pairwise aligner (repro.pairwise.gotoh)."""
+
+import pytest
+
+from repro.pairwise.gotoh import align2_affine, score2_affine
+from repro.pairwise.nw import score2
+
+
+@pytest.fixture
+def aff(dna_scheme):
+    return dna_scheme.with_gaps(gap=-2.0, gap_open=-10.0)
+
+
+class TestScore:
+    def test_no_gaps_needed(self, aff):
+        assert score2_affine("ACGT", "ACGT", aff) == pytest.approx(4 * 5.0)
+
+    def test_single_gap_run(self, aff):
+        # Align AAAA vs AA: one run of two gaps: 2 matches + open + 2 ext.
+        got = score2_affine("AAAA", "AA", aff)
+        assert got == pytest.approx(2 * 5.0 - 10.0 - 4.0)
+
+    def test_empty_vs_sequence(self, aff):
+        got = score2_affine("ACGT", "", aff)
+        assert got == pytest.approx(-10.0 + 4 * -2.0)
+
+    def test_both_empty(self, aff):
+        assert score2_affine("", "", aff) == 0.0
+
+    def test_linear_scheme_falls_back_to_nw(self, dna_scheme):
+        got = score2_affine("GATTACA", "GATCA", dna_scheme)
+        assert got == pytest.approx(score2("GATTACA", "GATCA", dna_scheme))
+
+    def test_open_penalty_consolidates_gaps(self, dna_scheme):
+        # Two sequences where linear gaps would scatter; affine must place
+        # one run. Verify affine optimum <= linear optimum with same extend.
+        lin = dna_scheme.with_gaps(gap=-2.0)
+        aff = dna_scheme.with_gaps(gap=-2.0, gap_open=-10.0)
+        sx, sy = "ACGTACGTACGT", "ACGACGT"
+        assert score2_affine(sx, sy, aff) <= score2(sx, sy, lin) + 1e-9
+
+
+class TestAlignment:
+    def test_traceback_consumes_inputs(self, aff):
+        aln = align2_affine("GATTACA", "GAACA", aff)
+        assert aln.sequences() == ("GATTACA", "GAACA")
+
+    def test_score_matches_score2(self, aff):
+        aln = align2_affine("GATTACA", "GAACA", aff)
+        assert aln.score == pytest.approx(score2_affine("GATTACA", "GAACA", aff))
+
+    def test_rescoring_with_affine_scorer(self, aff):
+        # Rescore the pairwise alignment with the 3-way affine scorer by
+        # embedding an empty third sequence: the pair (A,B) contribution
+        # plus the gap columns against C must be self-consistent.
+        aln = align2_affine("AAAA", "AA", aff)
+        row_a, row_b = aln.rows
+        # Direct manual affine rescoring of the two rows:
+        total = 0.0
+        in_gap = None
+        for x, y in zip(row_a, row_b):
+            if x != "-" and y != "-":
+                total += aff.pair_score(x, y)
+                in_gap = None
+            else:
+                direction = "x" if y == "-" else "y"
+                total += aff.gap
+                if in_gap != direction:
+                    total += aff.gap_open
+                in_gap = direction
+        assert total == pytest.approx(aln.score)
+
+    def test_gap_runs_minimised(self, aff):
+        aln = align2_affine("AAAACCCCAAAA", "AAAAAAAA", aff)
+        row_b = aln.rows[1]
+        runs = sum(
+            1
+            for idx, ch in enumerate(row_b)
+            if ch == "-" and (idx == 0 or row_b[idx - 1] != "-")
+        )
+        assert runs == 1
+
+    def test_empty_alignment(self, aff):
+        aln = align2_affine("", "", aff)
+        assert aln.rows == ("", "")

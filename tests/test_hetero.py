@@ -1,0 +1,108 @@
+"""Unit tests for the heterogeneous cluster model (repro.cluster.hetero)."""
+
+import pytest
+
+from repro.cluster.blockgrid import BlockGrid
+from repro.cluster.hetero import (
+    HeterogeneousMachine,
+    simulate_wavefront_hetero,
+    uniform_with_stragglers,
+    weighted_pencil_owners,
+)
+
+
+@pytest.fixture
+def grid():
+    return BlockGrid.for_sequences(80, 80, 80, 16)
+
+
+class TestMachine:
+    def test_basic_properties(self):
+        m = HeterogeneousMachine(t_cells=(1e-8, 2e-8))
+        assert m.procs == 2
+        assert m.total_speed == pytest.approx(1e8 + 5e7)
+
+    def test_compute_time_uses_proc_speed(self):
+        m = HeterogeneousMachine(t_cells=(1e-8, 4e-8))
+        assert m.compute_time(100, 1) == pytest.approx(4 * m.compute_time(100, 0))
+
+    def test_ideal_serial_uses_fastest(self):
+        m = HeterogeneousMachine(t_cells=(3e-8, 1e-8))
+        assert m.ideal_serial_time(1000) == pytest.approx(1000 * 1e-8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeterogeneousMachine(t_cells=())
+        with pytest.raises(ValueError):
+            HeterogeneousMachine(t_cells=(0.0,))
+        with pytest.raises(ValueError):
+            HeterogeneousMachine(t_cells=(1e-8,), alpha=-1)
+
+    def test_stragglers_factory(self):
+        m = uniform_with_stragglers(8, stragglers=2, slowdown=3.0)
+        assert m.procs == 8
+        assert sum(1 for t in m.t_cells if t > 2.5e-8) == 2
+
+    def test_stragglers_validation(self):
+        with pytest.raises(ValueError):
+            uniform_with_stragglers(4, stragglers=5)
+
+
+class TestWeightedOwners:
+    def test_every_pencil_assigned(self, grid):
+        m = uniform_with_stragglers(5, stragglers=1)
+        owners = weighted_pencil_owners(grid, m)
+        _gi, gj, gk = grid.grid_shape
+        assert len(owners) == gj * gk
+        assert set(owners.values()) <= set(range(5))
+
+    def test_fast_nodes_get_more_work(self, grid):
+        m = HeterogeneousMachine(t_cells=(1e-8, 8e-8))
+        owners = weighted_pencil_owners(grid, m)
+        counts = [0, 0]
+        for p in owners.values():
+            counts[p] += 1
+        assert counts[0] > counts[1]
+
+    def test_balanced_when_uniform(self, grid):
+        # Pencil loads differ (boundary pencils are smaller), so balance is
+        # judged by accumulated cells, not pencil counts.
+        m = HeterogeneousMachine(t_cells=(1e-8,) * 4)
+        owners = weighted_pencil_owners(grid, m)
+        load = [0] * 4
+        for blk in grid.blocks():
+            load[owners[(blk[1], blk[2])]] += grid.block_cells(blk)
+        assert max(load) <= 1.2 * min(load)
+
+
+class TestSimulation:
+    def test_uniform_matches_homogeneous_shape(self, grid):
+        m = uniform_with_stragglers(8, stragglers=0)
+        r = simulate_wavefront_hetero(grid, m, mapping="pencil")
+        assert 1 < r.speedup <= 8
+
+    def test_stragglers_hurt_naive_mapping(self, grid):
+        fast = uniform_with_stragglers(8, stragglers=0)
+        slowed = uniform_with_stragglers(8, stragglers=2, slowdown=4.0)
+        r_fast = simulate_wavefront_hetero(grid, fast, mapping="pencil")
+        r_slow = simulate_wavefront_hetero(grid, slowed, mapping="pencil")
+        assert r_slow.speedup < r_fast.speedup
+
+    def test_weighted_recovers_speedup(self, grid):
+        m = uniform_with_stragglers(8, stragglers=2, slowdown=4.0)
+        naive = simulate_wavefront_hetero(grid, m, mapping="pencil")
+        weighted = simulate_wavefront_hetero(grid, m, mapping="weighted")
+        assert weighted.speedup > naive.speedup * 1.3
+
+    def test_speedup_bounded_by_aggregate_speed(self, grid):
+        m = uniform_with_stragglers(8, stragglers=4, slowdown=4.0)
+        r = simulate_wavefront_hetero(grid, m, mapping="weighted")
+        # Baseline is the fastest node; the aggregate speed bounds speedup.
+        bound = m.total_speed * min(m.t_cells)
+        assert r.speedup <= bound + 1e-9
+
+    def test_busy_time_sums_to_work(self, grid):
+        m = uniform_with_stragglers(4, stragglers=1, slowdown=2.0)
+        r = simulate_wavefront_hetero(grid, m, mapping="weighted")
+        assert r.blocks == grid.n_blocks
+        assert all(b >= 0 for b in r.busy_time)

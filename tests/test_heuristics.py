@@ -1,0 +1,107 @@
+"""Unit tests for the heuristic 3-way aligners (center-star, progressive)."""
+
+import pytest
+
+from repro.core.dp3d import score3_dp3d
+from repro.heuristics import align3_centerstar, align3_progressive
+from repro.seqio.generate import MutationModel, mutated_family
+
+
+class TestCenterStar:
+    def test_feasible_alignment(self, dna_scheme, small_triples):
+        for triple in small_triples:
+            aln = align3_centerstar(*triple, dna_scheme)
+            assert aln.sequences() == tuple(triple)
+            assert dna_scheme.sp_score(aln.rows) == pytest.approx(aln.score)
+
+    def test_never_exceeds_optimum(self, dna_scheme, small_triples):
+        for triple in small_triples:
+            aln = align3_centerstar(*triple, dna_scheme)
+            opt = score3_dp3d(*triple, dna_scheme)
+            assert aln.score <= opt + 1e-9, triple
+
+    def test_optimal_on_identical_sequences(self, dna_scheme):
+        s = "ACGTACGT"
+        aln = align3_centerstar(s, s, s, dna_scheme)
+        assert aln.score == pytest.approx(score3_dp3d(s, s, s, dna_scheme))
+
+    def test_center_choice_recorded(self, dna_scheme):
+        aln = align3_centerstar("ACGT", "ACGT", "TTTT", dna_scheme)
+        # The two identical sequences make one of them the center.
+        assert aln.meta["center"] in (0, 1)
+
+    def test_empty_sequences(self, dna_scheme):
+        aln = align3_centerstar("", "", "", dna_scheme)
+        assert aln.rows == ("", "", "")
+
+
+class TestProgressive:
+    def test_feasible_alignment(self, dna_scheme, small_triples):
+        for triple in small_triples:
+            aln = align3_progressive(*triple, dna_scheme)
+            assert aln.sequences() == tuple(triple)
+            assert dna_scheme.sp_score(aln.rows) == pytest.approx(aln.score)
+
+    def test_never_exceeds_optimum(self, dna_scheme, small_triples):
+        for triple in small_triples:
+            aln = align3_progressive(*triple, dna_scheme)
+            opt = score3_dp3d(*triple, dna_scheme)
+            assert aln.score <= opt + 1e-9, triple
+
+    def test_seed_pair_is_closest(self, dna_scheme):
+        aln = align3_progressive("ACGTACGT", "ACGTACGA", "TTTTTTTT", dna_scheme)
+        assert tuple(sorted(aln.meta["seed_pair"])) == (0, 1)
+
+    def test_optimal_on_identical_sequences(self, dna_scheme):
+        s = "GATTACA"
+        aln = align3_progressive(s, s, s, dna_scheme)
+        assert aln.score == pytest.approx(score3_dp3d(s, s, s, dna_scheme))
+
+
+class TestOptimalityGapTrend:
+    def test_gap_grows_with_divergence(self, dna_scheme):
+        # Averaged over a few trials, the heuristic gap at high divergence
+        # should be at least the gap at low divergence.
+        def mean_gap(scale):
+            total = 0.0
+            for trial in range(4):
+                fam = mutated_family(
+                    25, model=MutationModel().scaled(scale), seed=trial * 31
+                )
+                opt = score3_dp3d(*fam, dna_scheme)
+                heur = max(
+                    align3_centerstar(*fam, dna_scheme).score,
+                    align3_progressive(*fam, dna_scheme).score,
+                )
+                total += opt - heur
+            return total / 4
+
+        assert mean_gap(4.0) >= mean_gap(0.25) - 1e-9
+
+
+class TestCenterStarAffine:
+    def test_affine_lower_bound(self, affine_dna_scheme, family_small):
+        from repro.core.affine import score3_affine
+
+        aln = align3_centerstar(*family_small, affine_dna_scheme)
+        exact = score3_affine(*family_small, affine_dna_scheme)
+        assert aln.score <= exact + 1e-9
+
+    def test_affine_score_matches_scorer(self, affine_dna_scheme, family_small):
+        aln = align3_centerstar(*family_small, affine_dna_scheme)
+        recomputed = affine_dna_scheme.sp_score_affine_quasinatural(aln.rows)
+        assert recomputed == pytest.approx(aln.score)
+
+    def test_affine_sequences_recovered(self, affine_dna_scheme):
+        seqs = ("GATTACA", "GAACA", "GATTA")
+        aln = align3_centerstar(*seqs, affine_dna_scheme)
+        assert aln.sequences() == seqs
+
+    def test_affine_optimal_on_identical(self, affine_dna_scheme):
+        from repro.core.affine import score3_affine
+
+        s = "ACGTACGT"
+        aln = align3_centerstar(s, s, s, affine_dna_scheme)
+        assert aln.score == pytest.approx(
+            score3_affine(s, s, s, affine_dna_scheme)
+        )

@@ -1,0 +1,40 @@
+"""Unit tests for linear-space pairwise alignment (repro.pairwise.hirschberg2)."""
+
+import pytest
+
+from repro.pairwise.hirschberg2 import align2_linear_space
+from repro.pairwise.nw import score2
+from repro.seqio.generate import random_sequence
+
+
+class TestOptimality:
+    @pytest.mark.parametrize(
+        "pair",
+        [
+            ("", ""),
+            ("A", ""),
+            ("GATTACA", "GATCA"),
+            ("A" * 200, "A" * 150),  # forces recursion past the base area
+        ],
+    )
+    def test_matches_full_matrix_score(self, pair, dna_scheme):
+        aln = align2_linear_space(*pair, dna_scheme)
+        assert aln.score == pytest.approx(score2(*pair, dna_scheme))
+        assert aln.sequences() == pair
+
+    def test_random_long(self, dna_scheme):
+        sx = random_sequence(180, seed=1)
+        sy = random_sequence(150, seed=2)
+        aln = align2_linear_space(sx, sy, dna_scheme)
+        assert aln.score == pytest.approx(score2(sx, sy, dna_scheme))
+        assert aln.score_with(dna_scheme) == pytest.approx(aln.score)
+
+    def test_engine_meta(self, dna_scheme):
+        aln = align2_linear_space("GATTACA", "GATCA", dna_scheme)
+        assert aln.meta["engine"] == "hirschberg2"
+
+    def test_affine_rejected(self, dna_scheme):
+        with pytest.raises(ValueError, match="linear"):
+            align2_linear_space(
+                "A", "A", dna_scheme.with_gaps(gap=-1, gap_open=-1)
+            )

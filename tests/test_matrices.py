@@ -1,0 +1,159 @@
+"""Unit tests for repro.core.matrices and repro.seqio.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrices import (
+    blosum62,
+    dna_simple,
+    edit_distance_scheme,
+    expand_with_wildcard,
+    pam250,
+    rna_simple,
+    unit_matrix,
+)
+from repro.seqio.alphabet import DNA, PROTEIN, RNA
+from repro.seqio.datasets import bundled_sequences, list_datasets, load_dataset
+
+
+class TestBlosum62:
+    def test_shape_includes_wildcard(self):
+        assert blosum62().shape == (21, 21)
+
+    def test_symmetric(self):
+        m = blosum62()
+        assert np.array_equal(m, m.T)
+
+    def test_known_values(self):
+        m = blosum62()
+        enc = PROTEIN.encode
+        w = int(enc("W")[0])
+        assert m[w, w] == 11  # W/W is the largest diagonal entry
+        a, r = int(enc("A")[0]), int(enc("R")[0])
+        assert m[a, a] == 4
+        assert m[a, r] == -1
+        c = int(enc("C")[0])
+        assert m[c, c] == 9
+
+    def test_wildcard_neutral(self):
+        m = blosum62()
+        assert np.all(m[20, :] == 0)
+        assert np.all(m[:, 20] == 0)
+
+    def test_diagonal_dominates_row(self):
+        # Identity always scores at least as high as any substitution.
+        m = blosum62()[:20, :20]
+        assert np.all(np.diag(m)[:, None] >= m)
+
+
+class TestPam250:
+    def test_shape_and_symmetry(self):
+        m = pam250()
+        assert m.shape == (21, 21)
+        assert np.array_equal(m, m.T)
+
+    def test_known_values(self):
+        m = pam250()
+        enc = PROTEIN.encode
+        w = int(enc("W")[0])
+        assert m[w, w] == 17
+        c, w2 = int(enc("C")[0]), int(enc("W")[0])
+        assert m[c, w2] == -8
+
+
+class TestSimpleMatrices:
+    def test_dna_simple_defaults(self):
+        m = dna_simple()
+        assert m.shape == (5, 5)
+        assert m[0, 0] == 5 and m[0, 1] == -4
+
+    def test_dna_simple_custom(self):
+        m = dna_simple(match=1, mismatch=0)
+        assert m[1, 1] == 1 and m[1, 2] == 0
+
+    def test_rna_simple(self):
+        assert rna_simple().shape == (5, 5)
+
+    def test_unit_matrix(self):
+        m = unit_matrix(DNA)
+        assert m[2, 2] == 1 and m[2, 3] == -1
+
+    def test_unit_matrix_protein(self):
+        assert unit_matrix(PROTEIN).shape == (21, 21)
+
+
+class TestExpandWithWildcard:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            expand_with_wildcard(np.zeros((3, 3)), DNA)
+
+    def test_no_wildcard_alphabet_passthrough(self):
+        from repro.seqio.alphabet import Alphabet
+
+        alpha = Alphabet("toy", "AB")
+        core = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        out = expand_with_wildcard(core, alpha)
+        assert out.shape == (2, 2)
+        assert np.array_equal(out, core)
+
+    def test_copy_made(self):
+        from repro.seqio.alphabet import Alphabet
+
+        alpha = Alphabet("toy", "AB")
+        core = np.eye(2)
+        out = expand_with_wildcard(core, alpha)
+        out[0, 0] = 99
+        assert core[0, 0] == 1
+
+
+class TestEditDistanceScheme:
+    def test_negated_score_is_edit_distance_sum(self):
+        # For three sequences under (0 match, -1 mismatch, -1 gap) SP
+        # scoring, -optimal_score >= sum of pairwise edit distances is not
+        # guaranteed in general, but for a pair plus an empty third it
+        # reduces to the pairwise edit distance plus the gap columns.
+        from repro.core.wavefront import score3_wavefront
+
+        scheme = edit_distance_scheme(DNA)
+        # kitten/sitting classic: pairwise edit distance 3.
+        s = score3_wavefront("ACGT", "AGT", "", scheme)
+        # Alignment of ACGT vs AGT: 1 edit (delete C); third row is empty so
+        # each column also pays 2 gap pairs against the empty sequence.
+        # Best: 4 columns, pairs (a,b) cost -1 total, (a,c)+(b,c) cost
+        # -(4 + 3) = -7. Total -8.
+        assert s == -8.0
+
+    def test_name(self):
+        assert "edit-distance" in edit_distance_scheme(RNA).name
+
+
+class TestDatasets:
+    def test_list(self):
+        names = list_datasets()
+        assert "globins" in names and "insulin_dna" in names
+
+    def test_load_globins(self):
+        ds = load_dataset("globins")
+        assert ds["alphabet"] == "protein"
+        assert len(ds["records"]) == 3
+        for _h, seq in ds["records"]:
+            assert PROTEIN.is_valid(seq)
+
+    def test_load_dna(self):
+        ds = load_dataset("insulin_dna")
+        for _h, seq in ds["records"]:
+            assert DNA.is_valid(seq)
+
+    def test_bundled_sequences(self):
+        seqs = bundled_sequences("globins")
+        assert len(seqs) == 3
+        assert all(isinstance(s, str) and s for s in seqs)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_registry_not_mutable_via_load(self):
+        ds = load_dataset("globins")
+        ds["records"].append(("evil", "AAA"))
+        assert len(load_dataset("globins")["records"]) == 3

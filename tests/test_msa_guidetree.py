@@ -1,0 +1,112 @@
+"""Unit tests for repro.msa.distance and repro.msa.guidetree."""
+
+import numpy as np
+import pytest
+
+from repro.msa.distance import distance_matrix, score_matrix
+from repro.msa.guidetree import GuideTree, upgma
+from repro.pairwise.nw import score2
+
+
+class TestScoreMatrix:
+    def test_symmetric_with_self_scores(self, dna_scheme):
+        seqs = ["ACGT", "ACGA", "TTTT"]
+        S = score_matrix(seqs, dna_scheme)
+        assert np.allclose(S, S.T)
+        assert S[0, 0] == pytest.approx(4 * 5.0)
+        assert S[0, 1] == pytest.approx(score2("ACGT", "ACGA", dna_scheme))
+
+
+class TestDistanceMatrix:
+    def test_identical_distance_zero(self, dna_scheme):
+        D = distance_matrix(["ACGT", "ACGT"], dna_scheme)
+        assert D[0, 1] == pytest.approx(0.0)
+
+    def test_diagonal_zero(self, dna_scheme):
+        D = distance_matrix(["ACGT", "TTTT", "AAAA"], dna_scheme)
+        assert np.all(np.diag(D) == 0)
+
+    def test_unrelated_farther_than_related(self, dna_scheme):
+        D = distance_matrix(["ACGTACGT", "ACGTACGA", "TTGATTGA"], dna_scheme)
+        assert D[0, 1] < D[0, 2]
+
+    def test_nonnegative(self, dna_scheme):
+        D = distance_matrix(["AC", "GT", "CA", ""], dna_scheme)
+        assert (D >= 0).all()
+
+
+class TestUpgma:
+    def test_single_leaf(self):
+        tree = upgma(np.zeros((1, 1)))
+        assert tree.root == 0
+        assert tree.members(0) == [0]
+
+    def test_two_leaves(self):
+        D = np.array([[0.0, 2.0], [2.0, 0.0]])
+        tree = upgma(D)
+        assert tree.merges == [(0, 1, 1.0)]
+        assert sorted(tree.members(tree.root)) == [0, 1]
+
+    def test_closest_pair_merged_first(self):
+        D = np.array(
+            [
+                [0.0, 0.1, 0.9],
+                [0.1, 0.0, 0.8],
+                [0.9, 0.8, 0.0],
+            ]
+        )
+        tree = upgma(D)
+        first = tree.merges[0]
+        assert sorted((first[0], first[1])) == [0, 1]
+
+    def test_average_linkage_height(self):
+        D = np.array(
+            [
+                [0.0, 0.2, 1.0],
+                [0.2, 0.0, 0.6],
+                [1.0, 0.6, 0.0],
+            ]
+        )
+        tree = upgma(D)
+        # Second merge distance = mean(1.0, 0.6) = 0.8 -> height 0.4.
+        assert tree.merges[1][2] == pytest.approx(0.4)
+
+    def test_members_cover_all_leaves(self):
+        rng = np.random.default_rng(0)
+        n = 7
+        M = rng.random((n, n))
+        D = (M + M.T) / 2
+        np.fill_diagonal(D, 0.0)
+        tree = upgma(D)
+        assert sorted(tree.members(tree.root)) == list(range(n))
+        assert len(tree.merges) == n - 1
+
+    def test_newick_renders_all_names(self):
+        D = np.array(
+            [
+                [0.0, 0.2, 1.0],
+                [0.2, 0.0, 0.6],
+                [1.0, 0.6, 0.0],
+            ]
+        )
+        tree = upgma(D)
+        nwk = tree.newick(["a", "b", "c"])
+        assert nwk.endswith(";")
+        for name in ("a", "b", "c"):
+            assert name in nwk
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            upgma(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="symmetric"):
+            upgma(np.array([[0.0, 1.0], [2.0, 0.0]]))
+        with pytest.raises(ValueError, match="diagonal"):
+            upgma(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        with pytest.raises(ValueError, match="empty"):
+            upgma(np.zeros((0, 0)))
+
+    def test_deterministic_on_ties(self):
+        D = np.ones((4, 4)) - np.eye(4)
+        t1 = upgma(D)
+        t2 = upgma(D)
+        assert t1.merges == t2.merges

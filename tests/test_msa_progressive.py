@@ -1,0 +1,130 @@
+"""Unit tests for profile-profile alignment and the progressive MSA."""
+
+import numpy as np
+import pytest
+
+from repro.core.dp3d import score3_dp3d
+from repro.msa.profilealign import align_profiles, column_pair_scores, profile_counts
+from repro.msa.progressive import align_msa
+from repro.pairwise.nw import score2
+from repro.seqio.generate import MutationModel, mutated_family
+
+
+class TestProfileCounts:
+    def test_counts_and_gaps(self, dna_scheme):
+        counts, gaps = profile_counts(("AC-", "A-G"), dna_scheme)
+        assert counts.shape == (3, dna_scheme.alphabet.size)
+        assert counts[0].sum() == 2 and gaps[0] == 0
+        assert counts[1].sum() == 1 and gaps[1] == 1
+
+    def test_unequal_rows_rejected(self, dna_scheme):
+        with pytest.raises(ValueError, match="unequal"):
+            profile_counts(("AC", "A"), dna_scheme)
+
+    def test_empty_profile_rejected(self, dna_scheme):
+        with pytest.raises(ValueError, match="at least one"):
+            profile_counts((), dna_scheme)
+
+
+class TestColumnPairScores:
+    def test_single_rows_match_pair_score(self, dna_scheme):
+        cp, gp = profile_counts(("AC",), dna_scheme)
+        cq, gq = profile_counts(("AG",), dna_scheme)
+        S = column_pair_scores(cp, gp, cq, gq, dna_scheme)
+        assert S[0, 0] == pytest.approx(dna_scheme.pair_score("A", "A"))
+        assert S[1, 1] == pytest.approx(dna_scheme.pair_score("C", "G"))
+
+    def test_gap_column_contribution(self, dna_scheme):
+        cp, gp = profile_counts(("A-",), dna_scheme)
+        cq, gq = profile_counts(("AA",), dna_scheme)
+        S = column_pair_scores(cp, gp, cq, gq, dna_scheme)
+        # P column 1 is a gap: pairing with Q's residue costs gap.
+        assert S[1, 0] == pytest.approx(dna_scheme.gap)
+
+
+class TestAlignProfiles:
+    def test_two_singletons_equal_pairwise_nw(self, dna_scheme):
+        merged, score = align_profiles(("GATTACA",), ("GATCA",), dna_scheme)
+        assert score == pytest.approx(score2("GATTACA", "GATCA", dna_scheme))
+        assert merged[0].replace("-", "") == "GATTACA"
+        assert merged[1].replace("-", "") == "GATCA"
+
+    def test_merged_depth(self, dna_scheme):
+        merged, _ = align_profiles(("AC", "AG"), ("AT",), dna_scheme)
+        assert len(merged) == 3
+        assert len({len(r) for r in merged}) == 1
+
+    def test_existing_columns_preserved(self, dna_scheme):
+        # Profile-internal gap structure is frozen: stripping the third row
+        # must reproduce P's original alignment (once-a-gap-always-a-gap).
+        rows_p = ("AC-G", "A-TG")
+        merged, _ = align_profiles(rows_p, ("ACTG",), dna_scheme)
+        restored = [
+            "".join(
+                merged[r][c]
+                for c in range(len(merged[0]))
+                if not all(merged[i][c] == "-" for i in (0, 1))
+            )
+            for r in (0, 1)
+        ]
+        assert tuple(restored) == rows_p
+
+    def test_affine_rejected(self, dna_scheme):
+        with pytest.raises(ValueError, match="linear"):
+            align_profiles(("A",), ("A",), dna_scheme.with_gaps(-1, -1))
+
+
+class TestAlignMsa:
+    def test_two_sequences(self, dna_scheme):
+        msa = align_msa(["GATTACA", "GATCA"], dna_scheme)
+        assert msa.meta["engine"] == "pairwise"
+        assert msa.sequences() == ("GATTACA", "GATCA")
+
+    def test_five_sequences_roundtrip(self, dna_scheme):
+        fam = mutated_family(30, count=5, seed=5)
+        msa = align_msa(fam, dna_scheme)
+        assert msa.sequences() == tuple(fam)
+        assert msa.depth == 5
+        assert "tree" in msa.meta
+
+    def test_row_order_preserved(self, dna_scheme):
+        # Shuffle-resistant: row i must correspond to input i even though
+        # the guide tree merges in similarity order.
+        seqs = ["TTTTTTTT", "ACGTACGT", "ACGTACGA", "TTTTTTTA"]
+        msa = align_msa(seqs, dna_scheme)
+        assert msa.sequences() == tuple(seqs)
+
+    def test_exact_triples_at_least_as_good(self, dna_scheme):
+        for seed in (1, 2, 3):
+            fam = mutated_family(
+                20, model=MutationModel(0.3, 0.08, 0.08), seed=seed
+            )
+            exact = align_msa(fam, dna_scheme, exact_triples=True)
+            prog = align_msa(fam, dna_scheme)
+            assert prog.sp_score(dna_scheme) <= exact.sp_score(dna_scheme) + 1e-9
+            assert exact.sp_score(dna_scheme) == pytest.approx(
+                score3_dp3d(*fam, dna_scheme)
+            )
+
+    def test_custom_names(self, dna_scheme):
+        msa = align_msa(["AC", "AG"], dna_scheme, names=["x", "y"])
+        assert msa.names == ("x", "y")
+
+    def test_validation(self, dna_scheme):
+        with pytest.raises(ValueError, match="at least two"):
+            align_msa(["AC"], dna_scheme)
+        with pytest.raises(ValueError, match="mismatch"):
+            align_msa(["AC", "AG"], dna_scheme, names=["x"])
+        with pytest.raises(ValueError, match="linear"):
+            align_msa(["AC", "AG"], dna_scheme.with_gaps(-1, -1))
+
+    def test_wrong_tree_rejected(self, dna_scheme):
+        from repro.msa.guidetree import upgma
+
+        tree = upgma(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="leaves"):
+            align_msa(["AC", "AG", "AT"], dna_scheme, tree=tree)
+
+    def test_identical_family_aligns_gapless(self, dna_scheme):
+        msa = align_msa(["ACGTACGT"] * 4, dna_scheme)
+        assert all(row == "ACGTACGT" for row in msa.rows)

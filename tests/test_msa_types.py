@@ -1,0 +1,86 @@
+"""Unit tests for repro.msa.types."""
+
+import pytest
+
+from repro.msa.types import MultiAlignment, from_rows
+
+
+class TestConstruction:
+    def test_minimum_two_rows(self):
+        with pytest.raises(ValueError, match="at least two"):
+            MultiAlignment(rows=("AC",))
+
+    def test_unequal_rows_rejected(self):
+        with pytest.raises(ValueError, match="unequal"):
+            MultiAlignment(rows=("AC", "A"))
+
+    def test_all_gap_column_rejected(self):
+        with pytest.raises(ValueError, match="all-gap"):
+            MultiAlignment(rows=("A-", "A-", "A-"))
+
+    def test_default_names(self):
+        m = MultiAlignment(rows=("AC", "AG"))
+        assert m.names == ("seq0", "seq1")
+
+    def test_names_length_checked(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            MultiAlignment(rows=("AC", "AG"), names=("only-one",))
+
+    def test_from_rows(self):
+        m = from_rows(["AC", "AG", "AT"], names=["x", "y", "z"])
+        assert m.depth == 3
+        assert m.names == ("x", "y", "z")
+
+
+class TestAccessors:
+    @pytest.fixture
+    def msa(self):
+        return MultiAlignment(rows=("AC-G", "A-TG", "ACTG"))
+
+    def test_depth_length(self, msa):
+        assert msa.depth == 3
+        assert msa.length == 4
+
+    def test_sequences(self, msa):
+        assert msa.sequences() == ("ACG", "ATG", "ACTG")
+
+    def test_columns(self, msa):
+        cols = list(msa.columns())
+        assert cols[0] == ("A", "A", "A")
+        assert cols[1] == ("C", "-", "C")
+
+    def test_identity(self):
+        m = MultiAlignment(rows=("AAC", "AAG", "AAT"))
+        assert m.identity() == pytest.approx(2 / 3)
+
+    def test_pairwise_projection_drops_gapgap(self):
+        m = MultiAlignment(rows=("A--G", "A-TG", "ACTG"))
+        assert m.pairwise_projection(0, 1) == ("A-G", "ATG")
+
+    def test_pretty_includes_names(self, msa):
+        out = msa.pretty()
+        assert "seq0" in out and "seq2" in out
+
+    def test_pretty_width_validated(self, msa):
+        with pytest.raises(ValueError):
+            msa.pretty(width=0)
+
+
+class TestSpScore:
+    def test_three_rows_matches_scheme_scorer(self, dna_scheme):
+        rows = ("AC-G", "A-TG", "ACTG")
+        m = MultiAlignment(rows=rows)
+        assert m.sp_score(dna_scheme) == pytest.approx(dna_scheme.sp_score(rows))
+
+    def test_two_rows_is_pairwise(self, dna_scheme):
+        m = MultiAlignment(rows=("AC-G", "ACTG"))
+        expected = sum(
+            dna_scheme.pair_score(x, y) for x, y in zip(*m.rows)
+        )
+        assert m.sp_score(dna_scheme) == pytest.approx(expected)
+
+    def test_depth_scaling(self, dna_scheme):
+        # Four identical rows: 6 pairs of identical sequences.
+        m = MultiAlignment(rows=("ACGT",) * 4)
+        per_pair = sum(dna_scheme.pair_score(c, c) for c in "ACGT")
+        assert m.sp_score(dna_scheme) == pytest.approx(6 * per_pair)

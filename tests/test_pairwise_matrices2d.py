@@ -1,0 +1,68 @@
+"""Unit tests for repro.pairwise.matrices2d."""
+
+import numpy as np
+import pytest
+
+from repro.pairwise.matrices2d import (
+    backward_matrix,
+    forward_matrix,
+    through_matrix,
+)
+from repro.pairwise.nw import align2, nw_matrix, score2
+
+
+class TestForward:
+    def test_matches_scalar_fill(self, dna_scheme):
+        sx, sy = "GATTACA", "GATCA"
+        D, _ = nw_matrix(sx, sy, dna_scheme)
+        F = forward_matrix(sx, sy, dna_scheme)
+        np.testing.assert_allclose(F, D, atol=1e-9)
+
+    def test_empty_sequences(self, dna_scheme):
+        F = forward_matrix("", "", dna_scheme)
+        assert F.shape == (1, 1)
+        assert F[0, 0] == 0.0
+
+    def test_first_row_and_column_are_gap_chains(self, dna_scheme):
+        F = forward_matrix("ACG", "TT", dna_scheme)
+        np.testing.assert_allclose(F[0], np.arange(3) * dna_scheme.gap)
+        np.testing.assert_allclose(F[:, 0], np.arange(4) * dna_scheme.gap)
+
+
+class TestBackward:
+    def test_suffix_scores(self, dna_scheme):
+        sx, sy = "GATTA", "GTA"
+        B = backward_matrix(sx, sy, dna_scheme)
+        for i in range(len(sx) + 1):
+            for j in range(len(sy) + 1):
+                assert B[i, j] == pytest.approx(
+                    score2(sx[i:], sy[j:], dna_scheme)
+                ), (i, j)
+
+    def test_terminal_cell_zero(self, dna_scheme):
+        B = backward_matrix("ACG", "TT", dna_scheme)
+        assert B[3, 2] == 0.0
+
+
+class TestThrough:
+    def test_max_equals_optimum(self, dna_scheme):
+        sx, sy = "GATTACA", "GATCA"
+        T = through_matrix(sx, sy, dna_scheme)
+        assert T.max() == pytest.approx(score2(sx, sy, dna_scheme))
+
+    def test_no_cell_exceeds_optimum(self, dna_scheme):
+        sx, sy = "ACGTACGT", "TACGTT"
+        T = through_matrix(sx, sy, dna_scheme)
+        assert (T <= score2(sx, sy, dna_scheme) + 1e-9).all()
+
+    def test_optimal_path_attains_max_everywhere(self, dna_scheme):
+        sx, sy = "GATTACA", "GATCA"
+        T = through_matrix(sx, sy, dna_scheme)
+        opt = score2(sx, sy, dna_scheme)
+        aln = align2(sx, sy, dna_scheme)
+        i = j = 0
+        assert T[0, 0] == pytest.approx(opt)
+        for x, y in aln.columns():
+            i += x != "-"
+            j += y != "-"
+            assert T[i, j] == pytest.approx(opt), (i, j)

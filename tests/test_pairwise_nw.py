@@ -1,0 +1,96 @@
+"""Unit tests for repro.pairwise.nw."""
+
+import numpy as np
+import pytest
+
+from repro.pairwise.nw import (
+    align2,
+    nw_matrix,
+    nw_score_last_row,
+    score2,
+    score2_matrixfree,
+)
+from tests.reference.bruteforce import memo_optimal_pairwise
+
+
+class TestScores:
+    @pytest.mark.parametrize(
+        "pair",
+        [
+            ("", ""),
+            ("A", ""),
+            ("", "ACGT"),
+            ("A", "A"),
+            ("A", "C"),
+            ("GATTACA", "GATCA"),
+            ("ACGTACGT", "TGCATGCA"),
+            ("AAAA", "AAAAAAAA"),
+        ],
+    )
+    def test_against_memo_reference(self, pair, dna_scheme):
+        expected = memo_optimal_pairwise(*pair, dna_scheme)
+        assert score2(*pair, dna_scheme) == pytest.approx(expected)
+        assert score2_matrixfree(*pair, dna_scheme) == pytest.approx(expected)
+
+    def test_symmetry(self, dna_scheme):
+        assert score2("GATTACA", "GATCA", dna_scheme) == pytest.approx(
+            score2("GATCA", "GATTACA", dna_scheme)
+        )
+
+    def test_identical_sequences(self, dna_scheme):
+        s = "ACGTACGT"
+        assert score2(s, s, dna_scheme) == pytest.approx(len(s) * 5.0)
+
+    def test_gap_only(self, dna_scheme):
+        assert score2("ACGT", "", dna_scheme) == pytest.approx(4 * dna_scheme.gap)
+
+
+class TestLastRow:
+    def test_matches_full_matrix(self, dna_scheme):
+        sx, sy = "GATTACA", "GATCA"
+        D, _ = nw_matrix(sx, sy, dna_scheme)
+        row = nw_score_last_row(sx, sy, dna_scheme)
+        np.testing.assert_allclose(row, D[-1], atol=1e-9)
+
+    def test_empty_x(self, dna_scheme):
+        row = nw_score_last_row("", "ACG", dna_scheme)
+        np.testing.assert_allclose(row, np.arange(4) * dna_scheme.gap)
+
+    def test_random_vs_scalar(self, dna_scheme):
+        from repro.seqio.generate import random_sequence
+
+        rng = np.random.default_rng(3)
+        for trial in range(8):
+            sx = random_sequence(int(rng.integers(0, 15)), seed=trial)
+            sy = random_sequence(int(rng.integers(0, 15)), seed=trial + 50)
+            vec = float(nw_score_last_row(sx, sy, dna_scheme)[-1])
+            ref = score2_matrixfree(sx, sy, dna_scheme)
+            assert vec == pytest.approx(ref), (sx, sy)
+
+
+class TestAlignment:
+    def test_score_recomputation(self, dna_scheme):
+        aln = align2("GATTACA", "GATCA", dna_scheme)
+        assert aln.score_with(dna_scheme) == pytest.approx(aln.score)
+
+    def test_sequences_recovered(self, dna_scheme):
+        aln = align2("GATTACA", "GATCA", dna_scheme)
+        assert aln.sequences() == ("GATTACA", "GATCA")
+
+    def test_no_all_gap_columns(self, dna_scheme):
+        aln = align2("ACG", "TTT", dna_scheme)
+        for x, y in aln.columns():
+            assert not (x == "-" and y == "-")
+
+    def test_empty_alignment(self, dna_scheme):
+        aln = align2("", "", dna_scheme)
+        assert aln.rows == ("", "")
+        assert aln.score == 0.0
+
+    def test_matrix_moves_consistent(self, dna_scheme):
+        D, M = nw_matrix("GAT", "GT", dna_scheme)
+        assert M[0, 0] == 0
+        assert D[0, 0] == 0.0
+        # First row/column are forced moves.
+        assert all(M[0, j] == 2 for j in range(1, 3))
+        assert all(M[i, 0] == 1 for i in range(1, 4))

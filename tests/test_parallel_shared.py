@@ -1,0 +1,75 @@
+"""Unit tests for the multiprocess shared-memory engine."""
+
+import pytest
+
+from repro.core.dp3d import score3_dp3d
+from repro.parallel.shared import align3_shared, fork_available, score3_shared
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+class TestScores:
+    @needs_fork
+    def test_matches_reference_small(self, dna_scheme, small_triples):
+        for triple in small_triples:
+            got = score3_shared(*triple, dna_scheme, workers=2)
+            assert got == pytest.approx(score3_dp3d(*triple, dna_scheme)), triple
+
+    @needs_fork
+    def test_matches_reference_medium(self, dna_scheme, family_medium):
+        got = score3_shared(*family_medium, dna_scheme, workers=2)
+        assert got == pytest.approx(score3_dp3d(*family_medium, dna_scheme))
+
+    @needs_fork
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_worker_counts(self, workers, dna_scheme, family_small):
+        got = score3_shared(*family_small, dna_scheme, workers=workers)
+        assert got == pytest.approx(score3_dp3d(*family_small, dna_scheme))
+
+    def test_single_worker_serial_path(self, dna_scheme, family_small):
+        got = score3_shared(*family_small, dna_scheme, workers=1)
+        assert got == pytest.approx(score3_dp3d(*family_small, dna_scheme))
+
+    def test_workers_validated(self, dna_scheme):
+        with pytest.raises(ValueError):
+            score3_shared("A", "A", "A", dna_scheme, workers=0)
+
+    def test_affine_rejected(self, dna_scheme):
+        with pytest.raises(ValueError, match="linear"):
+            score3_shared(
+                "A", "A", "A", dna_scheme.with_gaps(gap=-1, gap_open=-1)
+            )
+
+
+class TestAlignment:
+    @needs_fork
+    def test_alignment_optimal_and_consistent(self, dna_scheme, family_small):
+        aln = align3_shared(*family_small, dna_scheme, workers=2)
+        expected = score3_dp3d(*family_small, dna_scheme)
+        assert aln.score == pytest.approx(expected)
+        assert dna_scheme.sp_score(aln.rows) == pytest.approx(expected)
+        assert aln.sequences() == tuple(family_small)
+        assert aln.meta["workers"] == 2
+
+    @needs_fork
+    def test_empty_inputs(self, dna_scheme):
+        aln = align3_shared("", "", "", dna_scheme, workers=2)
+        assert aln.rows == ("", "", "")
+
+    @needs_fork
+    def test_deterministic_across_runs(self, dna_scheme, family_small):
+        a = align3_shared(*family_small, dna_scheme, workers=2)
+        b = align3_shared(*family_small, dna_scheme, workers=2)
+        assert a.rows == b.rows
+        assert a.score == b.score
+
+    @needs_fork
+    def test_bit_identical_to_serial_engine(self, dna_scheme, family_small):
+        from repro.core.wavefront import align3_wavefront
+
+        par = align3_shared(*family_small, dna_scheme, workers=2)
+        ser = align3_wavefront(*family_small, dna_scheme)
+        # Same deterministic argmax tie-breaking -> identical alignments.
+        assert par.rows == ser.rows

@@ -1,0 +1,74 @@
+"""Unit tests for repro.parallel.partition."""
+
+import pytest
+
+from repro.parallel.partition import balanced_blocks, split_cyclic, split_range
+
+
+class TestSplitRange:
+    def test_even_split(self):
+        assert split_range(0, 9, 2) == [(0, 4), (5, 9)]
+
+    def test_uneven_split_differs_by_one(self):
+        chunks = split_range(0, 10, 4)
+        sizes = [hi - lo + 1 for lo, hi in chunks]
+        assert sum(sizes) == 11
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_covers_range_contiguously(self):
+        chunks = split_range(3, 17, 5)
+        cells = [x for lo, hi in chunks for x in range(lo, hi + 1)]
+        assert cells == list(range(3, 18))
+
+    def test_more_parts_than_items(self):
+        chunks = split_range(0, 1, 4)
+        nonempty = [(lo, hi) for lo, hi in chunks if lo <= hi]
+        assert len(chunks) == 4
+        assert sum(hi - lo + 1 for lo, hi in nonempty) == 2
+
+    def test_empty_range(self):
+        chunks = split_range(5, 4, 3)
+        assert all(lo > hi for lo, hi in chunks)
+        assert len(chunks) == 3
+
+    def test_single_part(self):
+        assert split_range(2, 8, 1) == [(2, 8)]
+
+    def test_parts_validated(self):
+        with pytest.raises(ValueError):
+            split_range(0, 5, 0)
+
+
+class TestSplitCyclic:
+    def test_round_robin(self):
+        assert split_cyclic(5, 2) == [[0, 2, 4], [1, 3]]
+
+    def test_all_indices_assigned_once(self):
+        owners = split_cyclic(17, 5)
+        flat = sorted(x for lst in owners for x in lst)
+        assert flat == list(range(17))
+
+    def test_zero_count(self):
+        assert split_cyclic(0, 3) == [[], [], []]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            split_cyclic(-1, 2)
+
+
+class TestBalancedBlocks:
+    def test_exact_division(self):
+        assert balanced_blocks(8, 4) == [(0, 3), (4, 7)]
+
+    def test_remainder_block(self):
+        assert balanced_blocks(10, 4) == [(0, 3), (4, 7), (8, 9)]
+
+    def test_block_larger_than_total(self):
+        assert balanced_blocks(3, 10) == [(0, 2)]
+
+    def test_zero_total(self):
+        assert balanced_blocks(0, 4) == []
+
+    def test_block_validated(self):
+        with pytest.raises(ValueError):
+            balanced_blocks(10, 0)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.heuristics.profile."""
+
+import pytest
+
+from repro.heuristics.profile import Profile, align_profile_sequence
+
+
+class TestProfile:
+    def test_from_rows(self):
+        p = Profile.from_rows(("AC-", "A-G"))
+        assert p.length == 3
+        assert p.depth == 2
+        assert p.columns[0] == ("A", "A")
+
+    def test_unequal_rows_rejected(self):
+        with pytest.raises(ValueError, match="unequal"):
+            Profile.from_rows(("AC", "A"))
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Profile.from_rows(())
+
+    def test_residue_count(self):
+        p = Profile.from_rows(("AC-", "A-G"))
+        assert p.residue_count(0) == 2
+        assert p.residue_count(1) == 1
+        assert p.residue_count(2) == 1
+
+    def test_column_vs_residue(self, dna_scheme):
+        p = Profile.from_rows(("A-", "AC"))
+        # Column 0 = (A, A): score vs A = 5 + 5.
+        assert p.column_vs_residue(0, "A", dna_scheme) == pytest.approx(10.0)
+        # Column 1 = (-, C): gap + match.
+        assert p.column_vs_residue(1, "C", dna_scheme) == pytest.approx(
+            dna_scheme.gap + 5.0
+        )
+
+    def test_column_vs_gap(self, dna_scheme):
+        p = Profile.from_rows(("A-", "AC"))
+        assert p.column_vs_gap(0, dna_scheme) == pytest.approx(2 * dna_scheme.gap)
+        assert p.column_vs_gap(1, dna_scheme) == pytest.approx(dna_scheme.gap)
+
+
+class TestProfileSequenceAlignment:
+    def test_identical_alignment(self, dna_scheme):
+        p = Profile.from_rows(("ACGT", "ACGT"))
+        cols, row = align_profile_sequence(p, "ACGT", dna_scheme)
+        assert row == "ACGT"
+        assert len(cols) == 4
+        assert all(c == (x, x) for c, x in zip(cols, "ACGT"))
+
+    def test_insertion_into_profile(self, dna_scheme):
+        p = Profile.from_rows(("AC", "AC"))
+        cols, row = align_profile_sequence(p, "AGC", dna_scheme)
+        assert row.replace("-", "") == "AGC"
+        assert len(cols) == len(row)
+        # The G required an all-gap column in the profile.
+        assert ("-", "-") in cols
+
+    def test_deletion_from_sequence(self, dna_scheme):
+        p = Profile.from_rows(("ACGT", "ACGT"))
+        cols, row = align_profile_sequence(p, "AT", dna_scheme)
+        assert row.replace("-", "") == "AT"
+        assert len(cols) == 4  # profile columns preserved
+
+    def test_empty_sequence(self, dna_scheme):
+        p = Profile.from_rows(("AC", "AG"))
+        cols, row = align_profile_sequence(p, "", dna_scheme)
+        assert row == "--"
+        assert cols == [("A", "A"), ("C", "G")]
+
+    def test_empty_profile(self, dna_scheme):
+        p = Profile.from_rows(("", ""))
+        cols, row = align_profile_sequence(p, "AC", dna_scheme)
+        assert row == "AC"
+        assert cols == [("-", "-"), ("-", "-")]
+
+    def test_profile_columns_never_reordered(self, dna_scheme):
+        p = Profile.from_rows(("AC-G", "A-TG"))
+        cols, _ = align_profile_sequence(p, "ACTG", dna_scheme)
+        kept = [c for c in cols if c != ("-", "-")]
+        assert kept == p.columns

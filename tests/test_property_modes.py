@@ -1,0 +1,92 @@
+"""Property-based tests for the extension engines: local, semiglobal,
+banded, and the N-sequence MSA."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.band import align3_banded
+from repro.core.dp3d import score3_dp3d
+from repro.core.local import align3_local, score3_local
+from repro.core.scoring import default_scheme_for
+from repro.core.semiglobal import align3_semiglobal, score3_semiglobal
+from repro.msa.progressive import align_msa
+from repro.seqio.alphabet import DNA
+
+SCHEME = default_scheme_for(DNA)
+
+dna_seq = st.text(alphabet="ACGT", min_size=0, max_size=9)
+triple = st.tuples(dna_seq, dna_seq, dna_seq)
+
+COMMON = dict(deadline=None, max_examples=30)
+
+
+@settings(**COMMON)
+@given(triple)
+def test_mode_ordering(seqs):
+    """global <= semiglobal <= local, and local >= 0."""
+    g = score3_dp3d(*seqs, SCHEME)
+    sg = score3_semiglobal(*seqs, SCHEME)
+    loc = score3_local(*seqs, SCHEME)
+    assert g <= sg + 1e-9
+    assert sg <= loc + 1e-9
+    assert loc >= 0
+
+
+@settings(**COMMON)
+@given(triple)
+def test_banded_always_certified_optimal(seqs):
+    aln = align3_banded(*seqs, SCHEME)
+    assert aln.meta["band_certified"]
+    assert abs(aln.score - score3_dp3d(*seqs, SCHEME)) < 1e-9
+
+
+@settings(**COMMON)
+@given(triple)
+def test_local_alignment_is_feasible_and_consistent(seqs):
+    aln = align3_local(*seqs, SCHEME)
+    assert abs(SCHEME.sp_score(aln.rows) - aln.score) < 1e-9
+    for row, seq, span in zip(aln.rows, seqs, aln.meta["spans"]):
+        assert row.replace("-", "") == seq[span[0] : span[1]]
+
+
+@settings(**COMMON)
+@given(triple)
+def test_semiglobal_covers_inputs_and_core_scores(seqs):
+    aln = align3_semiglobal(*seqs, SCHEME)
+    assert aln.sequences() == seqs
+    lo, hi = aln.meta["core"]
+    core = tuple(r[lo:hi] for r in aln.rows)
+    assert abs(SCHEME.sp_score(core) - aln.score) < 1e-9
+
+
+@settings(**COMMON)
+@given(triple)
+def test_local_invariant_under_padding_with_junk(seqs):
+    """Appending strongly-mismatching junk to every sequence can only keep
+    or raise the local optimum (never lower it)."""
+    base = score3_local(*seqs, SCHEME)
+    padded = tuple(s + "T" * 0 + "A" for s in seqs)  # shared char may help
+    padded_score = score3_local(*padded, SCHEME)
+    assert padded_score >= base - 1e-9
+
+
+@settings(deadline=None, max_examples=12)
+@given(st.lists(dna_seq, min_size=2, max_size=5))
+def test_msa_roundtrip_and_sp_consistency(seqs):
+    msa = align_msa(list(seqs), SCHEME)
+    assert msa.sequences() == tuple(seqs)
+    # The SP score computed by the container equals a manual column sum
+    # over all pairs.
+    manual = 0.0
+    for a in range(msa.depth):
+        for b in range(a + 1, msa.depth):
+            for x, y in zip(msa.rows[a], msa.rows[b]):
+                manual += SCHEME.pair_score(x, y)
+    assert abs(msa.sp_score(SCHEME) - manual) < 1e-9
+
+
+@settings(deadline=None, max_examples=12)
+@given(dna_seq, dna_seq, dna_seq)
+def test_msa_exact_triples_matches_engine(sa, sb, sc):
+    msa = align_msa([sa, sb, sc], SCHEME, exact_triples=True)
+    assert abs(msa.sp_score(SCHEME) - score3_dp3d(sa, sb, sc, SCHEME)) < 1e-9

@@ -1,0 +1,100 @@
+"""Property-based tests for the pairwise substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scoring import default_scheme_for
+from repro.pairwise.gotoh import score2_affine
+from repro.pairwise.hirschberg2 import align2_linear_space
+from repro.pairwise.matrices2d import through_matrix
+from repro.pairwise.nw import align2, nw_score_last_row, score2, score2_matrixfree
+from repro.seqio.alphabet import DNA
+from tests.reference.bruteforce import memo_optimal_pairwise
+
+SCHEME = default_scheme_for(DNA)
+AFFINE = SCHEME.with_gaps(gap=-2.0, gap_open=-9.0)
+
+dna_seq = st.text(alphabet="ACGT", min_size=0, max_size=14)
+
+COMMON = dict(deadline=None, max_examples=50)
+
+
+@settings(**COMMON)
+@given(dna_seq, dna_seq)
+def test_vectorised_row_matches_oracle(sx, sy):
+    got = float(nw_score_last_row(sx, sy, SCHEME)[-1])
+    assert abs(got - memo_optimal_pairwise(sx, sy, SCHEME)) < 1e-9
+
+
+@settings(**COMMON)
+@given(dna_seq, dna_seq)
+def test_scalar_and_vector_fills_agree(sx, sy):
+    assert abs(
+        score2_matrixfree(sx, sy, SCHEME) - score2(sx, sy, SCHEME)
+    ) < 1e-9
+
+
+@settings(**COMMON)
+@given(dna_seq, dna_seq)
+def test_symmetry(sx, sy):
+    assert abs(score2(sx, sy, SCHEME) - score2(sy, sx, SCHEME)) < 1e-9
+
+
+@settings(**COMMON)
+@given(dna_seq, dna_seq)
+def test_alignment_consistency(sx, sy):
+    aln = align2(sx, sy, SCHEME)
+    assert aln.sequences() == (sx, sy)
+    assert abs(aln.score_with(SCHEME) - aln.score) < 1e-9
+    assert abs(aln.score - score2(sx, sy, SCHEME)) < 1e-9
+
+
+@settings(**COMMON)
+@given(dna_seq, dna_seq)
+def test_linear_space_equals_full_matrix(sx, sy):
+    aln = align2_linear_space(sx, sy, SCHEME)
+    assert abs(aln.score - score2(sx, sy, SCHEME)) < 1e-9
+    assert aln.sequences() == (sx, sy)
+
+
+@settings(**COMMON)
+@given(dna_seq, dna_seq)
+def test_through_matrix_bracket(sx, sy):
+    T = through_matrix(sx, sy, SCHEME)
+    opt = score2(sx, sy, SCHEME)
+    assert abs(T.max() - opt) < 1e-9
+    assert (T <= opt + 1e-9).all()
+
+
+@settings(**COMMON)
+@given(dna_seq, dna_seq)
+def test_affine_never_beats_linear_with_same_extend(sx, sy):
+    """gap_open <= 0 only removes score relative to the linear model with
+    the same per-column gap cost."""
+    lin = SCHEME.with_gaps(gap=AFFINE.gap)
+    assert score2_affine(sx, sy, AFFINE) <= score2(sx, sy, lin) + 1e-9
+
+
+@settings(**COMMON)
+@given(dna_seq, dna_seq)
+def test_affine_zero_open_equals_linear(sx, sy):
+    zero = SCHEME.with_gaps(gap=-3.0, gap_open=0.0)
+    lin = SCHEME.with_gaps(gap=-3.0)
+    assert abs(score2_affine(sx, sy, zero) - score2(sx, sy, lin)) < 1e-9
+
+
+@settings(**COMMON)
+@given(dna_seq)
+def test_self_alignment_is_perfect(s):
+    expected = sum(SCHEME.pair_score(c, c) for c in s)
+    assert abs(score2(s, s, SCHEME) - expected) < 1e-9
+
+
+@settings(**COMMON)
+@given(dna_seq, dna_seq, dna_seq)
+def test_concatenation_superadditivity(sa, sb, sx):
+    """Aligning concatenations can only do as well or better than the sum of
+    the parts (the concatenated optimal alignments are feasible)."""
+    whole = score2(sa + sx, sb + sx, SCHEME)
+    parts = score2(sa, sb, SCHEME) + score2(sx, sx, SCHEME)
+    assert whole >= parts - 1e-9

@@ -1,0 +1,106 @@
+"""Unit tests for the cluster simulator (repro.cluster.simulate)."""
+
+import pytest
+
+from repro.cluster.blockgrid import BlockGrid
+from repro.cluster.machine import MachineModel, ethernet_2007, modern_cluster
+from repro.cluster.simulate import simulate_wavefront
+
+
+@pytest.fixture
+def grid():
+    return BlockGrid.for_sequences(60, 60, 60, 16)
+
+
+class TestInvariants:
+    def test_single_proc_no_comm_and_serial_makespan(self, grid):
+        m = MachineModel(procs=1)
+        r = simulate_wavefront(grid, m)
+        assert r.comm_volume_bytes == 0
+        assert r.messages == 0
+        assert r.makespan == pytest.approx(r.serial_time)
+        assert r.speedup == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_procs(self, grid):
+        for p in (2, 4, 8, 16):
+            r = simulate_wavefront(grid, MachineModel(procs=p))
+            assert r.speedup <= p + 1e-9
+            assert 0 < r.efficiency <= 1 + 1e-9
+
+    def test_makespan_at_least_critical_path(self, grid):
+        # The chain of blocks along the main block diagonal is a lower
+        # bound on any schedule.
+        m = MachineModel(procs=1024, alpha=0.0, beta=0.0)
+        r = simulate_wavefront(grid, m)
+        gi, gj, gk = grid.grid_shape
+        chain = sum(
+            m.compute_time(grid.block_cells((i, min(i, gj - 1), min(i, gk - 1))))
+            for i in range(gi)
+        )
+        assert r.makespan >= chain - 1e-12
+
+    def test_busy_time_sums_to_serial(self, grid):
+        r = simulate_wavefront(grid, MachineModel(procs=8))
+        assert sum(r.busy_time) == pytest.approx(r.serial_time)
+
+    def test_block_count(self, grid):
+        r = simulate_wavefront(grid, MachineModel(procs=4))
+        assert r.blocks == grid.n_blocks
+
+    def test_comm_free_machine_beats_lossy(self, grid):
+        lossy = simulate_wavefront(grid, ethernet_2007(16))
+        free = simulate_wavefront(
+            grid, MachineModel(procs=16, alpha=0.0, beta=0.0)
+        )
+        assert free.makespan <= lossy.makespan + 1e-12
+
+
+class TestShapes:
+    def test_speedup_grows_then_saturates(self):
+        # On a fixed problem, adding processors must never make the
+        # no-communication simulation slower.
+        grid = BlockGrid.for_sequences(100, 100, 100, 16)
+        m0 = MachineModel(procs=1, alpha=0.0, beta=0.0)
+        prev = 0.0
+        for p in (1, 2, 4, 8, 16, 32):
+            r = simulate_wavefront(grid, m0.with_procs(p))
+            assert r.speedup >= prev - 1e-9
+            prev = r.speedup
+
+    def test_larger_problems_scale_better(self):
+        machine = ethernet_2007(32)
+        small = BlockGrid.for_sequences(60, 60, 60, 16)
+        large = BlockGrid.for_sequences(240, 240, 240, 16)
+        assert (
+            simulate_wavefront(large, machine).speedup
+            > simulate_wavefront(small, machine).speedup
+        )
+
+    def test_modern_network_beats_ethernet(self):
+        grid = BlockGrid.for_sequences(120, 120, 120, 8)
+        eth = simulate_wavefront(grid, ethernet_2007(16))
+        mod_machine = modern_cluster(16, t_cell=ethernet_2007(16).t_cell)
+        mod = simulate_wavefront(grid, mod_machine)
+        assert mod.speedup > eth.speedup
+
+    def test_mapping_changes_comm_volume(self, grid):
+        # P = 7 so the linear mapping's owner genuinely varies with the I
+        # block index (with P = 8 and a 4x4x4 grid, I*16 = 0 mod 8 makes
+        # linear coincide with pencil).
+        machine = ethernet_2007(7)
+        pencil = simulate_wavefront(grid, machine, mapping="pencil")
+        linear = simulate_wavefront(grid, machine, mapping="linear")
+        # Pencil keeps the i-axis local, so it must move fewer bytes.
+        assert pencil.comm_volume_bytes < linear.comm_volume_bytes
+
+
+class TestMetrics:
+    def test_avg_utilisation_in_unit_interval(self, grid):
+        r = simulate_wavefront(grid, ethernet_2007(8))
+        assert 0 < r.avg_utilisation <= 1
+
+    def test_empty_grid_degenerate(self):
+        g = BlockGrid(dims=(1, 1, 1), block=(4, 4, 4))
+        r = simulate_wavefront(g, MachineModel(procs=2))
+        assert r.blocks == 1
+        assert r.messages == 0

@@ -1,0 +1,35 @@
+"""Tests for repo tooling (tools/gen_api_doc.py) and the generated doc."""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_generator_runs_and_covers_subpackages(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "gen_api_doc.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    text = (ROOT / "docs" / "api.md").read_text()
+    for module in (
+        "repro.core.wavefront",
+        "repro.core.hirschberg",
+        "repro.cluster.simulate",
+        "repro.parallel.executor",
+        "repro.msa.progressive",
+        "repro.analysis.compare",
+        "repro.seqio.fasta",
+    ):
+        assert f"`{module}`" in text, module
+
+
+def test_api_doc_mentions_key_entry_points():
+    text = (ROOT / "docs" / "api.md").read_text()
+    for name in ("align3", "WavefrontPool", "simulate_wavefront",
+                 "carrillo_lipman_mask", "align_msa", "run_distributed"):
+        assert name in text, name

@@ -1,0 +1,121 @@
+"""Unit tests for repro.core.types."""
+
+import pytest
+
+from repro.core.types import (
+    ALL_MOVES,
+    MOVE_ABC,
+    MOVE_NAMES,
+    Alignment3,
+    move_delta,
+    moves_to_columns,
+)
+
+
+class TestMoveEncoding:
+    def test_all_moves(self):
+        assert ALL_MOVES == (1, 2, 3, 4, 5, 6, 7)
+
+    def test_move_abc(self):
+        assert MOVE_ABC == 7
+
+    def test_deltas(self):
+        assert move_delta(1) == (1, 0, 0)
+        assert move_delta(2) == (0, 1, 0)
+        assert move_delta(4) == (0, 0, 1)
+        assert move_delta(3) == (1, 1, 0)
+        assert move_delta(5) == (1, 0, 1)
+        assert move_delta(6) == (0, 1, 1)
+        assert move_delta(7) == (1, 1, 1)
+
+    def test_invalid_move_rejected(self):
+        with pytest.raises(ValueError):
+            move_delta(0)
+        with pytest.raises(ValueError):
+            move_delta(8)
+
+    def test_names_cover_all_moves(self):
+        assert len(MOVE_NAMES) == 8
+        for m in ALL_MOVES:
+            name = MOVE_NAMES[m]
+            assert name.count("A") + name.count("B") + name.count("C") == bin(m).count("1")
+
+
+class TestMovesToColumns:
+    def test_all_match(self):
+        cols = moves_to_columns([7, 7], "AB", "CD", "EF")
+        assert cols == [("A", "C", "E"), ("B", "D", "F")]
+
+    def test_gaps_emitted(self):
+        cols = moves_to_columns([1, 2, 4], "A", "B", "C")
+        assert cols == [("A", "-", "-"), ("-", "B", "-"), ("-", "-", "C")]
+
+    def test_underrun_rejected(self):
+        with pytest.raises(ValueError, match="consumed"):
+            moves_to_columns([7], "AB", "CD", "EF")
+
+    def test_overrun_rejected(self):
+        with pytest.raises(ValueError):
+            moves_to_columns([7, 7], "A", "CD", "EF")
+
+    def test_empty(self):
+        assert moves_to_columns([], "", "", "") == []
+
+
+class TestAlignment3:
+    def _mk(self):
+        return Alignment3(rows=("AC-", "A-G", "-CG"), score=1.5)
+
+    def test_length(self):
+        assert self._mk().length == 3
+
+    def test_unequal_rows_rejected(self):
+        with pytest.raises(ValueError, match="unequal"):
+            Alignment3(rows=("AC", "A", "AC"), score=0)
+
+    def test_wrong_row_count_rejected(self):
+        with pytest.raises(ValueError, match="three rows"):
+            Alignment3(rows=("AC", "AC"), score=0)  # type: ignore[arg-type]
+
+    def test_all_gap_column_rejected(self):
+        with pytest.raises(ValueError, match="all-gap"):
+            Alignment3(rows=("A-", "A-", "A-"), score=0)
+
+    def test_sequences_strips_gaps(self):
+        assert self._mk().sequences() == ("AC", "AG", "CG")
+
+    def test_columns(self):
+        assert list(self._mk().columns()) == [
+            ("A", "A", "-"),
+            ("C", "-", "C"),
+            ("-", "G", "G"),
+        ]
+
+    def test_moves_roundtrip(self):
+        aln = self._mk()
+        cols = moves_to_columns(aln.moves(), *aln.sequences())
+        assert cols == list(aln.columns())
+
+    def test_identity(self):
+        aln = Alignment3(rows=("AAC", "AAG", "AAT"), score=0)
+        assert aln.identity() == pytest.approx(2 / 3)
+
+    def test_identity_empty(self):
+        assert Alignment3(rows=("", "", ""), score=0).identity() == 0.0
+
+    def test_pretty_blocks(self):
+        aln = Alignment3(rows=("A" * 100, "A" * 100, "A" * 100), score=0)
+        blocks = aln.pretty(width=60).split("\n\n")
+        assert len(blocks) == 2
+
+    def test_pretty_width_validated(self):
+        with pytest.raises(ValueError):
+            self._mk().pretty(width=0)
+
+    def test_str_contains_score(self):
+        assert "1.5" in str(self._mk())
+
+    def test_meta_default_dict(self):
+        a = self._mk()
+        a.meta["x"] = 1
+        assert self._mk().meta == {}

@@ -1,0 +1,140 @@
+"""Unit tests for repro.util (timing, tables, validation)."""
+
+import time
+
+import pytest
+
+from repro.util.tables import Table, format_series, format_table
+from repro.util.timing import Timer, format_seconds, repeat_min
+from repro.util.validation import (
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_sequences,
+    check_type,
+    ensure_distinct,
+)
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_manual_start_stop(self):
+        t = Timer()
+        t.start()
+        time.sleep(0.005)
+        elapsed = t.stop()
+        assert elapsed >= 0.004
+        assert t.elapsed == elapsed
+
+
+class TestRepeatMin:
+    def test_returns_min_and_result(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return 42
+
+        best, result = repeat_min(fn, repeats=3)
+        assert result == 42
+        assert len(calls) == 3
+        assert best >= 0
+
+    def test_warmup_not_timed(self):
+        calls = []
+        repeat_min(lambda: calls.append(1), repeats=2, warmup=2)
+        assert len(calls) == 4
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError):
+            repeat_min(lambda: None, repeats=0)
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert format_seconds(2.5) == "2.500 s"
+        assert format_seconds(0.0123) == "12.30 ms"
+        assert format_seconds(4.56e-5) == "45.60 us"
+        assert format_seconds(7.8e-9) == "7.8 ns"
+
+    def test_nan(self):
+        assert format_seconds(float("nan")) == "nan"
+
+
+class TestTables:
+    def test_table_roundtrip(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        text = t.render()
+        assert "demo" in text and "2.5" in text
+
+    def test_row_arity_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row(1)
+
+    def test_csv(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2)
+        assert t.to_csv() == "a,b\n1,2\n"
+
+    def test_format_table_alignment(self):
+        text = format_table("t", ["col"], [[123456]])
+        lines = text.splitlines()
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1  # all box lines equal width
+
+    def test_format_series(self):
+        text = format_series("fig", "x", [1, 2], {"y1": [10, 20], "y2": [3, 4]})
+        assert "y1" in text and "y2" in text and "20" in text
+
+    def test_float_rendering(self):
+        t = Table("demo", ["v"])
+        t.add_row(1.23456e-9)
+        assert "e-09" in t.render()
+        t2 = Table("demo", ["v"])
+        t2.add_row(float("nan"))
+        assert "nan" in t2.render()
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_nonnegative(self):
+        check_nonnegative("x", 0)
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1)
+
+    def test_check_in_range(self):
+        check_in_range("x", 0.5, 0, 1)
+        with pytest.raises(ValueError):
+            check_in_range("x", 2, 0, 1)
+
+    def test_check_type(self):
+        check_type("x", 1, int)
+        with pytest.raises(TypeError, match="must be int"):
+            check_type("x", "s", int)
+
+    def test_check_type_union(self):
+        check_type("x", 1.5, (int, float))
+        with pytest.raises(TypeError, match="int | float"):
+            check_type("x", "s", (int, float))
+
+    def test_check_sequences(self):
+        check_sequences(["a", "b"], count=2)
+        with pytest.raises(ValueError, match="expected 3"):
+            check_sequences(["a"], count=3)
+        with pytest.raises(TypeError, match="must be str"):
+            check_sequences(["a", 1])  # type: ignore[list-item]
+
+    def test_ensure_distinct(self):
+        ensure_distinct(["a", "b"])
+        with pytest.raises(ValueError, match="duplicate"):
+            ensure_distinct(["a", "a"])
