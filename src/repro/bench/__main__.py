@@ -6,7 +6,6 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-import time
 
 from repro.bench.harness import list_experiments, run_experiment
 
@@ -52,14 +51,21 @@ def main(argv: list[str] | None = None) -> int:
     if args.out is not None:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
+    total = 0.0
     for eid in ids:
-        t0 = time.perf_counter()
         result = run_experiment(eid, quick=args.quick)
-        dt = time.perf_counter() - t0
+        total += result.duration_s
         print(result.rendered)
-        print(f"[{eid} completed in {dt:.2f}s]\n")
+        extras = ""
+        if result.metrics.get("cells_computed"):
+            extras = (
+                f" cells={result.metrics['cells_computed']:.0f}"
+                f" peak_cells/s={result.metrics.get('cells_per_s', 0.0):.3g}"
+            )
+        print(f"[{eid} completed in {result.duration_s:.2f}s{extras}]\n")
         if out_dir is not None:
             (out_dir / f"{eid}.txt").write_text(result.rendered + "\n")
+    print(f"[suite total: {len(ids)} experiment(s) in {total:.2f}s]")
     return 0
 
 

@@ -9,18 +9,28 @@ CI-style runs); ``quick=False`` uses the paper-scale parameters recorded in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
 @dataclass
 class ExperimentResult:
-    """Rendered output plus structured data of one experiment."""
+    """Rendered output plus structured data of one experiment.
+
+    ``duration_s`` is the wall-clock time of the whole runner (filled in by
+    :func:`run_experiment`); ``metrics`` is the flat scalar summary of
+    everything the engines recorded into the metrics registry while the
+    experiment ran — cells computed, cells/sec, peak plane/move-cube bytes,
+    worker busy/wait totals (see ``MetricsRegistry.summary``).
+    """
 
     exp_id: str
     title: str
     rendered: str
     data: dict[str, Any] = field(default_factory=dict)
+    duration_s: float = 0.0
+    metrics: dict[str, float] = field(default_factory=dict)
 
     def __str__(self) -> str:
         return self.rendered
@@ -50,14 +60,26 @@ def list_experiments() -> list[tuple[str, str]]:
 
 
 def run_experiment(exp_id: str, quick: bool = False) -> ExperimentResult:
-    """Run one experiment by id (see ``DESIGN.md`` §4 for the index)."""
+    """Run one experiment by id (see ``DESIGN.md`` §4 for the index).
+
+    The run is wrapped in a metrics-collection scope, so the returned
+    result carries engine-level metrics (cells/sec, peak bytes) alongside
+    its rendered table, plus its wall-clock duration.
+    """
+    from repro.obs import metrics as _metrics
+
     _ensure_loaded()
     try:
         title, fn = _REGISTRY[exp_id]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
-    return fn(quick)
+    with _metrics.collect() as reg:
+        t0 = time.perf_counter()
+        result = fn(quick)
+        result.duration_s = time.perf_counter() - t0
+    result.metrics = reg.summary()
+    return result
 
 
 def _ensure_loaded() -> None:

@@ -7,14 +7,22 @@ Commands
 ``score``     print the optimal SP score only (O(n^2) memory)
 ``generate``  emit a synthetic mutated family as FASTA
 ``simulate``  run the cluster simulator and print speedup/efficiency
+``report``    render a captured ``--trace`` JSONL file into tables
 ``info``      version, engines, bundled datasets
+
+``align`` and ``simulate`` accept ``--trace FILE`` (capture a span/plane/
+worker trace, merged across worker processes) and ``--metrics`` (print a
+counters/gauges/histograms summary to stderr); see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro import __version__
 
@@ -57,6 +65,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_align.add_argument(
         "--width", type=int, default=60, help="pretty-print block width"
     )
+    _obs_args(p_align)
 
     p_score = sub.add_parser("score", help="optimal SP score only")
     p_score.add_argument("fasta")
@@ -112,9 +121,69 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="measure this machine's per-cell time instead of the default",
     )
+    _obs_args(p_sim)
+
+    p_rep = sub.add_parser(
+        "report", help="render a --trace JSONL file into breakdown tables"
+    )
+    p_rep.add_argument("trace", help="trace file captured with --trace")
+    p_rep.add_argument(
+        "--planes",
+        type=int,
+        default=12,
+        metavar="BINS",
+        help="number of bins for the per-plane table (0 = one row per plane)",
+    )
 
     sub.add_parser("info", help="version, engines and datasets")
     return parser
+
+
+def _obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="capture a JSONL span/plane/worker trace to FILE "
+        "(render it with 'repro report FILE')",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect engine metrics and print a summary to stderr",
+    )
+
+
+@contextlib.contextmanager
+def _obs_session(args) -> Iterator[None]:
+    """Enable tracing/metrics around a command per its ``--trace`` /
+    ``--metrics`` flags, and tear both down afterwards."""
+    from repro.obs import metrics, trace
+
+    recorder = None
+    if getattr(args, "trace", None):
+        try:
+            recorder = trace.TraceRecorder(args.trace)
+        except OSError as exc:
+            print(f"error: cannot open --trace file: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+        trace.install(recorder)
+    want_metrics = bool(getattr(args, "metrics", False))
+    if want_metrics:
+        metrics.enable()
+    try:
+        yield
+    finally:
+        if want_metrics:
+            from repro.obs.report import render_metrics
+
+            print(
+                render_metrics(metrics.registry().snapshot()), file=sys.stderr
+            )
+            metrics.disable()
+        if recorder is not None:
+            trace.uninstall()
+            recorder.close()
 
 
 def _scoring_args(p: argparse.ArgumentParser) -> None:
@@ -174,27 +243,28 @@ def _cmd_align(args) -> int:
             file=sys.stderr,
         )
         return 2
-    if len(records) == 3:
-        if args.mode == "local":
-            from repro.core.local import align3_local
+    with _obs_session(args):
+        if len(records) == 3:
+            if args.mode == "local":
+                from repro.core.local import align3_local
 
-            aln = align3_local(*seqs, scheme)
-        elif args.mode == "semiglobal":
-            from repro.core.semiglobal import align3_semiglobal
+                aln = align3_local(*seqs, scheme)
+            elif args.mode == "semiglobal":
+                from repro.core.semiglobal import align3_semiglobal
 
-            aln = align3_semiglobal(*seqs, scheme)
+                aln = align3_semiglobal(*seqs, scheme)
+            else:
+                aln = align3(
+                    *seqs, scheme, method=args.method, workers=args.workers
+                )
+            rows = aln.rows
+            score = aln.score
+            engine = aln.meta["engine"]
         else:
-            aln = align3(
-                *seqs, scheme, method=args.method, workers=args.workers
-            )
-        rows = aln.rows
-        score = aln.score
-        engine = aln.meta["engine"]
-    else:
-        msa = align_msa(seqs, scheme, names=names)
-        rows = msa.rows
-        score = msa.sp_score(scheme)
-        engine = msa.meta["engine"]
+            msa = align_msa(seqs, scheme, names=names)
+            rows = msa.rows
+            score = msa.sp_score(scheme)
+            engine = msa.meta["engine"]
 
     if args.format == "fasta":
         print(format_fasta(zip(names, rows)), end="")
@@ -297,9 +367,10 @@ def _cmd_simulate(args) -> int:
             procs=1, t_cell=t_cell, alpha=machine.alpha, beta=machine.beta,
             name=machine.name,
         )
-    results = sweep_procs(
-        args.n, args.procs, machine, block=args.block, mapping=args.mapping
-    )
+    with _obs_session(args):
+        results = sweep_procs(
+            args.n, args.procs, machine, block=args.block, mapping=args.mapping
+        )
     rows = [
         (
             p,
@@ -319,6 +390,16 @@ def _cmd_simulate(args) -> int:
             rows,
         )
     )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import render_report
+
+    if not os.path.exists(args.trace):
+        print(f"error: no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    print(render_report(args.trace, plane_bins=args.planes))
     return 0
 
 
@@ -342,9 +423,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         "count": _cmd_count,
         "generate": _cmd_generate,
         "simulate": _cmd_simulate,
+        "report": _cmd_report,
         "info": _cmd_info,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; die quietly like other line tools.
+        # Stdout is already unusable, so detach it before interpreter
+        # shutdown tries (and fails) to flush it.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

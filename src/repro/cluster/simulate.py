@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.blockgrid import BlockGrid
 from repro.cluster.machine import MachineModel
+from repro.obs import hooks as _obs
 
 
 @dataclass
@@ -100,6 +101,16 @@ def simulate_wavefront(
 
     makespan = max(finish.values()) if finish else 0.0
     serial = machine.compute_time(grid.total_cells())
+    if _obs.active():
+        _obs.record_sim(
+            procs=procs,
+            blocks=n_blocks,
+            messages=messages,
+            comm_bytes=comm_volume,
+            makespan=makespan,
+            speedup=serial / makespan if makespan > 0 else 0.0,
+            busy=busy,
+        )
     return SimResult(
         makespan=makespan,
         serial_time=serial,

@@ -24,6 +24,7 @@ from typing import Sequence
 
 from repro.core.scoring import ScoringScheme, default_scheme_for
 from repro.core.types import Alignment3
+from repro.obs import trace as _trace
 from repro.seqio.alphabet import guess_alphabet
 from repro.util.validation import check_sequences
 
@@ -106,44 +107,45 @@ def align3(
         )
 
     t0 = time.perf_counter()
-    if method == "dp3d":
-        from repro.core.dp3d import align3_dp3d
+    with _trace.span("align3", method=method):
+        if method == "dp3d":
+            from repro.core.dp3d import align3_dp3d
 
-        aln = align3_dp3d(sa, sb, sc, scheme)
-    elif method == "wavefront":
-        from repro.core.wavefront import align3_wavefront
+            aln = align3_dp3d(sa, sb, sc, scheme)
+        elif method == "wavefront":
+            from repro.core.wavefront import align3_wavefront
 
-        aln = align3_wavefront(sa, sb, sc, scheme)
-    elif method == "hirschberg":
-        from repro.core.hirschberg import align3_hirschberg
+            aln = align3_wavefront(sa, sb, sc, scheme)
+        elif method == "hirschberg":
+            from repro.core.hirschberg import align3_hirschberg
 
-        aln = align3_hirschberg(sa, sb, sc, scheme)
-    elif method == "pruned":
-        from repro.core.bounds import carrillo_lipman_mask
-        from repro.core.wavefront import align3_wavefront
+            aln = align3_hirschberg(sa, sb, sc, scheme)
+        elif method == "pruned":
+            from repro.core.bounds import carrillo_lipman_mask
+            from repro.core.wavefront import align3_wavefront
 
-        mask, stats = carrillo_lipman_mask(sa, sb, sc, scheme)
-        aln = align3_wavefront(sa, sb, sc, scheme, mask=mask)
-        aln.meta["pruning"] = {
-            "kept_fraction": stats.kept_fraction,
-            "lower_bound": stats.lower_bound,
-        }
-    elif method == "banded":
-        from repro.core.band import align3_banded
+            mask, stats = carrillo_lipman_mask(sa, sb, sc, scheme)
+            aln = align3_wavefront(sa, sb, sc, scheme, mask=mask)
+            aln.meta["pruning"] = {
+                "kept_fraction": stats.kept_fraction,
+                "lower_bound": stats.lower_bound,
+            }
+        elif method == "banded":
+            from repro.core.band import align3_banded
 
-        aln = align3_banded(sa, sb, sc, scheme)
-    elif method == "affine":
-        from repro.core.affine import align3_affine
+            aln = align3_banded(sa, sb, sc, scheme)
+        elif method == "affine":
+            from repro.core.affine import align3_affine
 
-        aln = align3_affine(sa, sb, sc, scheme)
-    elif method == "shared":
-        from repro.parallel.shared import align3_shared
+            aln = align3_affine(sa, sb, sc, scheme)
+        elif method == "shared":
+            from repro.parallel.shared import align3_shared
 
-        aln = align3_shared(sa, sb, sc, scheme, workers=workers)
-    else:  # threads
-        from repro.parallel.threads import align3_threads
+            aln = align3_shared(sa, sb, sc, scheme, workers=workers)
+        else:  # threads
+            from repro.parallel.threads import align3_threads
 
-        aln = align3_threads(sa, sb, sc, scheme, workers=workers)
+            aln = align3_threads(sa, sb, sc, scheme, workers=workers)
 
     aln.meta.setdefault("engine", method)
     aln.meta["method"] = method

@@ -28,10 +28,13 @@ ABC (7)      s(a_i, b_j) + s(a_i, c_k) + s(b_j, c_k)
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 import numpy as np
 
+from repro.obs import hooks as _obs
+from repro.obs import trace as _trace
 from repro.core.scoring import ScoringScheme
 from repro.core.traceback import traceback_moves
 from repro.core.types import Alignment3, moves_to_columns
@@ -91,6 +94,9 @@ def dp3d_matrix(
     M = np.zeros((n1 + 1, n2 + 1, n3 + 1), dtype=np.int8)
     D[0, 0, 0] = 0.0
 
+    observing = _obs.active()
+    t0 = time.perf_counter() if observing else 0.0
+
     for i in range(n1 + 1):
         for j in range(n2 + 1):
             for k in range(n3 + 1):
@@ -142,6 +148,19 @@ def dp3d_matrix(
                         best, best_move = v, 7
                 D[i, j, k] = best
                 M[i, j, k] = best_move
+    if observing:
+        cells = (
+            (n1 + 1) * (n2 + 1) * (n3 + 1)
+            if mask is None
+            else int(mask.sum())
+        )
+        _obs.record_sweep(
+            "dp3d",
+            cells=cells,
+            seconds=time.perf_counter() - t0,
+            peak_plane_bytes=D.nbytes,
+            move_cube_bytes=M.nbytes,
+        )
     return D, M
 
 
@@ -153,15 +172,17 @@ def align3_dp3d(
     mask: np.ndarray | None = None,
 ) -> Alignment3:
     """Optimal three-way alignment via the reference full-matrix DP."""
-    D, M = dp3d_matrix(sa, sb, sc, scheme, mask=mask)
+    with _trace.span("dp3d.sweep"):
+        D, M = dp3d_matrix(sa, sb, sc, scheme, mask=mask)
     n1, n2, n3 = len(sa), len(sb), len(sc)
     score = float(D[n1, n2, n3])
     if score <= NEG / 2:
         raise RuntimeError(
             "terminal cell unreachable (over-aggressive pruning mask?)"
         )
-    moves = traceback_moves(M)
-    cols = moves_to_columns(moves, sa, sb, sc)
+    with _trace.span("dp3d.traceback"):
+        moves = traceback_moves(M)
+        cols = moves_to_columns(moves, sa, sb, sc)
     rows = tuple("".join(col[r] for col in cols) for r in range(3))
     meta: dict[str, Any] = {
         "engine": "dp3d",

@@ -26,12 +26,14 @@ cells, so the total vector work is close to the true cell count rather than
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from repro.core.dp3d import NEG
+from repro.obs import hooks as _obs
 from repro.core.scoring import ScoringScheme
 from repro.core.traceback import traceback_moves
 from repro.core.types import Alignment3, moves_to_columns
@@ -270,11 +272,17 @@ def wavefront_sweep(
         np.full((n2 + 1, n3 + 1), NEG) if capture_level is not None else None
     )
 
+    observing = _obs.active()
+    t_sweep = time.perf_counter() if observing else 0.0
+    if observing:
+        plane_cell_log: list[int] = []
+        plane_dur_log: list[float] = []
     cells = 0
     dmax = n1 + n2 + n3
     for d in range(dmax + 1):
         out = planes[d % 4]
-        cells += compute_plane_rows(
+        t0 = time.perf_counter() if observing else 0.0
+        plane_cells = compute_plane_rows(
             d,
             0,
             n1,
@@ -290,9 +298,22 @@ def wavefront_sweep(
             move_cube=move_cube,
             mask=mask,
         )
+        if observing:
+            plane_cell_log.append(plane_cells)
+            plane_dur_log.append(time.perf_counter() - t0)
+        cells += plane_cells
         if slab is not None:
             _capture_row(out, d, capture_level, n2, n3, slab)
 
+    if observing:
+        _obs.record_planes("wavefront", plane_cell_log, plane_dur_log)
+        _obs.record_sweep(
+            "wavefront",
+            cells=cells,
+            seconds=time.perf_counter() - t_sweep,
+            peak_plane_bytes=sum(p.nbytes for p in planes),
+            move_cube_bytes=0 if move_cube is None else move_cube.nbytes,
+        )
     score = float(planes[dmax % 4][n1 + 1, n2 + 1])
     return WavefrontResult(
         score=score,
@@ -329,14 +350,18 @@ def align3_wavefront(
     mask: np.ndarray | None = None,
 ) -> Alignment3:
     """Optimal three-way alignment via the vectorised wavefront engine."""
-    res = wavefront_sweep(sa, sb, sc, scheme, score_only=False, mask=mask)
+    from repro.obs import trace as _trace
+
+    with _trace.span("wavefront.sweep"):
+        res = wavefront_sweep(sa, sb, sc, scheme, score_only=False, mask=mask)
     if res.score <= NEG / 2:
         raise RuntimeError(
             "terminal cell unreachable (over-aggressive pruning mask?)"
         )
     assert res.move_cube is not None
-    moves = traceback_moves(res.move_cube)
-    cols = moves_to_columns(moves, sa, sb, sc)
+    with _trace.span("wavefront.traceback"):
+        moves = traceback_moves(res.move_cube)
+        cols = moves_to_columns(moves, sa, sb, sc)
     rows = tuple("".join(col[r] for col in cols) for r in range(3))
     meta: dict[str, Any] = {
         "engine": "wavefront",

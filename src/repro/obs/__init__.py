@@ -1,0 +1,43 @@
+"""Observability: span tracing, metrics, and trace reporting.
+
+Zero-dependency instrumentation for the alignment engines. The subsystem
+has three layers:
+
+``repro.obs.trace``
+    Nestable context-manager spans plus typed fast-path records (plane,
+    worker, sweep), written as JSONL to a process-safe append-only sink so
+    forked workers can emit into the same file; records are merged by
+    ``(pid, sid)``.
+``repro.obs.metrics``
+    In-process counters, gauges and fixed-bucket histograms collected in a
+    registry (cells computed, cells/sec, plane-width distribution, peak
+    buffer bytes, worker busy/wait).
+``repro.obs.report``
+    Renders a captured trace file into per-phase / per-plane / per-worker
+    tables (surfaced as ``repro report``).
+
+Both trace and metrics default to *off*; every engine guards its
+instrumentation behind a module-level enabled flag hoisted out of the hot
+loops, so the untraced path pays nothing beyond one boolean check per
+sweep (and one per plane for the wavefront family).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect,
+)
+from repro.obs.trace import TraceRecorder, read_trace, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "collect",
+    "TraceRecorder",
+    "read_trace",
+    "span",
+]

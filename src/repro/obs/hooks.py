@@ -1,0 +1,123 @@
+"""Engine-facing instrumentation hooks.
+
+The engines call these thin helpers instead of talking to the tracer and
+the registry separately, which keeps record/metric names consistent across
+``dp3d``, ``wavefront``, ``shared``, ``threads``, the pool executor and
+the cluster simulator (and therefore keeps ``repro report`` engine-
+agnostic).
+
+Usage pattern inside an engine::
+
+    observing = hooks.active()          # one flag read per sweep
+    if observing:
+        plane_cells, plane_durs = [], []
+    for d in planes:
+        t0 = time.perf_counter() if observing else 0.0
+        n = compute_plane_rows(...)
+        if observing:
+            plane_cells.append(n)
+            plane_durs.append(time.perf_counter() - t0)
+    if observing:
+        hooks.record_planes("wavefront", plane_cells, plane_durs)
+
+When both tracing and metrics are off, :func:`active` is False and the hot
+loop pays only the boolean check.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics, trace
+
+
+def active() -> bool:
+    """True when either tracing or metrics collection is enabled."""
+    return trace.enabled or metrics.enabled
+
+
+def record_planes(
+    engine: str, cells: list[int], durs: list[float]
+) -> None:
+    """Per-plane cell counts and durations for one sweep, batched into a
+    single trace record plus plane-width histogram samples. Batching keeps
+    the engines' in-loop cost to two list appends per plane."""
+    if trace.enabled:
+        trace.planes(engine, cells, durs)
+    if metrics.enabled:
+        hist = metrics.registry().histogram("plane_cells")
+        for c in cells:
+            hist.observe(c)
+
+
+def record_sweep(
+    engine: str,
+    *,
+    cells: int,
+    seconds: float,
+    peak_plane_bytes: int = 0,
+    move_cube_bytes: int = 0,
+) -> None:
+    """One completed sweep: throughput and peak buffer accounting."""
+    if trace.enabled:
+        trace.sweep(
+            engine,
+            cells,
+            seconds,
+            peak_plane_bytes=peak_plane_bytes,
+            move_cube_bytes=move_cube_bytes,
+        )
+    if metrics.enabled:
+        reg = metrics.registry()
+        reg.counter("cells_computed").inc(cells)
+        reg.counter("sweeps").inc()
+        if seconds > 0:
+            reg.gauge("cells_per_s").set(cells / seconds)
+        reg.gauge("peak_plane_bytes").max_update(peak_plane_bytes)
+        reg.gauge("move_cube_bytes").max_update(move_cube_bytes)
+
+
+def record_worker(
+    engine: str,
+    worker_id: int,
+    busy_s: float,
+    wait_s: float,
+    cells: int,
+    planes: int,
+) -> None:
+    """One worker's busy-vs-barrier-wait summary for a sweep."""
+    if trace.enabled:
+        trace.worker(engine, worker_id, busy_s, wait_s, cells, planes)
+    if metrics.enabled:
+        reg = metrics.registry()
+        reg.counter("worker_busy_s").inc(busy_s)
+        reg.counter("worker_wait_s").inc(wait_s)
+        total = busy_s + wait_s
+        if total > 0:
+            reg.histogram(
+                "worker_busy_ratio", metrics.RATIO_BUCKETS
+            ).observe(busy_s / total)
+
+
+def record_sim(
+    *,
+    procs: int,
+    blocks: int,
+    messages: int,
+    comm_bytes: int,
+    makespan: float,
+    speedup: float,
+    busy: list[float],
+) -> None:
+    """One simulated cluster execution, including per-proc busy/wait
+    records so ``repro report`` renders simulated utilisation the same way
+    it renders measured workers."""
+    if trace.enabled:
+        trace.sim(procs, blocks, messages, comm_bytes, makespan, speedup)
+        for p, busy_s in enumerate(busy):
+            trace.worker("sim", p, busy_s, max(0.0, makespan - busy_s), 0, 0)
+    if metrics.enabled:
+        reg = metrics.registry()
+        reg.counter("sim_runs").inc()
+        reg.counter("sim_messages").inc(messages)
+        reg.counter("sim_comm_bytes").inc(comm_bytes)
+        reg.gauge("sim_makespan_s").set(makespan)
+        reg.gauge("sim_speedup").set(speedup)

@@ -1,0 +1,203 @@
+"""In-process metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a plain dict-of-objects — no locks, no
+background threads — because every engine updates metrics at plane or
+sweep granularity, never per cell. Like :mod:`repro.obs.trace`, the
+module-level :data:`enabled` flag is the single hot-path guard: engines
+read it once per sweep and skip all metric updates when it is False.
+
+Cross-process note: forked workers mutate their own copy of the registry,
+which dies with them. Per-worker numbers travel through the trace sink
+(:func:`repro.obs.trace.worker`) instead; the registry view is the
+dispatching process's view, which is what ``--metrics`` prints.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from bisect import bisect_left
+from typing import Any, Iterator, Sequence
+
+#: Module-level fast guard, mirrors ``repro.obs.trace.enabled``.
+enabled = False
+
+_registry: "MetricsRegistry | None" = None
+
+#: Default histogram bounds: decade buckets for cell counts.
+DEFAULT_BUCKETS = (1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6)
+
+#: Bounds for ratio-valued histograms (busy fraction and the like).
+RATIO_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value, with an explicit high-watermark mode."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def max_update(self, v: float) -> None:
+        """Keep the maximum of everything observed (peak-bytes style)."""
+        v = float(v)
+        if v > self.value:
+            self.value = v
+
+
+class Histogram:
+    """Fixed-bucket histogram.
+
+    ``bounds`` are the inclusive upper edges of the first ``len(bounds)``
+    buckets; one overflow bucket catches everything above the last edge.
+    A value ``v`` lands in the first bucket whose edge satisfies
+    ``v <= edge``.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        edges = tuple(float(b) for b in bounds)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(edges) != sorted(edges):
+            raise ValueError(f"bucket bounds must be sorted, got {bounds}")
+        self.bounds = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        # First edge >= v, i.e. upper edges are inclusive; values past the
+        # last edge land in the overflow bucket at index len(bounds).
+        self.counts[bisect_left(self.bounds, v)] += 1
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(bounds)
+        return h
+
+    def snapshot(self) -> dict[str, Any]:
+        """Full structured dump (JSON-able)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def summary(self) -> dict[str, float]:
+        """Flat scalar view: counters and gauges verbatim, histograms as
+        ``<name>_count`` / ``<name>_mean`` / ``<name>_max``. This is the
+        dict attached to every ``ExperimentResult``."""
+        out: dict[str, float] = {}
+        for name, c in sorted(self._counters.items()):
+            out[name] = c.value
+        for name, g in sorted(self._gauges.items()):
+            out[name] = g.value
+        for name, h in sorted(self._histograms.items()):
+            out[f"{name}_count"] = float(h.count)
+            out[f"{name}_mean"] = h.mean
+            out[f"{name}_max"] = h.max if h.count else 0.0
+        return out
+
+
+def registry() -> MetricsRegistry:
+    """The current registry (created lazily)."""
+    global _registry
+    if _registry is None:
+        _registry = MetricsRegistry()
+    return _registry
+
+
+def enable(reg: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Start collecting into ``reg`` (a fresh registry by default)."""
+    global enabled, _registry
+    _registry = reg if reg is not None else MetricsRegistry()
+    enabled = True
+    return _registry
+
+
+def disable() -> None:
+    global enabled
+    enabled = False
+
+
+@contextlib.contextmanager
+def collect(
+    reg: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Collect metrics for the duration of a ``with`` block, restoring the
+    previous enabled/registry state on exit (safe to nest)."""
+    global enabled, _registry
+    prev_enabled, prev_registry = enabled, _registry
+    active = enable(reg)
+    try:
+        yield active
+    finally:
+        enabled, _registry = prev_enabled, prev_registry

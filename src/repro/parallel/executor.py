@@ -23,12 +23,15 @@ identical argmax tie-breaking, bit-identical output to the serial engine.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from multiprocessing import shared_memory
 from typing import Any
 
 import numpy as np
 
 from repro.core.dp3d import NEG
+from repro.obs import hooks as _obs
+from repro.obs import trace as _trace
 from repro.core.scoring import ScoringScheme
 from repro.core.traceback import traceback_moves
 from repro.core.types import Alignment3, moves_to_columns
@@ -86,12 +89,23 @@ def _pool_worker(
                     (n1 + 1, n2 + 1, n3 + 1), dtype=np.int8, buffer=shms["moves"].buf
                 )
             )
+            # Observability state was inherited at pool construction time
+            # (the workers fork once); per-job records still carry the
+            # correct pid/worker ids.
+            observing = _obs.active()
+            busy = wait = 0.0
+            cells = 0
+            if observing:
+                plane_cell_log: list[int] = []
+                plane_dur_log: list[float] = []
             for d in range(n1 + n2 + n3 + 1):
+                t0 = time.perf_counter() if observing else 0.0
+                plane_cells = 0
                 ilo, ihi, _jlo, _jhi = plane_bounds(d, n1, n2, n3)
                 if ilo <= ihi:
                     lo, hi = split_range(ilo, ihi, workers)[worker_id]
                     if lo <= hi:
-                        compute_plane_rows(
+                        plane_cells = compute_plane_rows(
                             d,
                             lo,
                             hi,
@@ -106,9 +120,23 @@ def _pool_worker(
                             dims,
                             move_cube=move_cube,
                         )
+                        cells += plane_cells
+                if observing:
+                    t1 = time.perf_counter()
+                    busy += t1 - t0
+                    plane_cell_log.append(plane_cells)
+                    plane_dur_log.append(t1 - t0)
                 plane_barrier.wait()
+                if observing:
+                    wait += time.perf_counter() - t1
             # Signal job completion back to the dispatcher.
             plane_barrier.wait()
+            if observing:
+                _obs.record_planes("pool", plane_cell_log, plane_dur_log)
+                _obs.record_worker(
+                    "pool", worker_id, busy, wait, cells, n1 + n2 + n3 + 1
+                )
+                _trace.flush()
     finally:
         for shm in shms.values():
             shm.close()
@@ -168,6 +196,8 @@ class WavefrontPool:
         self._start_barrier = ctx.Barrier(workers)
         self._plane_barrier = ctx.Barrier(workers)
         names = {key: shm.name for key, shm in self._shms.items()}
+        # Flush buffered trace lines so the fork doesn't duplicate them.
+        _trace.flush()
         for w in range(1, workers):
             proc = ctx.Process(
                 target=_pool_worker,
@@ -271,18 +301,27 @@ class WavefrontPool:
         self._ctrl[_CTRL_G2] = 2.0 * scheme.gap
         self._ctrl[_CTRL_SCORE_ONLY] = 1.0 if score_only else 0.0
 
+        observing = _obs.active()
+        t_sweep = time.perf_counter() if observing else 0.0
         self._start_barrier.wait()
         # The dispatcher is worker 0.
         g2 = 2.0 * scheme.gap
         sab_v = np.ndarray((n1, n2), dtype=np.float64, buffer=self._shms["sab"].buf)
         sac_v = np.ndarray((n1, n3), dtype=np.float64, buffer=self._shms["sac"].buf)
         sbc_v = np.ndarray((n2, n3), dtype=np.float64, buffer=self._shms["sbc"].buf)
+        busy = wait = 0.0
+        cells = 0
+        if observing:
+            plane_cell_log: list[int] = []
+            plane_dur_log: list[float] = []
         for d in range(n1 + n2 + n3 + 1):
+            t0 = time.perf_counter() if observing else 0.0
+            plane_cells = 0
             ilo, ihi, _jlo, _jhi = plane_bounds(d, n1, n2, n3)
             if ilo <= ihi:
                 lo, hi = split_range(ilo, ihi, self.workers)[0]
                 if lo <= hi:
-                    compute_plane_rows(
+                    plane_cells = compute_plane_rows(
                         d,
                         lo,
                         hi,
@@ -297,12 +336,30 @@ class WavefrontPool:
                         dims,
                         move_cube=move_cube,
                     )
+                    cells += plane_cells
+            if observing:
+                t1 = time.perf_counter()
+                busy += t1 - t0
+                plane_cell_log.append(plane_cells)
+                plane_dur_log.append(t1 - t0)
             self._plane_barrier.wait()
+            if observing:
+                wait += time.perf_counter() - t1
         self._plane_barrier.wait()  # job-completion rendezvous
 
         dmax = n1 + n2 + n3
         score = float(planes[dmax % 4][n1 + 1, n2 + 1])
         moves = None if move_cube is None else move_cube.copy()
+        if observing:
+            _obs.record_planes("pool", plane_cell_log, plane_dur_log)
+            _obs.record_worker("pool", 0, busy, wait, cells, dmax + 1)
+            _obs.record_sweep(
+                "pool",
+                cells=(n1 + 1) * (n2 + 1) * (n3 + 1),
+                seconds=time.perf_counter() - t_sweep,
+                peak_plane_bytes=4 * (n1 + 2) * (n2 + 2) * 8,
+                move_cube_bytes=0 if move_cube is None else move_cube.nbytes,
+            )
         return score, moves
 
     # ------------------------------------------------------------------

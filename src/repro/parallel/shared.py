@@ -18,12 +18,15 @@ so writes are disjoint and the result is bit-identical to the serial engine.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from multiprocessing import shared_memory
 from typing import Any
 
 import numpy as np
 
 from repro.core.dp3d import NEG
+from repro.obs import hooks as _obs
+from repro.obs import trace as _trace
 from repro.core.scoring import ScoringScheme
 from repro.core.traceback import traceback_moves
 from repro.core.types import Alignment3, moves_to_columns
@@ -70,13 +73,23 @@ def _worker_loop(
         )
         handles.append(shm)
     try:
+        # Forked workers inherit the tracer/metrics state the parent had at
+        # spawn time, so this flag is valid in children too.
+        observing = _obs.active()
+        busy = wait = 0.0
+        cells = 0
+        if observing:
+            plane_cell_log: list[int] = []
+            plane_dur_log: list[float] = []
         dmax = n1 + n2 + n3
         for d in range(dmax + 1):
+            t0 = time.perf_counter() if observing else 0.0
+            plane_cells = 0
             ilo, ihi, _jlo, _jhi = plane_bounds(d, n1, n2, n3)
             if ilo <= ihi:
                 lo, hi = split_range(ilo, ihi, workers)[worker_id]
                 if lo <= hi:
-                    compute_plane_rows(
+                    plane_cells = compute_plane_rows(
                         d,
                         lo,
                         hi,
@@ -91,7 +104,19 @@ def _worker_loop(
                         dims,
                         move_cube=move_cube,
                     )
+                    cells += plane_cells
+            if observing:
+                t1 = time.perf_counter()
+                busy += t1 - t0
+                plane_cell_log.append(plane_cells)
+                plane_dur_log.append(t1 - t0)
             barrier.wait()
+            if observing:
+                wait += time.perf_counter() - t1
+        if observing:
+            _obs.record_planes("shared", plane_cell_log, plane_dur_log)
+            _obs.record_worker("shared", worker_id, busy, wait, cells, dmax + 1)
+            _trace.flush()
     finally:
         for shm in handles:
             shm.close()
@@ -154,6 +179,11 @@ def _shared_sweep(
         barrier = ctx.Barrier(workers)
         plane_names = [s.name for s in plane_shms]
         move_name = move_shm.name if move_shm is not None else None
+        observing = _obs.active()
+        t_sweep = time.perf_counter() if observing else 0.0
+        # Flush buffered trace lines so the fork doesn't duplicate them
+        # into every child's buffer.
+        _trace.flush()
         for w in range(1, workers):
             proc = ctx.Process(
                 target=_worker_loop,
@@ -186,6 +216,15 @@ def _shared_sweep(
         dmax = n1 + n2 + n3
         score = float(planes[dmax % 4][n1 + 1, n2 + 1])
         moves_copy = None if move_cube is None else move_cube.copy()
+        if observing:
+            # The shared engine computes the full (unmasked) cube.
+            _obs.record_sweep(
+                "shared",
+                cells=(n1 + 1) * (n2 + 1) * (n3 + 1),
+                seconds=time.perf_counter() - t_sweep,
+                peak_plane_bytes=4 * plane_bytes,
+                move_cube_bytes=0 if move_cube is None else move_cube.nbytes,
+            )
         meta = {"engine": "shared", "workers": workers}
         return score, moves_copy, meta
     finally:

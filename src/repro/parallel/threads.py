@@ -13,11 +13,13 @@ GIL runtime).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any
 
 import numpy as np
 
 from repro.core.dp3d import NEG
+from repro.obs import hooks as _obs
 from repro.core.scoring import ScoringScheme
 from repro.core.traceback import traceback_moves
 from repro.core.types import Alignment3, moves_to_columns
@@ -53,14 +55,23 @@ def _threaded_sweep(
     barrier = threading.Barrier(workers)
     errors: list[BaseException] = []
 
+    observing = _obs.active()
+
     def loop(worker_id: int) -> None:
         try:
+            busy = wait = 0.0
+            cells = 0
+            if observing:
+                plane_cell_log: list[int] = []
+                plane_dur_log: list[float] = []
             for d in range(dmax + 1):
+                t0 = time.perf_counter() if observing else 0.0
+                plane_cells = 0
                 ilo, ihi, _jlo, _jhi = plane_bounds(d, n1, n2, n3)
                 if ilo <= ihi:
                     lo, hi = split_range(ilo, ihi, workers)[worker_id]
                     if lo <= hi:
-                        compute_plane_rows(
+                        plane_cells = compute_plane_rows(
                             d,
                             lo,
                             hi,
@@ -75,12 +86,26 @@ def _threaded_sweep(
                             dims,
                             move_cube=move_cube,
                         )
+                        cells += plane_cells
+                if observing:
+                    t1 = time.perf_counter()
+                    busy += t1 - t0
+                    plane_cell_log.append(plane_cells)
+                    plane_dur_log.append(t1 - t0)
                 barrier.wait()
+                if observing:
+                    wait += time.perf_counter() - t1
+            if observing:
+                _obs.record_planes("threads", plane_cell_log, plane_dur_log)
+                _obs.record_worker(
+                    "threads", worker_id, busy, wait, cells, dmax + 1
+                )
         except BaseException as exc:  # pragma: no cover - debugging aid
             errors.append(exc)
             barrier.abort()
             raise
 
+    t_sweep = time.perf_counter() if observing else 0.0
     threads = [
         threading.Thread(target=loop, args=(w,), daemon=True)
         for w in range(1, workers)
@@ -93,6 +118,14 @@ def _threaded_sweep(
     if errors:  # pragma: no cover
         raise errors[0]
 
+    if observing:
+        _obs.record_sweep(
+            "threads",
+            cells=(n1 + 1) * (n2 + 1) * (n3 + 1),
+            seconds=time.perf_counter() - t_sweep,
+            peak_plane_bytes=sum(p.nbytes for p in planes),
+            move_cube_bytes=0 if move_cube is None else move_cube.nbytes,
+        )
     score = float(planes[dmax % 4][n1 + 1, n2 + 1])
     meta = {"engine": "threads", "workers": workers}
     return score, move_cube, meta

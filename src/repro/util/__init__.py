@@ -4,7 +4,13 @@ These helpers are deliberately dependency-free (NumPy only) so that every
 other subpackage may import them without cycles.
 """
 
-from repro.util.timing import Timer, repeat_min, format_seconds
+from repro.util.timing import (
+    RepeatStats,
+    Timer,
+    format_seconds,
+    repeat_min,
+    repeat_stats,
+)
 from repro.util.validation import (
     check_positive,
     check_nonnegative,
@@ -15,8 +21,10 @@ from repro.util.validation import (
 from repro.util.tables import Table, format_table, format_series
 
 __all__ = [
+    "RepeatStats",
     "Timer",
     "repeat_min",
+    "repeat_stats",
     "format_seconds",
     "check_positive",
     "check_nonnegative",

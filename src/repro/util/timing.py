@@ -3,12 +3,15 @@
 The conventions follow the optimisation workflow recommended for scientific
 Python: measure before optimising, prefer the *minimum* of several repeats
 (it is the least noisy estimator of the true cost on an otherwise idle
-machine), and keep individual measurement runs short.
+machine), and keep individual measurement runs short. When the spread
+itself matters (e.g. judging whether two variants differ by more than the
+noise), :func:`repeat_stats` reports min/median/mean/stdev of the same
+repeats.
 """
 
 from __future__ import annotations
 
-import math
+import statistics
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -24,10 +27,14 @@ class Timer:
     ...     _ = sum(range(1000))
     >>> t.elapsed >= 0.0
     True
+
+    Calling :meth:`stop` without a prior :meth:`start` (or ``__enter__``)
+    raises ``RuntimeError`` — previously it silently measured from the
+    epoch of the performance counter and returned a huge bogus elapsed.
     """
 
     elapsed: float = 0.0
-    _start: float = field(default=0.0, repr=False)
+    _start: float | None = field(default=None, repr=False)
 
     def __enter__(self) -> "Timer":
         self._start = time.perf_counter()
@@ -35,6 +42,7 @@ class Timer:
 
     def __exit__(self, *exc: Any) -> None:
         self.elapsed = time.perf_counter() - self._start
+        self._start = None
 
     def start(self) -> None:
         """Start (or restart) the stopwatch outside a ``with`` block."""
@@ -42,8 +50,66 @@ class Timer:
 
     def stop(self) -> float:
         """Stop the stopwatch and return the elapsed time in seconds."""
+        if self._start is None:
+            raise RuntimeError(
+                "Timer.stop() called without a matching start(); "
+                "call start() or use the context-manager form first"
+            )
         self.elapsed = time.perf_counter() - self._start
+        self._start = None
         return self.elapsed
+
+
+@dataclass(frozen=True)
+class RepeatStats:
+    """Summary statistics over the timed repeats of one measurement."""
+
+    min: float
+    median: float
+    mean: float
+    stdev: float
+    repeats: int
+
+
+def repeat_stats(
+    fn: Callable[[], Any],
+    repeats: int = 3,
+    warmup: int = 0,
+) -> tuple[RepeatStats, Any]:
+    """Run ``fn`` ``repeats`` times and return ``(stats, last_result)``.
+
+    ``stats`` carries (min, median, mean, stdev) of the timed runs;
+    ``stdev`` is 0.0 for a single repeat. ``warmup`` extra untimed calls
+    are made first, which matters for code paths that allocate pools of
+    worker processes or fill caches.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable to measure.
+    repeats:
+        Number of timed invocations.
+    warmup:
+        Number of untimed invocations run before measuring.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    times: list[float] = []
+    result: Any = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    stats = RepeatStats(
+        min=min(times),
+        median=statistics.median(times),
+        mean=statistics.fmean(times),
+        stdev=statistics.stdev(times) if len(times) >= 2 else 0.0,
+        repeats=repeats,
+    )
+    return stats, result
 
 
 def repeat_min(
@@ -53,31 +119,11 @@ def repeat_min(
 ) -> tuple[float, Any]:
     """Run ``fn`` ``repeats`` times and return ``(min_seconds, last_result)``.
 
-    ``warmup`` extra untimed calls are made first, which matters for code
-    paths that allocate pools of worker processes or fill caches.
-
-    Parameters
-    ----------
-    fn:
-        Zero-argument callable to measure.
-    repeats:
-        Number of timed invocations; the minimum is reported.
-    warmup:
-        Number of untimed invocations run before measuring.
+    Kept as the harness's standard estimator; delegates to
+    :func:`repeat_stats` and reports the minimum.
     """
-    if repeats < 1:
-        raise ValueError(f"repeats must be >= 1, got {repeats}")
-    for _ in range(warmup):
-        fn()
-    best = math.inf
-    result: Any = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn()
-        dt = time.perf_counter() - t0
-        if dt < best:
-            best = dt
-    return best, result
+    stats, result = repeat_stats(fn, repeats=repeats, warmup=warmup)
+    return stats.min, result
 
 
 def format_seconds(seconds: float) -> str:

@@ -115,6 +115,60 @@ class TestSimulate:
         assert "modern" in capsys.readouterr().out
 
 
+class TestObservability:
+    def test_align_trace_and_metrics(self, fasta3, tmp_path, capsys):
+        from repro.obs.trace import read_trace
+
+        path, _fam = fasta3
+        out = tmp_path / "trace.jsonl"
+        assert main(["align", path, "--trace", str(out), "--metrics"]) == 0
+        err = capsys.readouterr().err
+        assert "cells_computed" in err  # --metrics summary on stderr
+        records = read_trace(out)
+        types = {r["type"] for r in records}
+        assert {"span", "sweep", "planes"} <= types
+
+    def test_tracing_off_by_default(self, fasta3, capsys):
+        from repro.obs import metrics, trace
+
+        path, _fam = fasta3
+        assert main(["align", path]) == 0
+        capsys.readouterr()
+        assert not trace.enabled and not metrics.enabled
+
+    def test_report_renders_tables(self, fasta3, tmp_path, capsys):
+        path, _fam = fasta3
+        out = tmp_path / "trace.jsonl"
+        main(["align", path, "--trace", str(out)])
+        capsys.readouterr()
+        assert main(["report", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "phases" in text and "sweeps" in text and "planes" in text
+
+    def test_unwritable_trace_path(self, fasta3, tmp_path, capsys):
+        path, _fam = fasta3
+        bad = tmp_path / "missing-dir" / "t.jsonl"
+        with pytest.raises(SystemExit) as exc:
+            main(["align", path, "--trace", str(bad)])
+        assert exc.value.code == 2
+        assert "cannot open --trace" in capsys.readouterr().err
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such" in capsys.readouterr().err.lower()
+
+    def test_simulate_trace(self, tmp_path, capsys):
+        from repro.obs.trace import read_trace
+
+        out = tmp_path / "sim.jsonl"
+        assert main(
+            ["simulate", "--n", "60", "--procs", "2", "--trace", str(out)]
+        ) == 0
+        capsys.readouterr()
+        sims = [r for r in read_trace(out) if r["type"] == "sim"]
+        assert sims and sims[0]["procs"] == 2
+
+
 class TestInfo:
     def test_info(self, capsys):
         assert main(["info"]) == 0

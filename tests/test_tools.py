@@ -1,5 +1,7 @@
-"""Tests for repo tooling (tools/gen_api_doc.py) and the generated doc."""
+"""Tests for repo tooling (gen_api_doc.py, check_overhead.py) and the
+generated doc."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -26,6 +28,28 @@ def test_generator_runs_and_covers_subpackages(tmp_path):
         "repro.seqio.fasta",
     ):
         assert f"`{module}`" in text, module
+
+
+def test_check_overhead_smoke():
+    # Tiny cube and a loose tolerance: this verifies the guard's plumbing
+    # (imports, measurement loop, output-identity check), not the 10%
+    # budget itself — that is enforced by running the tool standalone on a
+    # quiet machine.
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(ROOT / "tools" / "check_overhead.py"),
+            "--n", "16",
+            "--repeats", "2",
+            "--tolerance", "5.0",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "OK:" in result.stdout and "overhead=" in result.stdout
 
 
 def test_api_doc_mentions_key_entry_points():

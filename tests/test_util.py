@@ -5,7 +5,13 @@ import time
 import pytest
 
 from repro.util.tables import Table, format_series, format_table
-from repro.util.timing import Timer, format_seconds, repeat_min
+from repro.util.timing import (
+    RepeatStats,
+    Timer,
+    format_seconds,
+    repeat_min,
+    repeat_stats,
+)
 from repro.util.validation import (
     check_in_range,
     check_nonnegative,
@@ -30,6 +36,23 @@ class TestTimer:
         assert elapsed >= 0.004
         assert t.elapsed == elapsed
 
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError, match="without a matching start"):
+            Timer().stop()
+
+    def test_stop_twice_raises(self):
+        t = Timer()
+        t.start()
+        t.stop()
+        with pytest.raises(RuntimeError):
+            t.stop()
+
+    def test_stop_after_context_exit_raises(self):
+        with Timer() as t:
+            pass
+        with pytest.raises(RuntimeError):
+            t.stop()
+
 
 class TestRepeatMin:
     def test_returns_min_and_result(self):
@@ -52,6 +75,28 @@ class TestRepeatMin:
     def test_repeats_validated(self):
         with pytest.raises(ValueError):
             repeat_min(lambda: None, repeats=0)
+
+
+class TestRepeatStats:
+    def test_fields_consistent(self):
+        stats, result = repeat_stats(lambda: "r", repeats=5)
+        assert isinstance(stats, RepeatStats)
+        assert result == "r"
+        assert stats.repeats == 5
+        assert stats.min <= stats.median
+        assert stats.min <= stats.mean
+        assert stats.stdev >= 0.0
+
+    def test_single_repeat_has_zero_stdev(self):
+        stats, _ = repeat_stats(lambda: None, repeats=1)
+        assert stats.stdev == 0.0
+        assert stats.min == stats.median == stats.mean
+
+    def test_repeat_min_matches_stats_min(self):
+        calls = []
+        best, _ = repeat_min(lambda: calls.append(1), repeats=4)
+        assert len(calls) == 4
+        assert best >= 0.0
 
 
 class TestFormatSeconds:

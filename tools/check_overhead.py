@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Guard against instrumentation-overhead regressions.
+
+Times an aligned sweep with observability off, then again with both the
+span tracer and the metrics registry enabled, and fails when the traced
+run is more than ``--tolerance`` slower than the untraced one. The default
+workload is the acceptance target from the observability issue: a 40-mer
+family, i.e. a ~41^3-cell cube, with a 10% tolerance.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_overhead.py [--n 40] [--repeats 5]
+        [--tolerance 0.10]
+
+Exit status 0 when within tolerance, 1 when over (2 on bad arguments).
+Minimum-of-repeats is used on both sides, which suppresses scheduler
+noise; raise ``--repeats`` on a loaded machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+import tempfile
+
+
+def _ensure_importable() -> None:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        sys.path.insert(0, str(src))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="assert traced alignment overhead stays within tolerance"
+    )
+    parser.add_argument(
+        "--n", type=int, default=40, help="sequence length (cube is ~(n+1)^3)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timed repeats per side"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="max allowed fractional slowdown of the traced run",
+    )
+    args = parser.parse_args(argv)
+    if args.n < 1 or args.repeats < 1 or args.tolerance < 0:
+        parser.error("n/repeats must be >= 1 and tolerance >= 0")
+
+    _ensure_importable()
+    import time
+
+    from repro.core.scoring import default_scheme_for
+    from repro.core.wavefront import align3_wavefront
+    from repro.obs import metrics, trace
+    from repro.seqio.alphabet import DNA
+    from repro.seqio.generate import mutated_family
+    from repro.util.timing import format_seconds
+
+    seqs = mutated_family(args.n, seed=7)
+    scheme = default_scheme_for(DNA)
+
+    fd, trace_path = tempfile.mkstemp(suffix=".jsonl", prefix="obs-overhead-")
+    os.close(fd)
+    recorder = trace.TraceRecorder(trace_path)
+    base_times: list[float] = []
+    traced_times: list[float] = []
+    base_aln = traced_aln = None
+    try:
+        # Interleave the untraced and traced measurements so slow drift
+        # (thermal throttling, background load) hits both sides equally;
+        # the minimum of each side then compares like with like.
+        align3_wavefront(*seqs, scheme)  # warmup
+        for _ in range(args.repeats):
+            t0 = time.perf_counter()
+            base_aln = align3_wavefront(*seqs, scheme)
+            base_times.append(time.perf_counter() - t0)
+
+            trace.install(recorder)
+            metrics.enable()
+            try:
+                t0 = time.perf_counter()
+                traced_aln = align3_wavefront(*seqs, scheme)
+                traced_times.append(time.perf_counter() - t0)
+            finally:
+                metrics.disable()
+                trace.uninstall()
+    finally:
+        recorder.close()
+        os.unlink(trace_path)
+    base_s, traced_s = min(base_times), min(traced_times)
+
+    if traced_aln.rows != base_aln.rows or traced_aln.score != base_aln.score:
+        print("FAIL: tracing changed the alignment output")
+        return 1
+
+    overhead = traced_s / base_s - 1.0 if base_s > 0 else 0.0
+    status = "OK" if overhead <= args.tolerance else "FAIL"
+    print(
+        f"{status}: n={args.n} untraced={format_seconds(base_s)} "
+        f"traced={format_seconds(traced_s)} overhead={overhead:+.1%} "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+    return 0 if overhead <= args.tolerance else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
