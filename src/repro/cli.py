@@ -14,6 +14,13 @@ Commands
 worker trace, merged across worker processes) and ``--metrics`` (print a
 counters/gauges/histograms summary to stderr); see
 ``docs/observability.md``.
+
+Fault tolerance (see ``docs/robustness.md``): ``align`` accepts
+``--inject-fault SPEC`` (repeatable) and honours the ``REPRO_FAULTS``
+environment variable; ``--no-degrade`` turns the automatic
+memory-degradation ladder into a hard error. Typed failures map to
+distinct exit codes: worker/rank failure -> 3, forbidden degradation ->
+4, bad fault spec -> 5.
 """
 
 from __future__ import annotations
@@ -64,6 +71,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_align.add_argument(
         "--width", type=int, default=60, help="pretty-print block width"
+    )
+    p_align.add_argument(
+        "--inject-fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="arm a fault for chaos testing, e.g. "
+        "'worker_crash@pool:worker=1,plane=25' (repeatable; see "
+        "docs/robustness.md)",
+    )
+    p_align.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="fail (exit 4) instead of walking the memory-degradation "
+        "ladder when the requested engine exceeds the memory budget",
     )
     _obs_args(p_align)
 
@@ -255,8 +277,19 @@ def _cmd_align(args) -> int:
                 aln = align3_semiglobal(*seqs, scheme)
             else:
                 aln = align3(
-                    *seqs, scheme, method=args.method, workers=args.workers
+                    *seqs,
+                    scheme,
+                    method=args.method,
+                    workers=args.workers,
+                    allow_degrade=not args.no_degrade,
                 )
+                if "degraded_from" in aln.meta:
+                    print(
+                        f"# degraded: {aln.meta['degraded_from']} -> "
+                        f"{aln.meta['engine']} (memory budget "
+                        f"{aln.meta['memory_budget_bytes']:,} bytes)",
+                        file=sys.stderr,
+                    )
             rows = aln.rows
             score = aln.score
             engine = aln.meta["engine"]
@@ -416,6 +449,16 @@ def _cmd_info(_args) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.resilience import faults
+    from repro.resilience.errors import (
+        EXIT_BAD_FAULT_SPEC,
+        EXIT_DEGRADED,
+        EXIT_WORKER_FAILURE,
+        DegradedRun,
+        FaultSpecError,
+        WorkerFailure,
+    )
+
     args = _build_parser().parse_args(argv)
     handler = {
         "align": _cmd_align,
@@ -427,7 +470,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         "info": _cmd_info,
     }[args.command]
     try:
+        faults.install_from_env()
+        if getattr(args, "inject_fault", None):
+            faults.install(list(args.inject_fault))
         return handler(args)
+    except FaultSpecError as exc:
+        print(f"error: bad fault spec: {exc}", file=sys.stderr)
+        return EXIT_BAD_FAULT_SPEC
+    except DegradedRun as exc:
+        print(f"error: degraded run forbidden by --no-degrade: {exc}",
+              file=sys.stderr)
+        return EXIT_DEGRADED
+    except WorkerFailure as exc:
+        print(f"error: worker failure: {exc}", file=sys.stderr)
+        return EXIT_WORKER_FAILURE
     except BrokenPipeError:
         # Output piped into e.g. `head`; die quietly like other line tools.
         # Stdout is already unusable, so detach it before interpreter

@@ -28,6 +28,7 @@ import numpy as np
 from repro.cluster.blockgrid import BlockGrid
 from repro.core.dp3d import NEG
 from repro.core.scoring import ScoringScheme
+from repro.resilience.errors import ProtocolError
 from repro.util.validation import check_positive, check_sequences
 
 
@@ -145,7 +146,7 @@ def execute_blocked(
         # the boundary payload (cells * 8 bytes), exactly as simulated.
         for src, payload in grid.dependencies(blk):
             if src not in filled:
-                raise RuntimeError(
+                raise ProtocolError(
                     f"wavefront order violated: {blk} before {src}"
                 )
             if grid.owner(src, procs, mapping) != own:

@@ -20,11 +20,15 @@ method           engine
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Sequence
 
 from repro.core.scoring import ScoringScheme, default_scheme_for
 from repro.core.types import Alignment3
+from repro.obs import hooks as _obs
 from repro.obs import trace as _trace
+from repro.resilience import degrade as _degrade
+from repro.resilience.errors import DegradationWarning, DegradedRun
 from repro.seqio.alphabet import guess_alphabet
 from repro.util.validation import check_sequences
 
@@ -59,6 +63,7 @@ def align3(
     scheme: ScoringScheme | None = None,
     method: str = "auto",
     workers: int = 2,
+    allow_degrade: bool = True,
 ) -> Alignment3:
     """Optimal three-sequence alignment.
 
@@ -73,6 +78,13 @@ def align3(
         One of :data:`AVAILABLE_METHODS`.
     workers:
         Worker count for the ``shared``/``threads`` methods.
+    allow_degrade:
+        When the requested engine's estimated footprint exceeds the memory
+        budget (see :mod:`repro.resilience.degrade`), True (default)
+        transparently walks the degradation ladder down to an engine that
+        fits — still exact, recorded in ``meta["degraded_from"]`` and a
+        :class:`DegradationWarning`. False raises :class:`DegradedRun`
+        instead of switching engines.
 
     Returns
     -------
@@ -105,6 +117,22 @@ def align3(
             f"method {method!r} implements the linear gap model but the "
             "scheme has a nonzero gap_open; use method='affine'"
         )
+
+    plan = None
+    if method in _degrade.LADDER:
+        plan = _degrade.plan_method(
+            method, (len(sa), len(sb), len(sc))
+        )
+        if plan.degraded:
+            if not allow_degrade:
+                raise DegradedRun(plan.describe(), plan)
+            warnings.warn(
+                DegradationWarning(plan.describe()), stacklevel=2
+            )
+            _obs.record_degrade(
+                plan.requested, plan.method, plan.estimate, plan.budget
+            )
+            method = plan.method
 
     t0 = time.perf_counter()
     with _trace.span("align3", method=method):
@@ -151,6 +179,12 @@ def align3(
     aln.meta["method"] = method
     aln.meta["wall_time_s"] = time.perf_counter() - t0
     aln.meta["scheme"] = scheme.name
+    if plan is not None and plan.degraded:
+        aln.meta["degraded_from"] = plan.requested
+        aln.meta["degrade_steps"] = [
+            {"method": m, "estimate_bytes": e} for m, e in plan.steps
+        ]
+        aln.meta["memory_budget_bytes"] = plan.budget
     return aln
 
 

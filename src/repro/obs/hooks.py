@@ -97,6 +97,78 @@ def record_worker(
             ).observe(busy_s / total)
 
 
+def record_failure(
+    engine: str, worker: int, plane: int | None, reason: str
+) -> None:
+    """One detected worker/rank failure (before any recovery attempt)."""
+    if trace.enabled:
+        trace.event(
+            "worker_failure",
+            engine=engine,
+            worker=worker,
+            plane=plane,
+            reason=reason,
+        )
+    if metrics.enabled:
+        metrics.registry().counter("worker_failures").inc()
+
+
+def record_recovery(engine: str, worker: int, plane: int | None) -> None:
+    """A worker respawn plus (when mid-sweep) a plane replay."""
+    if trace.enabled:
+        trace.event(
+            "worker_respawn", engine=engine, worker=worker, plane=plane
+        )
+    if metrics.enabled:
+        reg = metrics.registry()
+        reg.counter("worker_respawns").inc()
+        if plane is not None:
+            reg.counter("planes_replayed").inc()
+
+
+def record_degrade(
+    requested: str, method: str, estimate: int, budget: int
+) -> None:
+    """A run transparently moved to a lower-memory engine."""
+    if trace.enabled:
+        trace.event(
+            "degraded_run",
+            requested=requested,
+            method=method,
+            estimate_bytes=estimate,
+            budget_bytes=budget,
+        )
+    if metrics.enabled:
+        metrics.registry().counter("degraded_runs").inc()
+
+
+def record_comm(
+    rank: int,
+    *,
+    checksum_bad: int = 0,
+    resends: int = 0,
+    retries: int = 0,
+) -> None:
+    """Per-rank message-passing failure accounting (mpirun)."""
+    if trace.enabled and (checksum_bad or resends or retries):
+        trace.event(
+            "comm_faults",
+            rank=rank,
+            checksum_bad=checksum_bad,
+            resends=resends,
+            retries=retries,
+        )
+    if metrics.enabled:
+        reg = metrics.registry()
+        if checksum_bad:
+            reg.counter("comm_checksum_bad").inc(checksum_bad)
+            reg.counter(f"comm_checksum_bad_rank{rank}").inc(checksum_bad)
+        if resends:
+            reg.counter("comm_resends").inc(resends)
+        if retries:
+            reg.counter("comm_retries").inc(retries)
+
+
 def record_sim(
     *,
     procs: int,

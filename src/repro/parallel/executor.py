@@ -16,6 +16,15 @@ the start barrier; workers then run the standard one-barrier-per-plane
 sweep and return to the start barrier for the next job. Shutdown is a job
 with the shutdown flag set.
 
+Supervision (default on) makes the pool survive worker failure: the
+control block carries per-worker heartbeats and a recovery-verdict slot,
+every barrier wait has a timeout, and the dispatcher responds to a broken
+barrier by respawning dead (or wedged) workers and replaying the current
+plane — the wavefront only reads planes ``d-1..d-3``, which are intact in
+the shared buffers, so replay is idempotent and the output stays
+bit-identical to the serial engine. See :mod:`repro.resilience.supervise`
+and ``docs/robustness.md``.
+
 Determinism matches :mod:`repro.parallel.shared`: identical row splits,
 identical argmax tie-breaking, bit-identical output to the serial engine.
 """
@@ -23,6 +32,7 @@ identical argmax tie-breaking, bit-identical output to the serial engine.
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
 import time
 from multiprocessing import shared_memory
 from typing import Any
@@ -38,16 +48,29 @@ from repro.core.types import Alignment3, moves_to_columns
 from repro.core.wavefront import compute_plane_rows, plane_bounds
 from repro.parallel.partition import split_range
 from repro.parallel.shared import fork_available
+from repro.resilience import faults as _faults
+from repro.resilience.supervise import (
+    RecoveryBlock,
+    SupervisionPolicy,
+    Supervisor,
+    worker_idle_wait,
+    worker_plane_wait,
+)
 from repro.util.validation import check_positive, check_sequences
 
-# Control-block slots (float64 each).
+# Control-block slots (float64 each). The recovery block (epoch, resume,
+# one heartbeat per worker) sits at _CTRL_REC_BASE.
 _CTRL_SHUTDOWN = 0
 _CTRL_N1 = 1
 _CTRL_N2 = 2
 _CTRL_N3 = 3
 _CTRL_G2 = 4
 _CTRL_SCORE_ONLY = 5
-_CTRL_SLOTS = 8
+_CTRL_REC_BASE = 6
+
+
+def _ctrl_slots(workers: int) -> int:
+    return _CTRL_REC_BASE + RecoveryBlock.slots(workers)
 
 
 def _pool_worker(
@@ -57,14 +80,32 @@ def _pool_worker(
     names: dict[str, str],
     start_barrier,
     plane_barrier,
+    policy: SupervisionPolicy | None,
+    resume_plane: int | None = None,
+    faults_armed: bool = True,
 ) -> None:
-    """Worker main loop: wait for a job, sweep, repeat until shutdown."""
-    c1, c2, c3 = capacity
+    """Worker main loop: wait for a job, sweep, repeat until shutdown.
+
+    A respawned replacement arrives with ``resume_plane`` set (skip the
+    job-start barrier, re-enter the current sweep there) and
+    ``faults_armed=False`` (a replayed plane must not re-trigger the
+    injected crash that killed its predecessor).
+    """
+    if not faults_armed:
+        _faults.disarm_all()
     shms = {key: shared_memory.SharedMemory(name=name) for key, name in names.items()}
     try:
-        ctrl = np.ndarray((_CTRL_SLOTS,), dtype=np.float64, buffer=shms["ctrl"].buf)
+        ctrl = np.ndarray(
+            (_ctrl_slots(workers),), dtype=np.float64, buffer=shms["ctrl"].buf
+        )
+        rec = RecoveryBlock(ctrl, workers, base=_CTRL_REC_BASE)
+        resume = resume_plane
         while True:
-            start_barrier.wait()
+            if resume is None:
+                if policy is None:
+                    start_barrier.wait()
+                else:
+                    worker_idle_wait(start_barrier, policy)
             if ctrl[_CTRL_SHUTDOWN]:
                 return
             n1 = int(ctrl[_CTRL_N1])
@@ -91,50 +132,69 @@ def _pool_worker(
             )
             # Observability state was inherited at pool construction time
             # (the workers fork once); per-job records still carry the
-            # correct pid/worker ids.
-            observing = _obs.active()
+            # correct pid/worker ids. A mid-sweep replacement skips the
+            # per-plane logs — its list would not line up with plane 0.
+            observing = _obs.active() and resume is None
             busy = wait = 0.0
             cells = 0
             if observing:
                 plane_cell_log: list[int] = []
                 plane_dur_log: list[float] = []
-            for d in range(n1 + n2 + n3 + 1):
-                t0 = time.perf_counter() if observing else 0.0
-                plane_cells = 0
-                ilo, ihi, _jlo, _jhi = plane_bounds(d, n1, n2, n3)
-                if ilo <= ihi:
-                    lo, hi = split_range(ilo, ihi, workers)[worker_id]
-                    if lo <= hi:
-                        plane_cells = compute_plane_rows(
-                            d,
-                            lo,
-                            hi,
-                            planes[(d - 1) % 4],
-                            planes[(d - 2) % 4],
-                            planes[(d - 3) % 4],
-                            planes[d % 4],
-                            sab,
-                            sac,
-                            sbc,
-                            g2,
-                            dims,
-                            move_cube=move_cube,
-                        )
-                        cells += plane_cells
-                if observing:
-                    t1 = time.perf_counter()
-                    busy += t1 - t0
-                    plane_cell_log.append(plane_cells)
-                    plane_dur_log.append(t1 - t0)
-                plane_barrier.wait()
-                if observing:
-                    wait += time.perf_counter() - t1
-            # Signal job completion back to the dispatcher.
-            plane_barrier.wait()
+            dmax = n1 + n2 + n3
+            d = resume if resume is not None else 0
+            resume = None
+            last_done = d - 1
+            seen = rec.epoch
+            # Sweep planes 0..dmax, then the completion rendezvous at
+            # dmax+1. On a broken barrier the wait returns the
+            # dispatcher's resume plane; planes already computed
+            # (d <= last_done) are not recomputed, only re-met.
+            while d <= dmax + 1:
+                if d <= dmax and d > last_done:
+                    _faults.maybe_inject("pool", worker_id, d, dmax)
+                    t0 = time.perf_counter() if observing else 0.0
+                    plane_cells = 0
+                    ilo, ihi, _jlo, _jhi = plane_bounds(d, n1, n2, n3)
+                    if ilo <= ihi:
+                        lo, hi = split_range(ilo, ihi, workers)[worker_id]
+                        if lo <= hi:
+                            plane_cells = compute_plane_rows(
+                                d,
+                                lo,
+                                hi,
+                                planes[(d - 1) % 4],
+                                planes[(d - 2) % 4],
+                                planes[(d - 3) % 4],
+                                planes[d % 4],
+                                sab,
+                                sac,
+                                sbc,
+                                g2,
+                                dims,
+                                move_cube=move_cube,
+                            )
+                            cells += plane_cells
+                    last_done = d
+                    if observing:
+                        t1 = time.perf_counter()
+                        busy += t1 - t0
+                        plane_cell_log.append(plane_cells)
+                        plane_dur_log.append(t1 - t0)
+                rec.heartbeat(worker_id, d)
+                if policy is None:
+                    plane_barrier.wait()
+                    d += 1
+                else:
+                    t_wait = time.perf_counter() if observing else 0.0
+                    d, seen = worker_plane_wait(
+                        plane_barrier, rec, d, seen, policy
+                    )
+                    if observing:
+                        wait += time.perf_counter() - t_wait
             if observing:
                 _obs.record_planes("pool", plane_cell_log, plane_dur_log)
                 _obs.record_worker(
-                    "pool", worker_id, busy, wait, cells, n1 + n2 + n3 + 1
+                    "pool", worker_id, busy, wait, cells, dmax + 1
                 )
                 _trace.flush()
     finally:
@@ -154,6 +214,12 @@ class WavefrontPool:
         Total workers including the dispatching process (so ``workers=2``
         spawns one child). Falls back to serial execution when 1, or when
         the platform lacks ``fork``.
+    supervise:
+        When True (default) every barrier wait has a timeout and dead or
+        wedged workers are respawned with the current plane replayed;
+        ``policy`` tunes the timeouts. When False the pool behaves like
+        the pre-supervision engine (infinite waits) — kept for overhead
+        measurement.
 
     Use as a context manager::
 
@@ -162,24 +228,35 @@ class WavefrontPool:
                 aln = pool.align3(*job, scheme)
     """
 
-    def __init__(self, capacity: tuple[int, int, int], workers: int = 2):
+    def __init__(
+        self,
+        capacity: tuple[int, int, int],
+        workers: int = 2,
+        supervise: bool = True,
+        policy: SupervisionPolicy | None = None,
+    ):
         check_positive("workers", workers)
         for c in capacity:
             if c < 0:
                 raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = tuple(int(c) for c in capacity)
         self.workers = workers
+        self.policy = (
+            (policy or SupervisionPolicy.from_env()) if supervise else None
+        )
         self._serial = workers == 1 or not fork_available()
         self._closed = False
+        self._failed = False
         self._shms: dict[str, shared_memory.SharedMemory] = {}
-        self._procs: list[mp.Process] = []
+        self._procs: dict[int, mp.Process] = {}
+        self._supervisor: Supervisor | None = None
         if self._serial:
             return
 
         c1, c2, c3 = self.capacity
-        ctx = mp.get_context("fork")
+        self._ctx = mp.get_context("fork")
         sizes = {
-            "ctrl": _CTRL_SLOTS * 8,
+            "ctrl": _ctrl_slots(workers) * 8,
             "sab": max(1, c1 * c2 * 8),
             "sac": max(1, c1 * c3 * 8),
             "sbc": max(1, c2 * c3 * 8),
@@ -190,31 +267,52 @@ class WavefrontPool:
         for key, size in sizes.items():
             self._shms[key] = shared_memory.SharedMemory(create=True, size=size)
         self._ctrl = np.ndarray(
-            (_CTRL_SLOTS,), dtype=np.float64, buffer=self._shms["ctrl"].buf
+            (_ctrl_slots(workers),), dtype=np.float64, buffer=self._shms["ctrl"].buf
         )
         self._ctrl[:] = 0.0
-        self._start_barrier = ctx.Barrier(workers)
-        self._plane_barrier = ctx.Barrier(workers)
-        names = {key: shm.name for key, shm in self._shms.items()}
-        # Flush buffered trace lines so the fork doesn't duplicate them.
-        _trace.flush()
+        self._rec = RecoveryBlock(self._ctrl, workers, base=_CTRL_REC_BASE)
+        self._start_barrier = self._ctx.Barrier(workers)
+        self._plane_barrier = self._ctx.Barrier(workers)
+        self._names = {key: shm.name for key, shm in self._shms.items()}
         for w in range(1, workers):
-            proc = ctx.Process(
-                target=_pool_worker,
-                args=(
-                    w,
-                    workers,
-                    self.capacity,
-                    names,
-                    self._start_barrier,
-                    self._plane_barrier,
-                ),
-                daemon=True,
+            self._procs[w] = self._spawn(w, None, faults_armed=True)
+        if self.policy is not None:
+            self._supervisor = Supervisor(
+                "pool",
+                barrier=self._plane_barrier,
+                rec=self._rec,
+                procs=self._procs,
+                respawn=self._respawn,
+                policy=self.policy,
             )
-            proc.start()
-            self._procs.append(proc)
 
     # ------------------------------------------------------------------
+
+    def _spawn(
+        self, worker_id: int, resume_plane: int | None, faults_armed: bool
+    ) -> mp.Process:
+        # Flush buffered trace lines so the fork doesn't duplicate them.
+        _trace.flush()
+        proc = self._ctx.Process(
+            target=_pool_worker,
+            args=(
+                worker_id,
+                self.workers,
+                self.capacity,
+                self._names,
+                self._start_barrier,
+                self._plane_barrier,
+                self.policy,
+                resume_plane,
+                faults_armed,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def _respawn(self, worker_id: int, resume_plane: int | None) -> mp.Process:
+        return self._spawn(worker_id, resume_plane, faults_armed=False)
 
     def __enter__(self) -> "WavefrontPool":
         return self
@@ -223,29 +321,49 @@ class WavefrontPool:
         self.close()
 
     def close(self) -> None:
-        """Shut the workers down and release the shared buffers."""
+        """Shut the workers down and release the shared buffers.
+
+        Escalates join -> terminate -> kill so a wedged worker cannot
+        hang shutdown, and always releases the shared-memory segments —
+        leaked SHM would outlive the process.
+        """
         if self._closed:
             return
         self._closed = True
-        if not self._serial:
-            self._ctrl[_CTRL_SHUTDOWN] = 1.0
-            self._start_barrier.wait()
-            for proc in self._procs:
-                proc.join(timeout=10)
-                if proc.is_alive():  # pragma: no cover
-                    proc.terminate()
-        for shm in self._shms.values():
-            shm.close()
-            try:
-                shm.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
+        try:
+            if not self._serial:
+                all_alive = all(p.is_alive() for p in self._procs.values())
+                if not self._failed and all_alive:
+                    self._ctrl[_CTRL_SHUTDOWN] = 1.0
+                    try:
+                        self._start_barrier.wait(timeout=10)
+                    except threading.BrokenBarrierError:
+                        pass  # dead/wedged worker; escalation handles it
+                for proc in self._procs.values():
+                    proc.join(timeout=10)
+                    if proc.is_alive():
+                        proc.terminate()
+                        proc.join(timeout=5)
+                    if proc.is_alive():  # pragma: no cover
+                        proc.kill()
+                        proc.join(timeout=5)
+        finally:
+            for shm in self._shms.values():
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
 
     # ------------------------------------------------------------------
 
     def _check_job(self, sa: str, sb: str, sc: str, scheme: ScoringScheme):
         if self._closed:
             raise RuntimeError("pool is closed")
+        if self._failed:
+            raise RuntimeError(
+                "pool is unusable after an unrecovered worker failure"
+            )
         check_sequences((sa, sb, sc), count=3)
         if scheme.is_affine:
             raise ValueError("WavefrontPool implements the linear gap model")
@@ -256,6 +374,18 @@ class WavefrontPool:
                     f"job dims {dims} exceed pool capacity {self.capacity}"
                 )
         return dims
+
+    def _dispatch_start(self) -> None:
+        if self._supervisor is not None:
+            self._supervisor.wait_job_start(self._start_barrier)
+        else:
+            self._start_barrier.wait()
+
+    def _plane_wait(self, d: int) -> None:
+        if self._supervisor is not None:
+            self._supervisor.wait(d)
+        else:
+            self._plane_barrier.wait()
 
     def _run(
         self,
@@ -272,6 +402,26 @@ class WavefrontPool:
             res = wavefront_sweep(sa, sb, sc, scheme, score_only=score_only)
             return res.score, res.move_cube
 
+        try:
+            return self._run_parallel(sa, sb, sc, scheme, score_only)
+        except Exception:
+            # An unrecovered failure (WorkerFailure, broken protocol)
+            # leaves buffers in an unknown state; poison the pool so
+            # later jobs fail fast, and kill what is left.
+            self._failed = True
+            if self._supervisor is not None:
+                self._supervisor.abort()
+            raise
+
+    def _run_parallel(
+        self,
+        sa: str,
+        sb: str,
+        sc: str,
+        scheme: ScoringScheme,
+        score_only: bool,
+    ) -> tuple[float, np.ndarray | None]:
+        n1, n2, n3 = len(sa), len(sb), len(sc)
         sab, sac, sbc = scheme.profile_matrices(sa, sb, sc)
         dims = (n1, n2, n3)
         # Stage the job into the shared buffers.
@@ -300,10 +450,11 @@ class WavefrontPool:
         self._ctrl[_CTRL_N3] = n3
         self._ctrl[_CTRL_G2] = 2.0 * scheme.gap
         self._ctrl[_CTRL_SCORE_ONLY] = 1.0 if score_only else 0.0
+        self._rec.reset_job()
 
         observing = _obs.active()
         t_sweep = time.perf_counter() if observing else 0.0
-        self._start_barrier.wait()
+        self._dispatch_start()
         # The dispatcher is worker 0.
         g2 = 2.0 * scheme.gap
         sab_v = np.ndarray((n1, n2), dtype=np.float64, buffer=self._shms["sab"].buf)
@@ -342,12 +493,14 @@ class WavefrontPool:
                 busy += t1 - t0
                 plane_cell_log.append(plane_cells)
                 plane_dur_log.append(t1 - t0)
-            self._plane_barrier.wait()
+            self._rec.heartbeat(0, d)
+            self._plane_wait(d)
             if observing:
                 wait += time.perf_counter() - t1
-        self._plane_barrier.wait()  # job-completion rendezvous
-
         dmax = n1 + n2 + n3
+        self._rec.heartbeat(0, dmax + 1)
+        self._plane_wait(dmax + 1)  # job-completion rendezvous
+
         score = float(planes[dmax % 4][n1 + 1, n2 + 1])
         moves = None if move_cube is None else move_cube.copy()
         if observing:
@@ -363,6 +516,13 @@ class WavefrontPool:
         return score, moves
 
     # ------------------------------------------------------------------
+
+    @property
+    def failures(self) -> list:
+        """Failure records accumulated by supervision (empty when clean)."""
+        if self._supervisor is None:
+            return []
+        return list(self._supervisor.failures)
 
     def score3(self, sa: str, sb: str, sc: str, scheme: ScoringScheme) -> float:
         """Optimal SP score (score-only sweep on the pool)."""
@@ -382,5 +542,7 @@ class WavefrontPool:
             "engine": "pool",
             "workers": self.workers,
             "serial_fallback": self._serial,
+            "supervised": self.policy is not None,
+            "recoveries": len(self.failures),
         }
         return Alignment3(rows=rows, score=score, meta=meta)  # type: ignore[arg-type]

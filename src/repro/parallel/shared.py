@@ -13,6 +13,14 @@ fork); on platforms without it the engine degrades to a serial sweep.
 Determinism: every worker computes the same bounding box and the same
 contiguous row split per plane (:func:`repro.parallel.partition.split_range`),
 so writes are disjoint and the result is bit-identical to the serial engine.
+
+Supervision (default on): a small extra shared-memory control block holds
+per-worker heartbeats and the recovery verdict; every barrier wait has a
+timeout; the main process detects dead or wedged workers at a broken
+barrier, respawns them resuming at the current plane, and the survivors
+replay it — see :mod:`repro.resilience.supervise`. Recovery preserves
+bit-identical output because plane writes are disjoint and deterministic
+and the wavefront reads only planes ``d-1..d-3``, which stay intact.
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 from multiprocessing import shared_memory
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -32,6 +40,14 @@ from repro.core.traceback import traceback_moves
 from repro.core.types import Alignment3, moves_to_columns
 from repro.core.wavefront import compute_plane_rows, plane_bounds
 from repro.parallel.partition import split_range
+from repro.resilience import faults as _faults
+from repro.resilience.errors import WorkerFailure
+from repro.resilience.supervise import (
+    RecoveryBlock,
+    SupervisionPolicy,
+    Supervisor,
+    worker_plane_wait,
+)
 from repro.util.validation import check_positive, check_sequences
 
 
@@ -45,44 +61,44 @@ def _attach(name: str, shape: tuple[int, ...], dtype) -> tuple[np.ndarray, share
     return np.ndarray(shape, dtype=dtype, buffer=shm.buf), shm
 
 
-def _worker_loop(
+def _sweep_planes(
     worker_id: int,
     workers: int,
     dims: tuple[int, int, int],
-    plane_names: list[str],
-    move_name: str | None,
-    barrier,
+    planes: list[np.ndarray],
+    move_cube: np.ndarray | None,
     sab: np.ndarray,
     sac: np.ndarray,
     sbc: np.ndarray,
     g2: float,
+    rec: RecoveryBlock | None,
+    advance: Callable[[int], int],
+    start_plane: int = 0,
+    log_planes: bool = True,
 ) -> None:
-    """Per-process plane loop. ``sab``/``sac``/``sbc`` arrive through fork
-    copy-on-write; only planes and the move cube are shared for writing."""
+    """The plane loop shared by the dispatcher (worker 0) and the children.
+
+    ``advance(d)`` performs the barrier rendezvous for plane ``d`` and
+    returns the next plane to stand at — ``d + 1`` normally, or the
+    recovery verdict's resume plane after a broken barrier. Planes at or
+    below ``last_done`` are re-met but not recomputed, which is what makes
+    replays idempotent. A mid-sweep replacement starts at ``start_plane``
+    with ``log_planes=False`` (its per-plane log would not line up with
+    plane 0).
+    """
     n1, n2, n3 = dims
-    handles = []
-    planes = []
-    for name in plane_names:
-        arr, shm = _attach(name, (n1 + 2, n2 + 2), np.float64)
-        planes.append(arr)
-        handles.append(shm)
-    move_cube = None
-    if move_name is not None:
-        move_cube, shm = _attach(
-            move_name, (n1 + 1, n2 + 1, n3 + 1), np.int8
-        )
-        handles.append(shm)
-    try:
-        # Forked workers inherit the tracer/metrics state the parent had at
-        # spawn time, so this flag is valid in children too.
-        observing = _obs.active()
-        busy = wait = 0.0
-        cells = 0
-        if observing:
-            plane_cell_log: list[int] = []
-            plane_dur_log: list[float] = []
-        dmax = n1 + n2 + n3
-        for d in range(dmax + 1):
+    observing = _obs.active()
+    busy = wait = 0.0
+    cells = 0
+    if observing:
+        plane_cell_log: list[int] = []
+        plane_dur_log: list[float] = []
+    dmax = n1 + n2 + n3
+    d = start_plane
+    last_done = d - 1
+    while d <= dmax:
+        if d > last_done:
+            _faults.maybe_inject("shared", worker_id, d, dmax)
             t0 = time.perf_counter() if observing else 0.0
             plane_cells = 0
             ilo, ihi, _jlo, _jhi = plane_bounds(d, n1, n2, n3)
@@ -105,17 +121,99 @@ def _worker_loop(
                         move_cube=move_cube,
                     )
                     cells += plane_cells
+            last_done = d
             if observing:
                 t1 = time.perf_counter()
                 busy += t1 - t0
                 plane_cell_log.append(plane_cells)
                 plane_dur_log.append(t1 - t0)
-            barrier.wait()
-            if observing:
-                wait += time.perf_counter() - t1
+        if rec is not None:
+            rec.heartbeat(worker_id, d)
+        t_wait = time.perf_counter() if observing else 0.0
+        d = advance(d)
         if observing:
+            wait += time.perf_counter() - t_wait
+    if observing:
+        if log_planes:
             _obs.record_planes("shared", plane_cell_log, plane_dur_log)
-            _obs.record_worker("shared", worker_id, busy, wait, cells, dmax + 1)
+        _obs.record_worker("shared", worker_id, busy, wait, cells, dmax + 1)
+
+
+def _worker_loop(
+    worker_id: int,
+    workers: int,
+    dims: tuple[int, int, int],
+    plane_names: list[str],
+    move_name: str | None,
+    ctrl_name: str | None,
+    barrier,
+    sab: np.ndarray,
+    sac: np.ndarray,
+    sbc: np.ndarray,
+    g2: float,
+    policy: SupervisionPolicy | None,
+    resume_plane: int | None = None,
+    faults_armed: bool = True,
+) -> None:
+    """Per-process plane loop. ``sab``/``sac``/``sbc`` arrive through fork
+    copy-on-write; only planes, the move cube and the recovery block are
+    shared for writing."""
+    if not faults_armed:
+        _faults.disarm_all()
+    n1, n2, n3 = dims
+    handles = []
+    planes = []
+    for name in plane_names:
+        arr, shm = _attach(name, (n1 + 2, n2 + 2), np.float64)
+        planes.append(arr)
+        handles.append(shm)
+    move_cube = None
+    if move_name is not None:
+        move_cube, shm = _attach(
+            move_name, (n1 + 1, n2 + 1, n3 + 1), np.int8
+        )
+        handles.append(shm)
+    rec = None
+    if ctrl_name is not None:
+        ctrl, shm = _attach(
+            ctrl_name, (RecoveryBlock.slots(workers),), np.float64
+        )
+        handles.append(shm)
+        rec = RecoveryBlock(ctrl, workers)
+    try:
+        if policy is None or rec is None:
+
+            def advance(d: int) -> int:
+                barrier.wait()
+                return d + 1
+
+        else:
+            state = {"seen": rec.epoch}
+
+            def advance(d: int) -> int:
+                nxt, state["seen"] = worker_plane_wait(
+                    barrier, rec, d, state["seen"], policy
+                )
+                return nxt
+
+        # Forked workers inherit the tracer/metrics state the parent had at
+        # spawn time, so observability flags are valid in children too.
+        _sweep_planes(
+            worker_id,
+            workers,
+            dims,
+            planes,
+            move_cube,
+            sab,
+            sac,
+            sbc,
+            g2,
+            rec,
+            advance,
+            start_plane=0 if resume_plane is None else resume_plane,
+            log_planes=resume_plane is None,
+        )
+        if _obs.active():
             _trace.flush()
     finally:
         for shm in handles:
@@ -129,6 +227,8 @@ def _shared_sweep(
     scheme: ScoringScheme,
     workers: int,
     score_only: bool,
+    supervise: bool = True,
+    policy: SupervisionPolicy | None = None,
 ) -> tuple[float, np.ndarray | None, dict[str, Any]]:
     """Run the parallel sweep; returns (score, move_cube_copy, meta)."""
     check_sequences((sa, sb, sc), count=3)
@@ -139,6 +239,10 @@ def _shared_sweep(
     dims = (n1, n2, n3)
     sab, sac, sbc = scheme.profile_matrices(sa, sb, sc)
     g2 = 2.0 * scheme.gap
+    if supervise and policy is None:
+        policy = SupervisionPolicy.from_env()
+    elif not supervise:
+        policy = None
 
     if workers == 1 or not fork_available():
         # Serial fallback keeps behaviour identical with zero IPC.
@@ -151,7 +255,8 @@ def _shared_sweep(
     ctx = mp.get_context("fork")
     plane_bytes = (n1 + 2) * (n2 + 2) * 8
     shms: list[shared_memory.SharedMemory] = []
-    procs: list[mp.Process] = []
+    procs: dict[int, mp.Process] = {}
+    supervisor: Supervisor | None = None
     try:
         plane_shms = [
             shared_memory.SharedMemory(create=True, size=plane_bytes)
@@ -175,16 +280,31 @@ def _shared_sweep(
                 (n1 + 1, n2 + 1, n3 + 1), dtype=np.int8, buffer=move_shm.buf
             )
             move_cube.fill(0)
+        ctrl_shm = None
+        rec = None
+        if policy is not None:
+            ctrl_shm = shared_memory.SharedMemory(
+                create=True, size=RecoveryBlock.slots(workers) * 8
+            )
+            shms.append(ctrl_shm)
+            ctrl = np.ndarray(
+                (RecoveryBlock.slots(workers),), dtype=np.float64,
+                buffer=ctrl_shm.buf,
+            )
+            ctrl[:] = 0.0
+            rec = RecoveryBlock(ctrl, workers)
 
         barrier = ctx.Barrier(workers)
         plane_names = [s.name for s in plane_shms]
         move_name = move_shm.name if move_shm is not None else None
-        observing = _obs.active()
-        t_sweep = time.perf_counter() if observing else 0.0
-        # Flush buffered trace lines so the fork doesn't duplicate them
-        # into every child's buffer.
-        _trace.flush()
-        for w in range(1, workers):
+        ctrl_name = ctrl_shm.name if ctrl_shm is not None else None
+
+        def spawn(
+            w: int, resume_plane: int | None, faults_armed: bool
+        ) -> mp.Process:
+            # Flush buffered trace lines so the fork doesn't duplicate
+            # them into every child's buffer.
+            _trace.flush()
             proc = ctx.Process(
                 target=_worker_loop,
                 args=(
@@ -193,24 +313,59 @@ def _shared_sweep(
                     dims,
                     plane_names,
                     move_name,
+                    ctrl_name,
                     barrier,
                     sab,
                     sac,
                     sbc,
                     g2,
+                    policy,
+                    resume_plane,
+                    faults_armed,
                 ),
                 daemon=True,
             )
             proc.start()
-            procs.append(proc)
-        # The main process is worker 0.
-        _worker_loop(
-            0, workers, dims, plane_names, move_name, barrier, sab, sac, sbc, g2
+            return proc
+
+        observing = _obs.active()
+        t_sweep = time.perf_counter() if observing else 0.0
+        for w in range(1, workers):
+            procs[w] = spawn(w, None, faults_armed=True)
+        if policy is not None and rec is not None:
+            supervisor = Supervisor(
+                "shared",
+                barrier=barrier,
+                rec=rec,
+                procs=procs,
+                respawn=lambda w, d: spawn(w, d, faults_armed=False),
+                policy=policy,
+            )
+            sup = supervisor
+
+            def advance(d: int) -> int:
+                sup.wait(d)
+                return d + 1
+
+        else:
+
+            def advance(d: int) -> int:
+                barrier.wait()
+                return d + 1
+
+        # The main process is worker 0 (and, when supervised, the
+        # dispatcher that detects and recovers failures).
+        _sweep_planes(
+            0, workers, dims, planes, move_cube, sab, sac, sbc, g2, rec,
+            advance,
         )
-        for proc in procs:
-            proc.join()
+        for proc in procs.values():
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - wedged at teardown
+                proc.terminate()
+                proc.join(timeout=5)
             if proc.exitcode != 0:
-                raise RuntimeError(
+                raise WorkerFailure(
                     f"shared-memory worker exited with code {proc.exitcode}"
                 )
         dmax = n1 + n2 + n3
@@ -225,12 +380,22 @@ def _shared_sweep(
                 peak_plane_bytes=4 * plane_bytes,
                 move_cube_bytes=0 if move_cube is None else move_cube.nbytes,
             )
-        meta = {"engine": "shared", "workers": workers}
+        meta = {
+            "engine": "shared",
+            "workers": workers,
+            "supervised": policy is not None,
+        }
+        if supervisor is not None and supervisor.failures:
+            meta["recoveries"] = len(supervisor.failures)
         return score, moves_copy, meta
     finally:
-        for proc in procs:
+        for proc in procs.values():
             if proc.is_alive():  # pragma: no cover - only on error paths
                 proc.terminate()
+                proc.join(timeout=5)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=5)
         for shm in shms:
             shm.close()
             try:
@@ -245,10 +410,11 @@ def score3_shared(
     sc: str,
     scheme: ScoringScheme,
     workers: int = 2,
+    supervise: bool = True,
 ) -> float:
     """Optimal SP score via the multiprocess wavefront (O(n^2) memory)."""
     score, _moves, _meta = _shared_sweep(
-        sa, sb, sc, scheme, workers, score_only=True
+        sa, sb, sc, scheme, workers, score_only=True, supervise=supervise
     )
     return score
 
@@ -259,10 +425,11 @@ def align3_shared(
     sc: str,
     scheme: ScoringScheme,
     workers: int = 2,
+    supervise: bool = True,
 ) -> Alignment3:
     """Optimal three-way alignment via the multiprocess wavefront."""
     score, move_cube, meta = _shared_sweep(
-        sa, sb, sc, scheme, workers, score_only=False
+        sa, sb, sc, scheme, workers, score_only=False, supervise=supervise
     )
     assert move_cube is not None
     moves = traceback_moves(move_cube)

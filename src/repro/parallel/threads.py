@@ -8,6 +8,13 @@ possible on big planes; for small planes the GIL serialises the work and
 this engine is mostly a measurement baseline for experiment F3 (it shows
 *why* the paper's algorithm needs processes/ranks rather than threads in a
 GIL runtime).
+
+Fault tolerance here is fail-fast rather than recover: a thread cannot be
+killed and respawned the way a process can, so a crashed (or injected-
+crash) worker aborts the barrier and the sweep raises a typed
+:class:`~repro.resilience.errors.WorkerFailure` carrying per-worker
+failure records — it never wedges at the barrier, because every wait has
+a timeout. Recovery belongs to the process engines (``shared``, ``pool``).
 """
 
 from __future__ import annotations
@@ -25,7 +32,37 @@ from repro.core.traceback import traceback_moves
 from repro.core.types import Alignment3, moves_to_columns
 from repro.core.wavefront import compute_plane_rows, plane_bounds
 from repro.parallel.partition import split_range
+from repro.resilience import faults as _faults
+from repro.resilience.errors import FailureRecord, WorkerFailure
+from repro.resilience.supervise import SupervisionPolicy
 from repro.util.validation import check_positive, check_sequences
+
+
+class _InjectedCrash(RuntimeError):
+    """A ``worker_crash`` fault enacted in a thread (threads cannot
+    ``os._exit`` without taking the whole process down)."""
+
+
+def _thread_inject(worker_id: int, plane: int, dmax: int) -> None:
+    if not _faults.enabled:
+        return
+    if worker_id != 0:
+        spec = _faults.fire(
+            "worker_crash",
+            engine="threads",
+            worker=worker_id,
+            plane=plane,
+            dmax=dmax,
+        )
+        if spec is not None:
+            raise _InjectedCrash(
+                f"injected crash in thread {worker_id} at plane {plane}"
+            )
+    spec = _faults.fire(
+        "straggler", engine="threads", worker=worker_id, plane=plane, dmax=dmax
+    )
+    if spec is not None:
+        time.sleep(spec.delay)
 
 
 def _threaded_sweep(
@@ -53,7 +90,8 @@ def _threaded_sweep(
     )
     dmax = n1 + n2 + n3
     barrier = threading.Barrier(workers)
-    errors: list[BaseException] = []
+    wait_timeout = SupervisionPolicy.from_env().worker_timeout
+    errors: list[tuple[int, BaseException]] = []
 
     observing = _obs.active()
 
@@ -65,6 +103,7 @@ def _threaded_sweep(
                 plane_cell_log: list[int] = []
                 plane_dur_log: list[float] = []
             for d in range(dmax + 1):
+                _thread_inject(worker_id, d, dmax)
                 t0 = time.perf_counter() if observing else 0.0
                 plane_cells = 0
                 ilo, ihi, _jlo, _jhi = plane_bounds(d, n1, n2, n3)
@@ -92,7 +131,10 @@ def _threaded_sweep(
                     busy += t1 - t0
                     plane_cell_log.append(plane_cells)
                     plane_dur_log.append(t1 - t0)
-                barrier.wait()
+                # Timeout only fires if a peer wedged without raising
+                # (a raising peer aborts the barrier, which surfaces here
+                # immediately as BrokenBarrierError).
+                barrier.wait(timeout=wait_timeout)
                 if observing:
                     wait += time.perf_counter() - t1
             if observing:
@@ -100,10 +142,11 @@ def _threaded_sweep(
                 _obs.record_worker(
                     "threads", worker_id, busy, wait, cells, dmax + 1
                 )
-        except BaseException as exc:  # pragma: no cover - debugging aid
-            errors.append(exc)
+        except BaseException as exc:
+            # Recorded and classified after the join; aborting the
+            # barrier releases every peer immediately.
+            errors.append((worker_id, exc))
             barrier.abort()
-            raise
 
     t_sweep = time.perf_counter() if observing else 0.0
     threads = [
@@ -114,9 +157,29 @@ def _threaded_sweep(
         t.start()
     loop(0)
     for t in threads:
-        t.join()
-    if errors:  # pragma: no cover
-        raise errors[0]
+        t.join(timeout=10)
+    if errors:
+        # A genuine bug keeps its original type; injected crashes and the
+        # collateral broken-barrier waits become one typed WorkerFailure.
+        fatal = [
+            (w, e)
+            for w, e in errors
+            if not isinstance(e, threading.BrokenBarrierError)
+        ]
+        for w, exc in fatal:
+            if not isinstance(exc, _InjectedCrash):
+                raise exc
+        records = [
+            FailureRecord(
+                engine="threads", worker=w, reason=str(exc), respawned=False
+            )
+            for w, exc in (fatal or errors)
+        ]
+        for r in records:
+            _obs.record_failure("threads", r.worker, r.plane, r.reason)
+        raise WorkerFailure(
+            f"threads engine lost {len(records)} worker(s)", records
+        )
 
     if observing:
         _obs.record_sweep(

@@ -1,0 +1,52 @@
+"""Fault tolerance for the parallel engines.
+
+Four cooperating pieces (see ``docs/robustness.md``):
+
+:mod:`repro.resilience.faults`
+    Deterministic, seed-driven fault injection (worker crash, straggler
+    delay, corrupted ghost payload, simulated OOM), armed via the
+    ``REPRO_FAULTS`` environment variable or the ``--inject-fault`` CLI
+    flag so chaos runs are reproducible.
+:mod:`repro.resilience.supervise`
+    Worker supervision for the plane-barrier engines: heartbeat slots,
+    barrier waits with timeouts, dead-worker detection, and recovery by
+    respawning the worker and replaying the current plane.
+:mod:`repro.resilience.retry`
+    Bounded retry-with-backoff queue receives and payload checksums for
+    the message-passing runtime (:mod:`repro.cluster.mpirun`).
+:mod:`repro.resilience.degrade`
+    Up-front memory estimates and the degradation ladder
+    (full-traceback -> divide-and-conquer -> banded) that replaces a raw
+    ``MemoryError`` with a structured fallback.
+
+Every recovery path preserves bit-identical output with the serial
+engine: the wavefront only needs planes ``d-1..d-3``, which survive a
+worker death in the shared buffers, so replaying plane ``d`` is
+idempotent.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.errors import (
+    EXIT_BAD_FAULT_SPEC,
+    EXIT_DEGRADED,
+    EXIT_WORKER_FAILURE,
+    DegradationWarning,
+    DegradedRun,
+    FailureRecord,
+    FaultSpecError,
+    ProtocolError,
+    WorkerFailure,
+)
+
+__all__ = [
+    "DegradationWarning",
+    "DegradedRun",
+    "FailureRecord",
+    "FaultSpecError",
+    "ProtocolError",
+    "WorkerFailure",
+    "EXIT_WORKER_FAILURE",
+    "EXIT_DEGRADED",
+    "EXIT_BAD_FAULT_SPEC",
+]

@@ -1,0 +1,93 @@
+"""Bounded, observable waits for the message-passing runtime.
+
+:func:`queue_get_with_retry` replaces the bare ``queue.get(timeout=60)``
+that used to turn every protocol hiccup into an opaque ``queue.Empty``
+after a blind minute: it polls in short, exponentially growing slices,
+invokes a liveness probe between slices (so a dead peer raises a typed
+:class:`WorkerFailure` immediately instead of after the full deadline),
+and converts deadline exhaustion into :class:`WorkerFailure` carrying a
+description of what was being waited for.
+
+:func:`payload_checksum` / :func:`verify_payload` give every ghost
+message a CRC32 trailer so corruption in transit is detected at the
+receiver (and retransmitted by the sender) rather than silently folded
+into the DP.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import time
+import zlib
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.resilience.errors import WorkerFailure
+
+#: Environment knob for the total receive deadline (seconds).
+ENV_DEADLINE = "REPRO_COMM_TIMEOUT"
+
+DEFAULT_DEADLINE = 60.0
+
+
+def comm_deadline(environ=None) -> float:
+    import os
+
+    env = environ if environ is not None else os.environ
+    raw = env.get(ENV_DEADLINE, "").strip()
+    return max(0.1, float(raw)) if raw else DEFAULT_DEADLINE
+
+
+def queue_get_with_retry(
+    q,
+    *,
+    deadline: float,
+    liveness: Callable[[], None] | None = None,
+    base_timeout: float = 0.05,
+    backoff: float = 2.0,
+    max_timeout: float = 1.0,
+    what: str = "message",
+) -> Any:
+    """Blocking ``q.get`` with backoff slices, a liveness probe and a
+    hard deadline.
+
+    ``liveness`` runs between slices; it should raise
+    :class:`WorkerFailure` when the peer is known dead. Raises
+    :class:`WorkerFailure` (not ``queue.Empty``) when ``deadline``
+    seconds elapse without a message.
+    """
+    end = time.perf_counter() + deadline
+    step = base_timeout
+    while True:
+        remaining = end - time.perf_counter()
+        if remaining <= 0:
+            raise WorkerFailure(
+                f"timed out after {deadline:.0f}s waiting for {what}"
+            )
+        try:
+            return q.get(timeout=min(step, remaining))
+        except _queue.Empty:
+            pass
+        if liveness is not None:
+            liveness()
+        step = min(step * backoff, max_timeout)
+
+
+def payload_checksum(payload: np.ndarray) -> int:
+    """CRC32 over the payload bytes (shape/dtype ride in the message key)."""
+    return zlib.crc32(np.ascontiguousarray(payload).tobytes())
+
+
+def verify_payload(payload: np.ndarray, crc: int) -> bool:
+    return payload_checksum(payload) == crc
+
+
+def corrupt_payload(payload: np.ndarray) -> np.ndarray:
+    """Bit-flip one element — the wire-corruption model the
+    ``corrupt_ghost`` fault injects *after* the checksum is computed."""
+    bad = np.array(payload, copy=True)
+    flat = bad.reshape(-1)
+    if flat.size:
+        flat[0] = -flat[0] - 1.0
+    return bad

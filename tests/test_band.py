@@ -79,6 +79,17 @@ class TestCertifiedOptimality:
         aln = align3_banded(sa, sb, sc, dna_scheme, band=1)
         assert aln.score == pytest.approx(score3_dp3d(sa, sb, sc, dna_scheme))
 
+    def test_widen_and_retry_path_is_exercised(self, dna_scheme):
+        # Same uneven-lengths family, but assert the retry loop itself:
+        # the band must actually widen (not just happen to certify at the
+        # requested width) and the widened run must certify optimal.
+        sa, sb, sc = "AC", "ACGTACGTACGTACGTACGT", "ACG"
+        aln = align3_banded(sa, sb, sc, dna_scheme, band=1)
+        assert aln.meta["band_iterations"] > 1
+        assert aln.meta["band"] > 1
+        assert aln.meta["band_certified"]
+        assert aln.score == pytest.approx(score3_dp3d(sa, sb, sc, dna_scheme))
+
     def test_score_helper(self, dna_scheme, family_small):
         assert score3_banded(*family_small, dna_scheme) == pytest.approx(
             score3_dp3d(*family_small, dna_scheme)

@@ -52,6 +52,28 @@ def test_check_overhead_smoke():
     assert "OK:" in result.stdout and "overhead=" in result.stdout
 
 
+def test_check_chaos_smoke():
+    # Small cube and loose limits: verifies every fault scenario's plumbing
+    # (injection, recovery, checksum/resend, degradation) end to end; the
+    # real 40^3 / 10% run is the standalone acceptance gate.
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(ROOT / "tools" / "check_chaos.py"),
+            "--n", "16",
+            "--repeats", "2",
+            "--tolerance", "5.0",
+            "--budget", "240",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "OK:" in result.stdout
+
+
 def test_api_doc_mentions_key_entry_points():
     text = (ROOT / "docs" / "api.md").read_text()
     for name in ("align3", "WavefrontPool", "simulate_wavefront",

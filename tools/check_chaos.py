@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Chaos-test the fault-tolerance layer end to end.
+
+Runs a ~40^3 alignment under each injected fault class and asserts the
+recovery contract from ``docs/robustness.md``:
+
+* ``pool``/``shared`` worker crash -> the worker is respawned, the plane
+  replayed, and the output is **bit-identical** to the serial engine;
+* a straggler is tolerated (or killed and replayed) without changing
+  the output;
+* a corrupted ghost payload in ``mpirun`` is caught by the CRC32
+  checksum, retransmitted, and the score stays exact;
+* a dead rank raises a typed ``WorkerFailure`` carrying the failure log
+  (instead of hanging or a bare ``queue.Empty``);
+* a simulated OOM walks the degradation ladder and still returns the
+  optimal score;
+* supervision overhead on the fault-free path stays within
+  ``--tolerance`` (default 10%).
+
+Every barrier/queue wait in the engines is bounded, so the whole suite
+must finish inside ``--budget`` wall-clock seconds — exceeding it is
+itself a failure (it means something waited unsupervised).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_chaos.py [--n 40] [--repeats 3]
+        [--tolerance 0.10] [--budget 300]
+
+Exit status 0 when every scenario passes, 1 on any failure (2 on bad
+arguments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+import warnings
+
+
+def _ensure_importable() -> None:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        sys.path.insert(0, str(src))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="assert fault injection recovers to bit-identical output"
+    )
+    parser.add_argument(
+        "--n", type=int, default=40, help="sequence length (cube is ~(n+1)^3)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repeats per side "
+        "for the supervision-overhead check"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="max allowed fractional slowdown with supervision enabled",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=300.0,
+        help="wall-clock seconds the whole suite must finish within",
+    )
+    args = parser.parse_args(argv)
+    if args.n < 4 or args.repeats < 1 or args.tolerance < 0:
+        parser.error("n must be >= 4, repeats >= 1, tolerance >= 0")
+
+    _ensure_importable()
+
+    from repro.cluster.mpirun import run_distributed
+    from repro.core.api import align3
+    from repro.core.scoring import default_scheme_for
+    from repro.parallel.executor import WavefrontPool
+    from repro.parallel.shared import align3_shared
+    from repro.resilience import faults
+    from repro.resilience.errors import WorkerFailure
+    from repro.seqio.alphabet import DNA
+    from repro.seqio.generate import mutated_family
+    from repro.util.timing import format_seconds
+
+    t_start = time.perf_counter()
+    seqs = mutated_family(args.n, seed=7)
+    scheme = default_scheme_for(DNA)
+    dmax = sum(len(s) for s in seqs)
+    mid = dmax // 2
+
+    ref = align3(*seqs, scheme, method="wavefront")
+    failures: list[str] = []
+
+    def scenario(name: str, fn) -> None:
+        faults.clear()
+        t0 = time.perf_counter()
+        try:
+            fn()
+        except Exception as exc:  # noqa: BLE001 - report, don't abort
+            failures.append(f"{name}: {type(exc).__name__}: {exc}")
+            print(f"  FAIL {name}: {exc}")
+        else:
+            print(
+                f"  ok   {name} ({format_seconds(time.perf_counter() - t0)})"
+            )
+        finally:
+            faults.clear()
+
+    print(f"chaos: n={args.n} (planes 0..{dmax}), reference score {ref.score:g}")
+
+    def pool_crash() -> None:
+        faults.install(f"worker_crash@pool:worker=1,plane={mid}")
+        with WavefrontPool((args.n + 5,) * 3, workers=2) as pool:
+            aln = pool.align3(*seqs, scheme)
+            assert aln.rows == ref.rows and aln.score == ref.score, (
+                "output differs after recovery"
+            )
+            assert aln.meta["recoveries"] >= 1, "no recovery recorded"
+
+    def shared_crash() -> None:
+        faults.install(f"worker_crash@shared:worker=1,plane={mid}")
+        aln = align3_shared(*seqs, scheme, workers=2)
+        assert aln.rows == ref.rows and aln.score == ref.score, (
+            "output differs after recovery"
+        )
+        assert aln.meta.get("recoveries", 0) >= 1, "no recovery recorded"
+
+    def shared_straggler() -> None:
+        faults.install(f"straggler@shared:worker=1,delay=0.2,plane={mid}")
+        aln = align3_shared(*seqs, scheme, workers=2)
+        assert aln.rows == ref.rows and aln.score == ref.score, (
+            "output differs under a straggler"
+        )
+
+    def mpirun_corrupt() -> None:
+        faults.install("corrupt_ghost@mpirun")
+        res = run_distributed(*seqs, scheme, block=16, procs=3)
+        assert res.score == ref.score, "score differs after retransmit"
+        assert res.checksum_bad >= 1, "corruption was not detected"
+        assert res.resends >= 1, "no retransmission happened"
+
+    def mpirun_rank_death() -> None:
+        faults.install("worker_crash@mpirun:rank=1")
+        try:
+            run_distributed(*seqs, scheme, block=16, procs=3)
+        except WorkerFailure as exc:
+            assert exc.failures, "WorkerFailure carried no failure log"
+        else:
+            raise AssertionError("rank death did not raise WorkerFailure")
+
+    def oom_degrade() -> None:
+        from repro.resilience.degrade import estimate_bytes
+
+        dims = tuple(len(s) for s in seqs)
+        budget = estimate_bytes("wavefront", dims) - 1
+        faults.install(f"oom:budget={budget}")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            aln = align3(*seqs, scheme, method="wavefront")
+        assert aln.score == ref.score, "degraded run lost optimality"
+        assert "degraded_from" in aln.meta, "run did not degrade"
+
+    scenario("pool worker_crash -> respawn + plane replay", pool_crash)
+    scenario("shared worker_crash -> respawn + plane replay", shared_crash)
+    scenario("shared straggler tolerated", shared_straggler)
+    scenario("mpirun corrupt_ghost -> checksum + resend", mpirun_corrupt)
+    scenario("mpirun rank death -> typed WorkerFailure", mpirun_rank_death)
+    scenario("oom -> degradation ladder, optimal score", oom_degrade)
+
+    # Supervision overhead on the fault-free path, interleaved so drift
+    # hits both sides equally; minimum-of-repeats suppresses noise.
+    faults.clear()
+    sup_times: list[float] = []
+    base_times: list[float] = []
+    with WavefrontPool((args.n + 5,) * 3, workers=2, supervise=True) as sup_pool, \
+            WavefrontPool((args.n + 5,) * 3, workers=2, supervise=False) as base_pool:
+        sup_pool.align3(*seqs, scheme)  # warmup
+        base_pool.align3(*seqs, scheme)
+        for _ in range(args.repeats):
+            t0 = time.perf_counter()
+            base_aln = base_pool.align3(*seqs, scheme)
+            base_times.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            sup_aln = sup_pool.align3(*seqs, scheme)
+            sup_times.append(time.perf_counter() - t0)
+    base_s, sup_s = min(base_times), min(sup_times)
+    if sup_aln.rows != base_aln.rows or sup_aln.score != base_aln.score:
+        failures.append("supervision changed the alignment output")
+    overhead = sup_s / base_s - 1.0 if base_s > 0 else 0.0
+    status = "ok  " if overhead <= args.tolerance else "FAIL"
+    line = (
+        f"  {status} supervision overhead: unsupervised="
+        f"{format_seconds(base_s)} supervised={format_seconds(sup_s)} "
+        f"overhead={overhead:+.1%} (tolerance {args.tolerance:.0%})"
+    )
+    print(line)
+    if overhead > args.tolerance:
+        failures.append(f"supervision overhead {overhead:+.1%}")
+
+    elapsed = time.perf_counter() - t_start
+    if elapsed > args.budget:
+        failures.append(
+            f"wall clock {elapsed:.0f}s exceeded budget {args.budget:.0f}s"
+        )
+    verdict = "OK" if not failures else "FAIL"
+    print(
+        f"{verdict}: {len(failures)} failure(s), total "
+        f"{format_seconds(elapsed)}"
+    )
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
