@@ -66,12 +66,13 @@ def _meminfo_available(path: str = "/proc/meminfo") -> int | None:
     return None
 
 
-def memory_budget(environ=os.environ) -> int:
+def memory_budget(environ=None) -> int:
     """The byte budget engine planning works against (see module doc)."""
     spec = faults.peek("oom")
     if spec is not None:
         return spec.budget
-    raw = environ.get(ENV_BUDGET, "").strip()
+    env = environ if environ is not None else os.environ
+    raw = env.get(ENV_BUDGET, "").strip()
     if raw:
         try:
             return max(1, int(raw))

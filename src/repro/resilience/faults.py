@@ -154,9 +154,10 @@ def install(specs: str | list[str]) -> list[FaultSpec]:
     return parsed
 
 
-def install_from_env(environ=os.environ) -> list[FaultSpec]:
+def install_from_env(environ=None) -> list[FaultSpec]:
     """Arm specs from :data:`ENV_VAR` when present."""
-    raw = environ.get(ENV_VAR, "").strip()
+    env = environ if environ is not None else os.environ
+    raw = env.get(ENV_VAR, "").strip()
     return install(raw) if raw else []
 
 

@@ -64,8 +64,9 @@ class SupervisionPolicy:
     max_respawns: int = 3
 
     @staticmethod
-    def from_env(environ=os.environ) -> "SupervisionPolicy":
-        raw = environ.get(ENV_TIMEOUT, "").strip()
+    def from_env(environ=None) -> "SupervisionPolicy":
+        env = environ if environ is not None else os.environ
+        raw = env.get(ENV_TIMEOUT, "").strip()
         if not raw:
             return SupervisionPolicy()
         t = max(0.05, float(raw))
