@@ -1,0 +1,61 @@
+"""Throughput layer — batched serving vs per-request cold starts.
+
+A duplicate-heavy batch (75% repeats, the serving-workload shape the
+batching issue targets) through :func:`repro.batch.run_batch` against the
+same requests as a serial ``align3`` loop. The batch side should win by
+at least the dedup ratio; ``tools/check_batch.py`` enforces the >= 2x
+acceptance bound in CI, these benchmarks provide the numbers.
+"""
+
+import pytest
+
+from repro.batch import AlignmentRequest, BatchScheduler, run_batch
+from repro.cache import ResultCache
+from repro.core.api import align3
+from repro.seqio.generate import mutated_family
+
+#: 6 unique ~40-mer triples, each requested 4 times -> 24 requests.
+UNIQUE = 6
+REPEATS = 4
+
+
+@pytest.fixture(scope="module")
+def duplicate_heavy(dna_scheme):
+    triples = [tuple(mutated_family(40, seed=100 + i)) for i in range(UNIQUE)]
+    reqs = [
+        AlignmentRequest(seqs=t, scheme=dna_scheme)
+        for _ in range(REPEATS)
+        for t in triples
+    ]
+    return reqs
+
+
+def test_serial_align3_loop(benchmark, duplicate_heavy):
+    def serial():
+        return [align3(*r.seqs, r.scheme) for r in duplicate_heavy]
+
+    alns = benchmark(serial)
+    assert len(alns) == UNIQUE * REPEATS
+
+
+def test_batch_cold_cache(benchmark, duplicate_heavy):
+    """In-batch dedup alone: a fresh cache every round."""
+
+    def batch():
+        return run_batch(duplicate_heavy, cache=ResultCache(), workers=1)
+
+    report = benchmark(batch)
+    assert report.stats.computed == UNIQUE
+    assert report.stats.dedup_ratio >= 0.5
+
+
+def test_batch_warm_cache(benchmark, duplicate_heavy, dna_scheme):
+    """Steady-state serving: long-lived scheduler, every request a hit."""
+    cache = ResultCache()
+    with BatchScheduler(cache=cache, workers=1) as sched:
+        sched.run(duplicate_heavy)  # warm up
+
+        report = benchmark(sched.run, duplicate_heavy)
+    assert report.stats.computed == 0
+    assert report.stats.cache_hits == UNIQUE
+    assert report.stats.dedup_ratio == 1.0

@@ -1,0 +1,42 @@
+"""Request batching over persistent workers (``repro.batch``).
+
+The throughput layer: :class:`BatchScheduler` serves many alignment
+requests at once — deduplicating identical and permutation-equivalent
+requests through :mod:`repro.cache`, grouping the remaining misses by
+cube shape, and executing them over one long-lived
+:class:`~repro.parallel.executor.WavefrontPool` instead of spawning
+workers per call. ``repro batch`` is the CLI front end; see
+``docs/batching.md`` and ``tools/check_batch.py`` (the throughput gate).
+"""
+
+from repro.batch.scheduler import (
+    DEFAULT_MAX_POOL_CELLS,
+    PERM_PREFIX,
+    POOL_METHODS,
+    AlignmentRequest,
+    BatchReport,
+    BatchScheduler,
+    BatchStats,
+    RequestResult,
+    run_batch,
+)
+from repro.batch.io import (
+    read_requests,
+    requests_from_fasta,
+    requests_from_jsonl,
+)
+
+__all__ = [
+    "DEFAULT_MAX_POOL_CELLS",
+    "PERM_PREFIX",
+    "POOL_METHODS",
+    "AlignmentRequest",
+    "BatchReport",
+    "BatchScheduler",
+    "BatchStats",
+    "RequestResult",
+    "read_requests",
+    "requests_from_fasta",
+    "requests_from_jsonl",
+    "run_batch",
+]

@@ -1,0 +1,119 @@
+"""Reading batch request files for the ``repro batch`` CLI.
+
+Two formats:
+
+* **JSONL** (``*.jsonl``/``*.ndjson``) — one request object per line,
+  either ``{"seqs": ["...", "...", "..."]}`` or ``{"a": ..., "b": ...,
+  "c": ...}``, with optional ``"id"``, ``"mode"`` and ``"method"``
+  fields. Blank lines and ``#`` comment lines are skipped.
+* **FASTA-of-many** — a plain FASTA file whose record count is a
+  multiple of three; consecutive triples form the requests, identified
+  by their first record's header.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.batch.scheduler import AlignmentRequest
+from repro.seqio.fasta import read_fasta
+
+#: Extensions parsed as JSONL request files; everything else is FASTA.
+JSONL_SUFFIXES = (".jsonl", ".ndjson", ".json")
+
+
+def requests_from_jsonl(path: Any) -> list[AlignmentRequest]:
+    """Parse a JSONL request file (see module docs for the line schema)."""
+    out: list[AlignmentRequest] = []
+    with open(os.fspath(path), "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from None
+            if not isinstance(obj, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: expected a JSON object, got "
+                    f"{type(obj).__name__}"
+                )
+            if "seqs" in obj:
+                seqs = obj["seqs"]
+            elif all(k in obj for k in ("a", "b", "c")):
+                seqs = [obj["a"], obj["b"], obj["c"]]
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: request needs 'seqs' or 'a'/'b'/'c'"
+                )
+            if not (
+                isinstance(seqs, list)
+                and len(seqs) == 3
+                and all(isinstance(s, str) for s in seqs)
+            ):
+                raise ValueError(
+                    f"{path}:{lineno}: 'seqs' must be three strings"
+                )
+            out.append(
+                AlignmentRequest(
+                    seqs=tuple(seqs),  # type: ignore[arg-type]
+                    mode=obj.get("mode", "global"),
+                    method=obj.get("method", "auto"),
+                    rid=str(obj["id"]) if "id" in obj else f"req{lineno}",
+                )
+            )
+    return out
+
+
+def requests_from_fasta(
+    path: Any, mode: str = "global", method: str = "auto"
+) -> list[AlignmentRequest]:
+    """Read a FASTA file as consecutive record triples."""
+    records = read_fasta(path)
+    if not records or len(records) % 3 != 0:
+        raise ValueError(
+            f"{path}: FASTA batch input needs a multiple of three records, "
+            f"got {len(records)}"
+        )
+    out: list[AlignmentRequest] = []
+    for start in range(0, len(records), 3):
+        triple = records[start : start + 3]
+        out.append(
+            AlignmentRequest(
+                seqs=tuple(s for _h, s in triple),  # type: ignore[arg-type]
+                mode=mode,
+                method=method,
+                rid=triple[0][0].split()[0] if triple[0][0].split() else f"req{start // 3}",
+            )
+        )
+    return out
+
+
+def read_requests(
+    path: Any, mode: str = "global", method: str = "auto"
+) -> list[AlignmentRequest]:
+    """Dispatch on extension: JSONL request file or FASTA-of-many.
+
+    JSONL lines may carry their own mode/method; the arguments here are
+    the defaults (and the only source for FASTA input).
+    """
+    text = os.fspath(path)
+    if text.lower().endswith(JSONL_SUFFIXES):
+        reqs = requests_from_jsonl(path)
+        if mode != "global" or method != "auto":
+            reqs = [
+                AlignmentRequest(
+                    seqs=r.seqs,
+                    mode=r.mode if r.mode != "global" else mode,
+                    method=r.method if r.method != "auto" else method,
+                    rid=r.rid,
+                )
+                for r in reqs
+            ]
+        return reqs
+    return requests_from_fasta(path, mode=mode, method=method)

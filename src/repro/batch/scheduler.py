@@ -1,0 +1,526 @@
+"""Batch scheduler: many alignment requests, one set of workers.
+
+A serving stack does not treat each request as a cold start. This
+scheduler accepts a whole batch of :class:`AlignmentRequest`\\ s and
+serves it in stages, cheapest first:
+
+1. **Exact dedup** — requests are grouped by their content digest
+   (:func:`repro.cache.request_key`); each distinct request is looked up
+   in the :class:`~repro.cache.ResultCache` once, and duplicates share
+   the answer.
+2. **Permutation reuse** — remaining groups are probed by the
+   order-insensitive secondary key. A hit (from the cache, or from
+   another group of this batch) is mapped onto the request's sequence
+   order by permuting rows: score-identical by the symmetry of SP
+   scoring, though tie-breaking means the rows may legitimately differ
+   from a cold compute (marked ``meta["permuted_from"]``).
+3. **Grouped compute** — true misses are grouped by cube shape and run
+   largest-first over one long-lived :class:`WavefrontPool` sized to the
+   batch (pool-eligible jobs: global mode, linear scheme, wavefront-class
+   method), so worker spawn is paid once per pool lifetime instead of
+   once per request. Everything else — affine schemes, explicit serial
+   engines, local/semiglobal modes — dispatches to the matching engine
+   per request. Results are cached under both keys for the next batch.
+
+The pool outlives ``run()``: a :class:`BatchScheduler` reuses its workers
+across batches (growing capacity on demand) until :meth:`close`.
+Metrics land in :mod:`repro.obs` — cache hit/miss counters, a
+per-request latency histogram, the batch dedup ratio and the estimated
+pool-reuse savings — and render via ``repro report`` / ``--metrics``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.cache import ResultCache, derive_for_order, permutation_key, permute_rows, request_key
+from repro.cache.key import MODES, canonical_order
+from repro.core.api import AVAILABLE_METHODS, align3, resolve_scheme
+from repro.core.scoring import ScoringScheme
+from repro.core.types import Alignment3
+from repro.obs import hooks as _obs
+from repro.obs import trace as _trace
+from repro.util.validation import check_sequences
+
+#: Methods whose output the shared wavefront kernel reproduces
+#: bit-identically, making them safe to serve from the pool.
+POOL_METHODS = ("auto", "wavefront", "shared", "threads")
+
+#: Namespace prefix for order-insensitive secondary cache entries, kept
+#: disjoint from exact digests so a permutation-derived alignment can
+#: never masquerade as a bit-identical exact hit.
+PERM_PREFIX = "p:"
+
+#: Largest cube served from the pool; beyond this the full move cube
+#: would dominate memory and ``align3``'s degradation ladder should rule.
+DEFAULT_MAX_POOL_CELLS = 2_000_000
+
+
+@dataclass(frozen=True)
+class AlignmentRequest:
+    """One alignment request inside a batch.
+
+    ``scheme=None`` resolves per request from the guessed alphabet
+    (:func:`repro.core.api.resolve_scheme`); ``rid`` is an optional
+    caller-supplied identifier echoed back on the result.
+    """
+
+    seqs: tuple[str, str, str]
+    scheme: ScoringScheme | None = None
+    mode: str = "global"
+    method: str = "auto"
+    rid: str | None = None
+
+
+@dataclass
+class RequestResult:
+    """How one request was served."""
+
+    index: int
+    rid: str | None
+    alignment: Alignment3
+    key: str
+    #: ``memory_hit``/``disk_hit`` (cache), ``dedup`` (identical request
+    #: in this batch), ``permutation`` (row-permuted equivalent), or
+    #: ``computed`` (cold).
+    source: str
+    latency_s: float
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.source in ("memory_hit", "disk_hit")
+
+
+@dataclass
+class BatchStats:
+    """Aggregate accounting for one ``run()``."""
+
+    requests: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    dedup_hits: int = 0
+    permutation_hits: int = 0
+    computed: int = 0
+    pool_jobs: int = 0
+    pool_setup_s: float = 0.0
+    pool_savings_s: float = 0.0
+    shape_groups: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of requests served without a fresh O(n^3) compute."""
+        if not self.requests:
+            return 0.0
+        return (self.requests - self.computed) / self.requests
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "requests": self.requests,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "dedup_hits": self.dedup_hits,
+            "permutation_hits": self.permutation_hits,
+            "computed": self.computed,
+            "dedup_ratio": self.dedup_ratio,
+            "pool_jobs": self.pool_jobs,
+            "pool_setup_s": self.pool_setup_s,
+            "pool_savings_s": self.pool_savings_s,
+            "shape_groups": self.shape_groups,
+            "wall_s": self.wall_s,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Results (in request order) plus the batch's accounting."""
+
+    results: list[RequestResult]
+    stats: BatchStats = field(default_factory=BatchStats)
+
+    def alignments(self) -> list[Alignment3]:
+        return [r.alignment for r in self.results]
+
+
+class BatchScheduler:
+    """Serve batches of alignment requests over shared workers and a cache.
+
+    Parameters
+    ----------
+    cache:
+        Result cache shared across batches; None disables caching (the
+        in-batch dedup stages still apply).
+    workers:
+        Worker count for the pool (1 = serial sweeps, no forking).
+    max_pool_cells:
+        Cube-size ceiling for pool execution; larger jobs fall back to
+        :func:`align3`, whose degradation ladder knows about memory.
+
+    Use as a context manager, or call :meth:`close` to release the pool::
+
+        with BatchScheduler(cache=ResultCache()) as sched:
+            report = sched.run(requests)
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache | None = None,
+        workers: int = 2,
+        max_pool_cells: int = DEFAULT_MAX_POOL_CELLS,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.cache = cache
+        self.workers = int(workers)
+        self.max_pool_cells = int(max_pool_cells)
+        self._pool = None  # lazily created WavefrontPool
+        self._pool_capacity = (0, 0, 0)
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self, dims_list: list[tuple[int, int, int]]):
+        """A pool whose capacity covers ``dims_list``, reusing the live one
+        when it already fits (the whole point: spawn workers once)."""
+        from repro.parallel.executor import WavefrontPool
+
+        needed = tuple(
+            max(d[i] for d in dims_list) for i in range(3)
+        )
+        if self._pool is not None and all(
+            n <= c for n, c in zip(needed, self._pool_capacity)
+        ):
+            return self._pool, 0.0
+        if self._pool is not None:
+            # Grow: never shrink below what earlier batches needed.
+            needed = tuple(
+                max(n, c) for n, c in zip(needed, self._pool_capacity)
+            )
+            self._pool.close()
+            self._pool = None
+        t0 = time.perf_counter()
+        self._pool = WavefrontPool(needed, workers=self.workers)
+        setup_s = time.perf_counter() - t0
+        self._pool_capacity = needed
+        return self._pool, setup_s
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._pool_capacity = (0, 0, 0)
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request normalisation and single-request execution
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _normalise(req: "AlignmentRequest | Sequence[str]") -> AlignmentRequest:
+        if not isinstance(req, AlignmentRequest):
+            seqs = tuple(req)
+            if len(seqs) != 3:
+                raise ValueError(
+                    f"a request needs exactly three sequences, got {len(seqs)}"
+                )
+            req = AlignmentRequest(seqs=seqs)  # type: ignore[arg-type]
+        check_sequences(req.seqs, count=3)
+        if req.mode not in MODES:
+            raise ValueError(f"unknown mode {req.mode!r}; available: {MODES}")
+        if req.method not in AVAILABLE_METHODS:
+            raise ValueError(
+                f"unknown method {req.method!r}; available: {AVAILABLE_METHODS}"
+            )
+        if req.mode != "global" and req.method != "auto":
+            raise ValueError(
+                f"mode {req.mode!r} has a single engine; use method='auto'"
+            )
+        return req
+
+    def _pool_eligible(self, req: AlignmentRequest, scheme: ScoringScheme) -> bool:
+        if req.mode != "global" or scheme.is_affine:
+            return False
+        if req.method not in POOL_METHODS:
+            return False
+        n1, n2, n3 = (len(s) for s in req.seqs)
+        if min(n1, n2, n3) == 0:
+            return False  # degenerate cubes run serially in microseconds
+        return (n1 + 1) * (n2 + 1) * (n3 + 1) <= self.max_pool_cells
+
+    def _compute_direct(
+        self, req: AlignmentRequest, scheme: ScoringScheme
+    ) -> Alignment3:
+        if req.mode == "local":
+            from repro.core.local import align3_local
+
+            aln = align3_local(*req.seqs, scheme)
+        elif req.mode == "semiglobal":
+            from repro.core.semiglobal import align3_semiglobal
+
+            aln = align3_semiglobal(*req.seqs, scheme)
+        else:
+            aln = align3(
+                *req.seqs, scheme, method=req.method, workers=self.workers
+            )
+        aln.meta.setdefault("mode", req.mode)
+        aln.meta.setdefault("scheme", scheme.name)
+        return aln
+
+    def _compute_pooled(
+        self, pool, req: AlignmentRequest, scheme: ScoringScheme
+    ) -> Alignment3:
+        aln = pool.align3(*req.seqs, scheme)
+        aln.meta["method"] = req.method
+        aln.meta["mode"] = req.mode
+        aln.meta["scheme"] = scheme.name
+        return aln
+
+    # ------------------------------------------------------------------
+    # The batch pipeline
+    # ------------------------------------------------------------------
+
+    def run(
+        self, requests: Iterable["AlignmentRequest | Sequence[str]"]
+    ) -> BatchReport:
+        """Serve ``requests``; results come back in request order."""
+        t_batch = time.perf_counter()
+        reqs = [self._normalise(r) for r in requests]
+        schemes = [resolve_scheme(r.seqs, r.scheme) for r in reqs]
+        stats = BatchStats(requests=len(reqs))
+        results: list[RequestResult | None] = [None] * len(reqs)
+
+        with _trace.span("batch", requests=len(reqs)):
+            self._run_stages(reqs, schemes, results, stats)
+
+        stats.wall_s = time.perf_counter() - t_batch
+        final = [r for r in results if r is not None]
+        assert len(final) == len(reqs), "every request must be served"
+        for r in final:
+            _obs.record_request(
+                seconds=r.latency_s,
+                cache_hit=r.cache_hit,
+                deduped=r.source in ("dedup", "permutation"),
+            )
+        _obs.record_batch(
+            requests=stats.requests,
+            cache_hits=stats.cache_hits,
+            deduped=stats.dedup_hits + stats.permutation_hits,
+            computed=stats.computed,
+            seconds=stats.wall_s,
+            pool_jobs=stats.pool_jobs,
+            pool_savings_s=stats.pool_savings_s,
+        )
+        return BatchReport(results=final, stats=stats)
+
+    def _run_stages(
+        self,
+        reqs: list[AlignmentRequest],
+        schemes: list[ScoringScheme],
+        results: list[RequestResult | None],
+        stats: BatchStats,
+    ) -> None:
+        # Stage 1: group identical requests; probe the cache once each.
+        groups: dict[str, list[int]] = {}
+        for i, (req, scheme) in enumerate(zip(reqs, schemes)):
+            key = request_key(req.seqs, scheme, req.mode, req.method)
+            groups.setdefault(key, []).append(i)
+
+        pending: list[tuple[str, list[int]]] = []
+        for key, idxs in groups.items():
+            t0 = time.perf_counter()
+            hit = None
+            source = "memory_hit"
+            if self.cache is not None:
+                pre_disk = self.cache.stats.disk_hits
+                hit = self.cache.get(key)
+                if self.cache.stats.disk_hits > pre_disk:
+                    source = "disk_hit"
+            dt = time.perf_counter() - t0
+            if hit is not None:
+                self._fill(results, reqs, idxs, key, hit, source, dt, stats)
+            else:
+                pending.append((key, idxs))
+
+        # Stage 2: permutation reuse — from the cache, then within the
+        # batch (one compute per canonical triple).
+        perm_groups: dict[str, list[tuple[str, list[int]]]] = {}
+        to_compute: list[tuple[str, list[int]]] = []
+        for key, idxs in pending:
+            req, scheme = reqs[idxs[0]], schemes[idxs[0]]
+            pkey = PERM_PREFIX + permutation_key(
+                req.seqs, scheme, req.mode, req.method
+            )
+            t0 = time.perf_counter()
+            canon = (
+                self.cache.get(pkey, record=False)
+                if self.cache is not None
+                else None
+            )
+            dt = time.perf_counter() - t0
+            if canon is not None:
+                derived = derive_for_order(canon, req.seqs)
+                self._fill(
+                    results, reqs, idxs, key, derived, "permutation", dt, stats
+                )
+                continue
+            bucket = perm_groups.setdefault(pkey, [])
+            if bucket:
+                bucket.append((key, idxs))  # follower: derived after compute
+            else:
+                bucket.append((key, idxs))
+                to_compute.append((key, idxs))
+
+        # Stage 3: group misses by cube shape, largest first, and run them
+        # over one pool; ineligible jobs dispatch per request.
+        by_shape: dict[tuple[int, int, int], list[tuple[str, list[int]]]] = {}
+        direct: list[tuple[str, list[int]]] = []
+        for key, idxs in to_compute:
+            req, scheme = reqs[idxs[0]], schemes[idxs[0]]
+            if self._pool_eligible(req, scheme):
+                dims = tuple(len(s) for s in req.seqs)
+                by_shape.setdefault(dims, []).append((key, idxs))
+            else:
+                direct.append((key, idxs))
+        stats.shape_groups = len(by_shape)
+
+        pool = None
+        if by_shape:
+            pool, setup_s = self._ensure_pool(list(by_shape.keys()))
+            stats.pool_setup_s = setup_s
+            n_pool_jobs = sum(len(v) for v in by_shape.values())
+            # Reusing live workers saves roughly one spawn per job after
+            # the first; with a pre-warmed pool (setup 0) every job rides
+            # the previous batch's spawn.
+            per_spawn = setup_s if setup_s > 0 else self._last_setup_s
+            stats.pool_savings_s = per_spawn * max(
+                0, n_pool_jobs - (1 if setup_s > 0 else 0)
+            )
+            if setup_s > 0:
+                self._last_setup_s = setup_s
+
+        for dims in sorted(by_shape, key=lambda d: -(d[0] * d[1] * d[2])):
+            for key, idxs in by_shape[dims]:
+                req, scheme = reqs[idxs[0]], schemes[idxs[0]]
+                t0 = time.perf_counter()
+                aln = self._compute_pooled(pool, req, scheme)
+                dt = time.perf_counter() - t0
+                stats.pool_jobs += 1
+                self._finish_compute(
+                    results, reqs, schemes, perm_groups, key, idxs, aln, dt,
+                    stats,
+                )
+
+        for key, idxs in direct:
+            req, scheme = reqs[idxs[0]], schemes[idxs[0]]
+            t0 = time.perf_counter()
+            aln = self._compute_direct(req, scheme)
+            dt = time.perf_counter() - t0
+            self._finish_compute(
+                results, reqs, schemes, perm_groups, key, idxs, aln, dt, stats
+            )
+
+    _last_setup_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Result fan-out
+    # ------------------------------------------------------------------
+
+    def _finish_compute(
+        self,
+        results: list[RequestResult | None],
+        reqs: list[AlignmentRequest],
+        schemes: list[ScoringScheme],
+        perm_groups: dict[str, list[tuple[str, list[int]]]],
+        key: str,
+        idxs: list[int],
+        aln: Alignment3,
+        dt: float,
+        stats: BatchStats,
+    ) -> None:
+        req, scheme = reqs[idxs[0]], schemes[idxs[0]]
+        stats.computed += 1
+        canonical, perm = canonical_order(req.seqs)
+        pkey = PERM_PREFIX + permutation_key(
+            req.seqs, scheme, req.mode, req.method
+        )
+        if self.cache is not None:
+            self.cache.put(key, aln)
+            self.cache.put(pkey, permute_rows(aln, perm))
+        self._fill(results, reqs, idxs, key, aln, "computed", dt, stats)
+        # Permutation-equivalent followers discovered in stage 2.
+        for fkey, fidxs in perm_groups.get(pkey, []):
+            if fkey == key:
+                continue
+            freq = reqs[fidxs[0]]
+            derived = derive_for_order(permute_rows(aln, perm), freq.seqs)
+            self._fill(
+                results, reqs, fidxs, fkey, derived, "permutation", dt, stats
+            )
+
+    def _fill(
+        self,
+        results: list[RequestResult | None],
+        reqs: list[AlignmentRequest],
+        idxs: list[int],
+        key: str,
+        aln: Alignment3,
+        source: str,
+        dt: float,
+        stats: BatchStats,
+    ) -> None:
+        for rank, i in enumerate(idxs):
+            # Each requester gets its own object; a shared one would let
+            # one caller's meta edits leak into another's result.
+            own = Alignment3(
+                rows=aln.rows, score=aln.score, meta=dict(aln.meta)
+            )
+            src = source if rank == 0 else "dedup"
+            own.meta["batch"] = {"source": src, "key": key}
+            if rank == 0:
+                if source == "memory_hit":
+                    stats.memory_hits += 1
+                elif source == "disk_hit":
+                    stats.disk_hits += 1
+                elif source == "permutation":
+                    stats.permutation_hits += 1
+            else:
+                stats.dedup_hits += 1
+            results[i] = RequestResult(
+                index=i,
+                rid=reqs[i].rid,
+                alignment=own,
+                key=key,
+                source=src,
+                latency_s=dt,
+            )
+
+
+def run_batch(
+    requests: Iterable["AlignmentRequest | Sequence[str]"],
+    cache: ResultCache | None = None,
+    workers: int = 2,
+    max_pool_cells: int = DEFAULT_MAX_POOL_CELLS,
+) -> BatchReport:
+    """One-shot convenience: build a scheduler, run one batch, close it.
+
+    Prefer a long-lived :class:`BatchScheduler` when serving repeatedly —
+    this helper still gets the dedup and caching but pays the pool spawn
+    per call.
+    """
+    with BatchScheduler(
+        cache=cache, workers=workers, max_pool_cells=max_pool_cells
+    ) as sched:
+        return sched.run(requests)

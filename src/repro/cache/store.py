@@ -1,0 +1,263 @@
+"""Content-addressed alignment result store with two tiers.
+
+**Memory tier** — a bounded LRU dict of encoded results. Every ``get``
+moves the entry to the young end; inserting past ``max_entries`` evicts
+the oldest. Entries are stored *encoded* (plain JSON-able dicts), so a
+cached result can never be corrupted by a caller mutating the
+:class:`~repro.core.types.Alignment3` it was handed — each hit decodes a
+fresh object.
+
+**Disk tier** (optional) — an append-only JSONL file ``results.jsonl``
+under ``cache_dir``, one ``{"key": ..., "alignment": ...}`` object per
+line. On open the file is scanned once to build a key→offset index
+(last write wins, so re-puts supersede); a disk hit seeks to the offset,
+decodes, and promotes the entry into the memory tier. Append-only JSONL
+makes concurrent writers safe at line granularity (the same property
+:mod:`repro.obs.trace` relies on) and survives truncated final lines
+from a killed process.
+
+Round-trip fidelity
+-------------------
+``encode_alignment``/``decode_alignment`` preserve rows and score
+bit-identically (JSON serialises floats via ``repr``, which Python
+round-trips exactly) and meta up to JSON canonicalisation — tuples
+become lists, numpy scalars become Python numbers
+(:func:`jsonable`). Comparisons should therefore go through
+:func:`repro.cache.key.comparable_meta`, which applies the same
+canonicalisation to both sides and strips timing fields.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.types import Alignment3
+from repro.obs import hooks as _obs
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into plain JSON-able Python objects.
+
+    Tuples become lists, numpy scalars/arrays become numbers/nested
+    lists; anything JSON cannot carry falls back to ``repr`` (provenance
+    meta is free-form, and a lossy-but-stable rendering beats a failed
+    put).
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if isinstance(value, np.generic):
+        return jsonable(value.item())
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def encode_alignment(aln: Alignment3) -> dict:
+    """Encode an alignment as a JSON-able dict (inverse of decode)."""
+    return {
+        "rows": list(aln.rows),
+        "score": float(aln.score),
+        "meta": jsonable(aln.meta),
+    }
+
+
+def decode_alignment(payload: dict) -> Alignment3:
+    """Rebuild an :class:`Alignment3` from :func:`encode_alignment` output."""
+    rows = tuple(payload["rows"])
+    if len(rows) != 3:
+        raise ValueError(f"cache payload has {len(rows)} rows, expected 3")
+    return Alignment3(
+        rows=rows,  # type: ignore[arg-type]
+        score=float(payload["score"]),
+        meta=dict(payload.get("meta", {})),
+    )
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated over a cache's lifetime."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Two-tier content-addressed store of alignment results.
+
+    Parameters
+    ----------
+    max_entries:
+        Memory-tier capacity; the least recently used entry is evicted
+        when a put exceeds it. Must be >= 1.
+    cache_dir:
+        Optional directory for the persistent JSONL tier (created if
+        missing). When None the cache is memory-only.
+
+    Thread-safe: a single lock guards both tiers — every operation is a
+    dict move plus at most one line of file IO, so contention is
+    negligible next to an O(n^3) miss.
+    """
+
+    _DISK_FILE = "results.jsonl"
+
+    def __init__(self, max_entries: int = 1024, cache_dir: Any = None):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.cache_dir = None if cache_dir is None else os.fspath(cache_dir)
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        self._disk_index: dict[str, int] = {}
+        self._disk_path: str | None = None
+        if self.cache_dir is not None:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            self._disk_path = os.path.join(self.cache_dir, self._DISK_FILE)
+            self._load_disk_index()
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+
+    def _load_disk_index(self) -> None:
+        assert self._disk_path is not None
+        if not os.path.exists(self._disk_path):
+            return
+        offset = 0
+        with open(self._disk_path, "rb") as fh:
+            for line in fh:
+                if line.endswith(b"\n"):
+                    try:
+                        rec = json.loads(line)
+                        self._disk_index[rec["key"]] = offset
+                    except (json.JSONDecodeError, KeyError, TypeError):
+                        pass  # foreign or truncated line; skip it
+                offset += len(line)
+
+    def _disk_get(self, key: str) -> dict | None:
+        if self._disk_path is None:
+            return None
+        offset = self._disk_index.get(key)
+        if offset is None:
+            return None
+        try:
+            with open(self._disk_path, "rb") as fh:
+                fh.seek(offset)
+                rec = json.loads(fh.readline())
+            return rec["alignment"]
+        except (OSError, json.JSONDecodeError, KeyError):
+            return None
+
+    def _disk_put(self, key: str, payload: dict) -> None:
+        if self._disk_path is None:
+            return
+        line = json.dumps(
+            {"key": key, "alignment": payload}, separators=(",", ":")
+        )
+        data = (line + "\n").encode()
+        # O_APPEND keeps concurrent writers line-atomic; the recorded
+        # offset is only valid for this process's view, which is fine —
+        # other processes build their own index on open.
+        fd = os.open(
+            self._disk_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            offset = os.fstat(fd).st_size
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+        self._disk_index[key] = offset
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or key in self._disk_index
+
+    def get(self, key: str, *, record: bool = True) -> Alignment3 | None:
+        """The cached alignment for ``key``, or None. Decodes fresh.
+
+        ``record=False`` skips the hit/miss accounting — used for
+        secondary-key probes (permutation lookups) that would otherwise
+        double-count a single logical request.
+        """
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                if record:
+                    self.stats.memory_hits += 1
+                    _obs.record_cache("memory_hit")
+                return decode_alignment(payload)
+            payload = self._disk_get(key)
+            if payload is not None:
+                self._insert_memory(key, payload)
+                if record:
+                    self.stats.disk_hits += 1
+                    _obs.record_cache("disk_hit")
+                return decode_alignment(payload)
+            if record:
+                self.stats.misses += 1
+                _obs.record_cache("miss")
+            return None
+
+    def put(self, key: str, aln: Alignment3) -> None:
+        """Store ``aln`` under ``key`` in both tiers."""
+        payload = encode_alignment(aln)
+        with self._lock:
+            self._insert_memory(key, payload)
+            self._disk_put(key, payload)
+            self.stats.puts += 1
+
+    def _insert_memory(self, key: str, payload: dict) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+            _obs.record_cache("eviction")
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier (the disk tier, if any, is untouched)."""
+        with self._lock:
+            self._memory.clear()

@@ -4,6 +4,8 @@ Commands
 --------
 ``align``     align the sequences of a FASTA file (exact 3-way for three
               records, progressive MSA for more)
+``batch``     serve many 3-way requests from one file with caching,
+              dedup and a persistent worker pool (``docs/batching.md``)
 ``score``     print the optimal SP score only (O(n^2) memory)
 ``generate``  emit a synthetic mutated family as FASTA
 ``simulate``  run the cluster simulator and print speedup/efficiency
@@ -88,6 +90,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "ladder when the requested engine exceeds the memory budget",
     )
     _obs_args(p_align)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="serve many 3-way requests with caching, dedup and one pool",
+    )
+    p_batch.add_argument(
+        "input",
+        help="JSONL request file (one {'seqs': [a, b, c]} object per line) "
+        "or FASTA whose record count is a multiple of three",
+    )
+    _scoring_args(p_batch)
+    p_batch.add_argument(
+        "--method",
+        default="auto",
+        help="default engine for requests that do not name one",
+    )
+    p_batch.add_argument(
+        "--mode",
+        choices=("global", "local", "semiglobal"),
+        default="global",
+        help="default alignment mode",
+    )
+    p_batch.add_argument(
+        "--workers", type=int, default=2, help="pool worker count"
+    )
+    p_batch.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent result cache directory (reused across runs)",
+    )
+    p_batch.add_argument(
+        "--max-entries",
+        type=int,
+        default=1024,
+        help="in-memory cache capacity (LRU-evicted beyond this)",
+    )
+    _obs_args(p_batch)
 
     p_score = sub.add_parser("score", help="optimal SP score only")
     p_score.add_argument("fasta")
@@ -196,16 +236,23 @@ def _obs_session(args) -> Iterator[None]:
     try:
         yield
     finally:
-        if want_metrics:
-            from repro.obs.report import render_metrics
+        # The summary print can raise (e.g. BrokenPipeError when piped
+        # into `head`); the recorder must still be closed or the trace
+        # file loses everything buffered since the last flush.
+        try:
+            if want_metrics:
+                from repro.obs.report import render_metrics
 
-            print(
-                render_metrics(metrics.registry().snapshot()), file=sys.stderr
-            )
-            metrics.disable()
-        if recorder is not None:
-            trace.uninstall()
-            recorder.close()
+                print(
+                    render_metrics(metrics.registry().snapshot()),
+                    file=sys.stderr,
+                )
+        finally:
+            if want_metrics:
+                metrics.disable()
+            if recorder is not None:
+                trace.uninstall()
+                recorder.close()
 
 
 def _scoring_args(p: argparse.ArgumentParser) -> None:
@@ -316,6 +363,58 @@ def _cmd_align(args) -> int:
     print(
         f"# score={score:g} engine={engine} scheme={scheme.name} "
         f"columns={len(rows[0])}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    from repro.batch import BatchScheduler, read_requests
+    from repro.batch.scheduler import AlignmentRequest
+    from repro.cache import ResultCache
+
+    try:
+        requests = read_requests(args.input, mode=args.mode, method=args.method)
+    except OSError as exc:
+        print(f"error: cannot read {args.input}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not requests:
+        print("error: no requests in input", file=sys.stderr)
+        return 2
+
+    scheme = None
+    if args.matrix != "auto" or args.gap is not None or args.gap_open:
+        seqs = [s for r in requests for s in r.seqs]
+        scheme = _resolve_scheme(args, seqs)
+        requests = [
+            AlignmentRequest(
+                seqs=r.seqs, scheme=scheme, mode=r.mode, method=r.method,
+                rid=r.rid,
+            )
+            for r in requests
+        ]
+
+    cache = ResultCache(
+        max_entries=args.max_entries, cache_dir=args.cache_dir
+    )
+    with _obs_session(args):
+        with BatchScheduler(cache=cache, workers=args.workers) as sched:
+            report = sched.run(requests)
+
+    for res in report.results:
+        print(
+            f"{res.rid or res.index}\t{res.alignment.score:g}\t{res.source}"
+        )
+    s = report.stats
+    print(
+        f"# requests={s.requests} computed={s.computed} "
+        f"cache_hits={s.cache_hits} dedup={s.dedup_hits} "
+        f"permutation={s.permutation_hits} "
+        f"dedup_ratio={s.dedup_ratio:.2f} wall={s.wall_s:.3f}s "
+        f"pool_jobs={s.pool_jobs}",
         file=sys.stderr,
     )
     return 0
@@ -462,6 +561,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {
         "align": _cmd_align,
+        "batch": _cmd_batch,
         "score": _cmd_score,
         "count": _cmd_count,
         "generate": _cmd_generate,

@@ -11,17 +11,21 @@ method           engine
 ``wavefront``    vectorised full-matrix plane sweep
 ``hirschberg``   linear-space divide and conquer
 ``pruned``       Carrillo–Lipman-pruned wavefront
+``banded``       certified band doubling around the main diagonal
 ``affine``       7-state affine-gap DP (requires ``scheme.gap_open != 0``)
 ``shared``       multiprocess shared-memory wavefront
 ``threads``      thread-pool wavefront
 ===============  =============================================================
+
+(``tests/test_api.py`` asserts every :data:`AVAILABLE_METHODS` entry
+appears in this table, so it cannot drift from the dispatcher again.)
 """
 
 from __future__ import annotations
 
 import time
 import warnings
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.scoring import ScoringScheme, default_scheme_for
 from repro.core.types import Alignment3
@@ -29,8 +33,11 @@ from repro.obs import hooks as _obs
 from repro.obs import trace as _trace
 from repro.resilience import degrade as _degrade
 from repro.resilience.errors import DegradationWarning, DegradedRun
-from repro.seqio.alphabet import guess_alphabet
+from repro.seqio.alphabet import guess_common_alphabet
 from repro.util.validation import check_sequences
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache uses core)
+    from repro.cache import ResultCache
 
 #: Cube size above which ``auto`` prefers the linear-space engine.
 AUTO_HIRSCHBERG_CELLS = 8_000_000
@@ -48,12 +55,23 @@ AVAILABLE_METHODS = (
 )
 
 
-def _resolve_scheme(
-    seqs: Sequence[str], scheme: ScoringScheme | None
+def resolve_scheme(
+    seqs: Sequence[str], scheme: ScoringScheme | None = None
 ) -> ScoringScheme:
+    """``scheme`` if given, else the default scheme for the guessed alphabet.
+
+    The alphabet is guessed per sequence (empty sequences are skipped);
+    mixing alphabets — a DNA read next to a protein chain — raises
+    ``ValueError`` instead of silently scoring everything under whichever
+    single alphabet happens to accept the concatenation.
+    """
     if scheme is not None:
         return scheme
-    return default_scheme_for(guess_alphabet("".join(seqs) or "A"))
+    return default_scheme_for(guess_common_alphabet(seqs))
+
+
+#: Backwards-compatible private alias (pre-1.1 internal name).
+_resolve_scheme = resolve_scheme
 
 
 def align3(
@@ -64,6 +82,7 @@ def align3(
     method: str = "auto",
     workers: int = 2,
     allow_degrade: bool = True,
+    cache: "ResultCache | None" = None,
 ) -> Alignment3:
     """Optimal three-sequence alignment.
 
@@ -85,6 +104,12 @@ def align3(
         fits — still exact, recorded in ``meta["degraded_from"]`` and a
         :class:`DegradationWarning`. False raises :class:`DegradedRun`
         instead of switching engines.
+    cache:
+        Optional :class:`repro.cache.ResultCache`. When given, the request
+        is looked up by its content digest before any engine runs; a hit
+        returns the stored alignment (bit-identical rows/score, meta
+        modulo timing, ``meta["cache"]["hit"] = True``) and a miss stores
+        the computed result. See ``docs/batching.md``.
 
     Returns
     -------
@@ -104,7 +129,17 @@ def align3(
         raise ValueError(
             f"unknown method {method!r}; available: {AVAILABLE_METHODS}"
         )
-    scheme = _resolve_scheme((sa, sb, sc), scheme)
+    scheme = resolve_scheme((sa, sb, sc), scheme)
+
+    cache_key = None
+    if cache is not None:
+        from repro.cache import request_key
+
+        cache_key = request_key((sa, sb, sc), scheme, "global", method)
+        hit = cache.get(cache_key)
+        if hit is not None:
+            hit.meta["cache"] = {"hit": True, "key": cache_key}
+            return hit
 
     if method == "auto":
         if scheme.is_affine:
@@ -185,6 +220,9 @@ def align3(
             {"method": m, "estimate_bytes": e} for m, e in plan.steps
         ]
         aln.meta["memory_budget_bytes"] = plan.budget
+    if cache is not None and cache_key is not None:
+        cache.put(cache_key, aln)
+        aln.meta["cache"] = {"hit": False, "key": cache_key}
     return aln
 
 
@@ -200,7 +238,7 @@ def align3_score(
     affine sweep.
     """
     check_sequences((sa, sb, sc), count=3)
-    scheme = _resolve_scheme((sa, sb, sc), scheme)
+    scheme = resolve_scheme((sa, sb, sc), scheme)
     if scheme.is_affine:
         from repro.core.affine import score3_affine
 

@@ -142,6 +142,66 @@ def record_degrade(
         metrics.registry().counter("degraded_runs").inc()
 
 
+def record_cache(event: str) -> None:
+    """One cache-tier event: ``memory_hit``/``disk_hit``/``miss``/
+    ``eviction``. Counter-only — cache lookups are far too frequent for a
+    trace record each."""
+    if metrics.enabled:
+        name = "cache_misses" if event == "miss" else f"cache_{event}s"
+        metrics.registry().counter(name).inc()
+
+
+def record_request(
+    *, seconds: float, cache_hit: bool, deduped: bool
+) -> None:
+    """One batch request served: latency plus how it was satisfied."""
+    if metrics.enabled:
+        reg = metrics.registry()
+        reg.histogram(
+            "request_latency_s", metrics.LATENCY_BUCKETS
+        ).observe(seconds)
+        reg.counter("batch_requests").inc()
+        if cache_hit:
+            reg.counter("batch_cache_hits").inc()
+        if deduped:
+            reg.counter("batch_deduped").inc()
+
+
+def record_batch(
+    *,
+    requests: int,
+    cache_hits: int,
+    deduped: int,
+    computed: int,
+    seconds: float,
+    pool_jobs: int = 0,
+    pool_savings_s: float = 0.0,
+) -> None:
+    """One completed batch: dedup ratio and pool-reuse accounting."""
+    if trace.enabled:
+        trace.event(
+            "batch",
+            requests=requests,
+            cache_hits=cache_hits,
+            deduped=deduped,
+            computed=computed,
+            seconds=seconds,
+            pool_jobs=pool_jobs,
+            pool_savings_s=pool_savings_s,
+        )
+    if metrics.enabled:
+        reg = metrics.registry()
+        reg.counter("batches").inc()
+        reg.counter("batch_computed").inc(computed)
+        if requests > 0:
+            reg.gauge("batch_dedup_ratio").set(
+                (requests - computed) / requests
+            )
+        if pool_jobs:
+            reg.counter("pool_jobs").inc(pool_jobs)
+            reg.counter("pool_spawn_savings_s").inc(pool_savings_s)
+
+
 def record_comm(
     rank: int,
     *,

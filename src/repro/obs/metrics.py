@@ -30,6 +30,10 @@ DEFAULT_BUCKETS = (1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6)
 #: Bounds for ratio-valued histograms (busy fraction and the like).
 RATIO_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
 
+#: Bounds for latency histograms in seconds (cache hits sit in the
+#: sub-millisecond buckets, cold O(n^3) computes in the upper ones).
+LATENCY_BUCKETS = (1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0)
+
 
 class Counter:
     """Monotonically increasing count."""

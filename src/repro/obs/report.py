@@ -1,7 +1,7 @@
 """Render a captured JSONL trace into human-readable tables.
 
 This is the backend of ``repro report``. It aggregates the typed records
-written by :mod:`repro.obs.trace` into four views:
+written by :mod:`repro.obs.trace` into per-family views:
 
 * **phases** — span durations grouped by name (count/total/mean/share);
 * **sweeps** — per-sweep throughput and peak buffer bytes;
@@ -10,7 +10,10 @@ written by :mod:`repro.obs.trace` into four views:
   plane);
 * **workers** — per ``(engine, pid, worker)`` busy vs barrier-wait time
   and the busy ratio, the load-imbalance signal the parallel engines are
-  tuned against.
+  tuned against;
+* **batches** — one row per batch event: dedup ratio and pool-reuse
+  accounting from :mod:`repro.batch` (plus **simulated executions** for
+  cluster-simulator traces).
 """
 
 from __future__ import annotations
@@ -149,6 +152,31 @@ def _worker_table(workers: list[dict]) -> str:
     )
 
 
+def _batch_table(batches: list[dict]) -> str:
+    rows = [
+        (
+            b.get("requests", 0),
+            b.get("cache_hits", 0),
+            b.get("deduped", 0),
+            b.get("computed", 0),
+            (b.get("requests", 0) - b.get("computed", 0))
+            / b.get("requests", 1)
+            if b.get("requests")
+            else 0.0,
+            b.get("seconds", 0.0),
+            b.get("pool_jobs", 0),
+            b.get("pool_savings_s", 0.0),
+        )
+        for b in batches
+    ]
+    return format_table(
+        "batches (request dedup and pool reuse)",
+        ["requests", "cache_hits", "deduped", "computed", "dedup_ratio",
+         "wall_s", "pool_jobs", "pool_savings_s"],
+        rows,
+    )
+
+
 def _sim_table(sims: list[dict]) -> str:
     rows = [
         (
@@ -188,6 +216,11 @@ def render_report(path: Any, plane_bins: int = 12) -> str:
         sections.append(_worker_table(grouped["worker"]))
     if grouped.get("sim"):
         sections.append(_sim_table(grouped["sim"]))
+    batch_events = [
+        e for e in grouped.get("event", []) if e.get("name") == "batch"
+    ]
+    if batch_events:
+        sections.append(_batch_table(batch_events))
     return "\n\n".join(sections)
 
 

@@ -7,7 +7,15 @@ ancestor), and a handful of bundled real sequence fragments used by the
 examples and benchmarks.
 """
 
-from repro.seqio.alphabet import Alphabet, DNA, RNA, PROTEIN, GAP_CHAR
+from repro.seqio.alphabet import (
+    Alphabet,
+    DNA,
+    RNA,
+    PROTEIN,
+    GAP_CHAR,
+    guess_alphabet,
+    guess_common_alphabet,
+)
 from repro.seqio.fasta import read_fasta, write_fasta, parse_fasta, format_fasta
 from repro.seqio.generate import (
     random_sequence,
@@ -26,6 +34,8 @@ __all__ = [
     "RNA",
     "PROTEIN",
     "GAP_CHAR",
+    "guess_alphabet",
+    "guess_common_alphabet",
     "read_fasta",
     "write_fasta",
     "parse_fasta",

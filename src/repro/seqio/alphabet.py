@@ -8,6 +8,7 @@ codes_b[None,:]]``); this module owns the string<->code mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -107,3 +108,31 @@ def guess_alphabet(seq: str) -> Alphabet:
         if alpha.is_valid(seq):
             return alpha
     raise ValueError("sequence does not match any bundled alphabet")
+
+
+def guess_common_alphabet(seqs: Sequence[str]) -> Alphabet:
+    """Guess one alphabet for a family of sequences, guessing per sequence.
+
+    Empty sequences are uninformative and skipped (an all-empty family
+    guesses DNA, matching :func:`guess_alphabet` on a trivial input). When
+    the per-sequence guesses disagree — e.g. a DNA read next to a protein
+    chain — this raises ``ValueError`` rather than silently scoring every
+    sequence under the widest alphabet that happens to accept all of them,
+    which is how a mixed request used to pick BLOSUM62 for nucleotides.
+    Callers that really mean it (a peptide spelled in ``ACGT`` letters
+    next to longer chains) should pass an explicit scheme instead.
+    """
+    guesses: list[Alphabet] = []
+    for seq in seqs:
+        if seq:
+            guesses.append(guess_alphabet(seq))
+    if not guesses:
+        return DNA
+    first = guesses[0]
+    if any(g is not first for g in guesses[1:]):
+        names = ", ".join(g.name for g in guesses)
+        raise ValueError(
+            f"sequences guess mixed alphabets ({names}); pass an explicit "
+            "ScoringScheme to align across alphabets"
+        )
+    return first

@@ -61,6 +61,104 @@ class TestSchemeGuessing:
         assert aln.meta["scheme"] == "blosum62"
 
 
+class TestDocstringDrift:
+    def test_every_method_documented(self):
+        # The dispatch table in the module docstring once omitted
+        # ``banded``; keep it in lockstep with the dispatcher.
+        import repro.core.api as api
+
+        for method in AVAILABLE_METHODS:
+            assert f"``{method}``" in api.__doc__, (
+                f"method {method!r} missing from the repro.core.api "
+                "docstring dispatch table"
+            )
+
+
+class TestPerSequenceAlphabetGuessing:
+    def test_mixed_alphabets_rejected(self):
+        # "GATTACA" guesses DNA, "MVLSPAD" guesses protein. The old
+        # concatenation-based guess scored both under BLOSUM62 silently.
+        with pytest.raises(ValueError, match="mixed alphabets"):
+            align3("GATTACA", "MVLSPAD", "GATCA")
+
+    def test_resolve_scheme_mixed_rejected(self):
+        from repro.core.api import resolve_scheme
+
+        with pytest.raises(ValueError, match="mixed alphabets"):
+            resolve_scheme(("ACGT", "ACGU", "MVLSPAD"))
+
+    def test_explicit_scheme_bypasses_guess(self, protein_scheme):
+        # An explicit scheme must silence the mixed-alphabet check ...
+        aln = align3("ACGT", "MVLSPAD", "ACG", scheme=protein_scheme)
+        assert aln.meta["scheme"] == "blosum62"
+
+    def test_empty_sequences_skipped(self):
+        aln = align3("", "GATCA", "GATTA")
+        assert aln.meta["scheme"] == "dna5-4"
+
+    def test_all_empty_defaults_to_dna(self):
+        from repro.core.api import resolve_scheme
+
+        assert resolve_scheme(("", "", "")).name == "dna5-4"
+
+    def test_private_alias_still_resolves(self):
+        # pre-1.1 internal name, kept as an alias for API drift safety
+        from repro.core.api import _resolve_scheme, resolve_scheme
+
+        assert _resolve_scheme is resolve_scheme
+
+
+def _scheme_for(method, dna_scheme, affine_dna_scheme):
+    return affine_dna_scheme if method == "affine" else dna_scheme
+
+
+class TestDegenerateInputs:
+    """Empty and single-character sequences through every engine."""
+
+    CASES = [
+        ("", "AC", "GT"),
+        ("A", "", ""),
+        ("", "", ""),
+        ("A", "C", "G"),
+    ]
+
+    @pytest.mark.parametrize("method", AVAILABLE_METHODS)
+    @pytest.mark.parametrize("seqs", CASES, ids=lambda s: "/".join(s) or "empty")
+    def test_engines_agree_with_reference(
+        self, method, seqs, dna_scheme, affine_dna_scheme
+    ):
+        scheme = _scheme_for(method, dna_scheme, affine_dna_scheme)
+        if method == "affine":
+            from repro.core.affine import score3_affine
+
+            expected = score3_affine(*seqs, scheme)
+        else:
+            expected = score3_dp3d(*seqs, scheme)
+        aln = align3(*seqs, scheme, method=method)
+        assert aln.score == pytest.approx(expected), (method, seqs)
+        if method != "affine":  # sp_score implements the linear gap model
+            assert scheme.sp_score(aln.rows) == pytest.approx(expected)
+        assert aln.sequences() == seqs
+
+    def test_documented_empty_first_score(self, dna_scheme):
+        # ("", "AC", "GT"): two columns, each a gap against a mismatched
+        # pair: 2 * (gap + gap + mismatch) = 2 * (-6 - 6 - 4).
+        assert align3("", "AC", "GT", dna_scheme).score == -32.0
+
+    @pytest.mark.parametrize("seqs", CASES, ids=lambda s: "/".join(s) or "empty")
+    def test_cache_round_trip(self, seqs, dna_scheme, tmp_path):
+        from repro.cache import ResultCache, comparable_meta
+
+        cache = ResultCache(cache_dir=tmp_path)
+        cold = align3(*seqs, dna_scheme, cache=cache)
+        assert cold.meta["cache"]["hit"] is False
+        hit = align3(*seqs, dna_scheme, cache=cache)
+        assert hit.meta["cache"]["hit"] is True
+        assert hit.rows == cold.rows
+        assert hit.score == cold.score
+        assert comparable_meta(hit.meta) == comparable_meta(cold.meta)
+
+
 class TestScoreOnly:
     def test_matches_alignment_score(self, dna_scheme, family_small):
         aln = align3(*family_small, dna_scheme)

@@ -265,3 +265,83 @@ class TestSimulateExtras:
             ["simulate", "--n", "60", "--procs", "2", "--block", "8"]
         ) == 0
         assert "block=8" in capsys.readouterr().out
+
+
+class TestBatch:
+    @pytest.fixture
+    def reqs_jsonl(self, tmp_path):
+        import json
+
+        t1 = ["GATTACA", "GATCA", "GTTACA"]
+        t2 = ["ACGTAC", "ACTAC", "AGTAC"]
+        path = tmp_path / "reqs.jsonl"
+        lines = [
+            json.dumps({"seqs": t1, "id": "a"}),
+            json.dumps({"seqs": t1, "id": "b"}),  # exact duplicate
+            json.dumps({"seqs": t2, "id": "c"}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_jsonl_batch(self, reqs_jsonl, capsys):
+        assert main(["batch", reqs_jsonl, "--workers", "1"]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 3
+        rid, score, source = lines[0].split("\t")
+        assert rid == "a" and source == "computed"
+        assert lines[1].split("\t")[2] == "dedup"
+        assert lines[0].split("\t")[1] == lines[1].split("\t")[1]
+        assert "dedup_ratio=0.33" in captured.err
+
+    def test_fasta_batch(self, tmp_path, capsys):
+        fam = mutated_family(15, seed=9)
+        path = tmp_path / "six.fasta"
+        write_fasta(
+            path, [(f"s{i}", s) for i, s in enumerate(fam + fam)]
+        )
+        assert main(["batch", str(path), "--workers", "1"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[1].split("\t")[2] == "dedup"
+
+    def test_cache_dir_warm_restart(self, reqs_jsonl, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["batch", reqs_jsonl, "--workers", "1", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0  # fresh process state, same disk tier
+        captured = capsys.readouterr()
+        sources = [l.split("\t")[2] for l in captured.out.strip().splitlines()]
+        assert sources == ["disk_hit", "dedup", "disk_hit"]
+        assert "dedup_ratio=1.00" in captured.err
+
+    def test_explicit_scheme_flags(self, reqs_jsonl, capsys):
+        assert main(
+            ["batch", reqs_jsonl, "--workers", "1", "--gap", "-2"]
+        ) == 0
+        assert capsys.readouterr().out.count("\t") == 6
+
+    def test_metrics_summary(self, reqs_jsonl, capsys):
+        assert main(
+            ["batch", reqs_jsonl, "--workers", "1", "--metrics"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "batch_requests" in err
+        assert "request_latency_s" in err
+
+    def test_missing_file(self, capsys):
+        assert main(["batch", "/nonexistent/x.jsonl"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_empty_input(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("# nothing here\n")
+        assert main(["batch", str(path)]) == 2
+        assert "no requests" in capsys.readouterr().err
+
+    def test_bad_fasta_count(self, tmp_path, capsys):
+        path = tmp_path / "four.fasta"
+        write_fasta(path, [(f"s{i}", "ACGT") for i in range(4)])
+        assert main(["batch", str(path)]) == 2
+        assert "multiple of three" in capsys.readouterr().err

@@ -74,6 +74,29 @@ def test_check_chaos_smoke():
     assert "OK:" in result.stdout
 
 
+def test_check_batch_smoke():
+    # Small duplicate-heavy batch with a loose speedup bound: verifies the
+    # gate's plumbing (dedup accounting, bit-identity sweep, warm re-run);
+    # the real 200-request / 2x run is the standalone acceptance gate.
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(ROOT / "tools" / "check_batch.py"),
+            "--requests", "30",
+            "--unique", "6",
+            "--n", "16",
+            "--repeats", "1",
+            "--min-speedup", "1.2",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "OK:" in result.stdout and "dedup_ratio=" in result.stdout
+
+
 def test_api_doc_mentions_key_entry_points():
     text = (ROOT / "docs" / "api.md").read_text()
     for name in ("align3", "WavefrontPool", "simulate_wavefront",
