@@ -1,0 +1,277 @@
+#!/usr/bin/env python
+"""Load generator for the ``repro serve`` alignment service.
+
+Unlike the pytest-benchmark files next to it, this is a standalone
+script: serving latency is a property of a *running process* under a
+*traffic pattern*, so the knobs are the client's, not a fixture's. It
+spawns a fresh server on an ephemeral port (or targets an existing one
+via ``--port``) and drives it with either loop mode:
+
+- **closed** (default): ``--concurrency`` workers each keep exactly one
+  request in flight — classic saturation throughput.
+- **open**: requests arrive at ``--rate`` per second regardless of
+  completions — the latency-under-load / shed-rate view. An open loop
+  past capacity is *supposed* to shed; the 429 rate is a result, not an
+  error.
+
+Two built-in mixes: ``duplicate`` (requests drawn from ``--unique``
+distinct triples — the cache/dedup-friendly shape) and ``unique`` (every
+request distinct — worst case, every triple computed). Reports p50/p95/
+p99 latency per status class, throughput, and the shed rate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --loop open \\
+        --rate 200 --duration 10 --mix unique
+    PYTHONPATH=src python benchmarks/bench_serve.py --port 8673  # existing
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+
+def _ensure_importable() -> None:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        sys.path.insert(0, str(src))
+
+
+def percentile(sorted_vals: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_vals:
+        return float("nan")
+    k = min(len(sorted_vals) - 1, max(0, int(q * len(sorted_vals))))
+    return sorted_vals[k]
+
+
+def spawn_server(extra: list[str]) -> tuple[subprocess.Popen, int]:
+    src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"] + extra,
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    assert proc.stderr is not None
+    for line in proc.stderr:
+        m = re.match(r"# serving on [\d.]+:(\d+)", line)
+        if m:
+            port = int(m.group(1))
+            threading.Thread(
+                target=lambda: [None for _ in proc.stderr], daemon=True
+            ).start()
+            return proc, port
+    raise RuntimeError(f"server failed to start (rc={proc.poll()})")
+
+
+class Recorder:
+    """Thread-safe latency/status accumulator."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.latencies: dict[int, list[float]] = {}
+        self.conn_errors = 0
+
+    def add(self, status: int, seconds: float) -> None:
+        with self.lock:
+            self.latencies.setdefault(status, []).append(seconds)
+
+    def error(self) -> None:
+        with self.lock:
+            self.conn_errors += 1
+
+
+def run_closed(
+    host: str,
+    port: int,
+    payloads: list[list[str]],
+    concurrency: int,
+    rec: Recorder,
+) -> float:
+    from repro.serve import ServeClient
+
+    it = iter(payloads)
+    lock = threading.Lock()
+
+    def worker() -> None:
+        with ServeClient(host, port) as client:
+            while True:
+                with lock:
+                    seqs = next(it, None)
+                if seqs is None:
+                    return
+                t0 = time.perf_counter()
+                try:
+                    resp = client.align(seqs=seqs)
+                    rec.add(resp.status, time.perf_counter() - t0)
+                except OSError:
+                    rec.error()
+
+    threads = [threading.Thread(target=worker) for _ in range(concurrency)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0
+
+
+def run_open(
+    host: str,
+    port: int,
+    payloads: list[list[str]],
+    rate: float,
+    concurrency: int,
+    rec: Recorder,
+) -> float:
+    """Paced arrivals: each of ``concurrency`` pacers fires at
+    ``rate/concurrency`` rps on its own schedule, so a slow response
+    delays later arrivals on that pacer only (quasi-open; a true open
+    loop would need unbounded connections)."""
+    from repro.serve import ServeClient
+
+    per = rate / concurrency
+    interval = 1.0 / per if per > 0 else 0.0
+    shards = [payloads[i::concurrency] for i in range(concurrency)]
+
+    def pacer(shard: list[list[str]], offset: float) -> None:
+        with ServeClient(host, port) as client:
+            start = time.perf_counter() + offset
+            for i, seqs in enumerate(shard):
+                due = start + i * interval
+                now = time.perf_counter()
+                if due > now:
+                    time.sleep(due - now)
+                t0 = time.perf_counter()
+                try:
+                    resp = client.align(seqs=seqs)
+                    rec.add(resp.status, time.perf_counter() - t0)
+                except OSError:
+                    rec.error()
+
+    threads = [
+        threading.Thread(target=pacer, args=(shards[i], i * interval / max(1, concurrency)))
+        for i in range(concurrency)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="drive repro serve with a synthetic workload"
+    )
+    parser.add_argument(
+        "--loop", choices=("closed", "open"), default="closed"
+    )
+    parser.add_argument(
+        "--mix", choices=("duplicate", "unique"), default="duplicate"
+    )
+    parser.add_argument("--requests", type=int, default=400)
+    parser.add_argument(
+        "--unique",
+        type=int,
+        default=40,
+        help="distinct triples in the duplicate mix",
+    )
+    parser.add_argument("--n", type=int, default=24, help="triple length")
+    parser.add_argument("--concurrency", type=int, default=16)
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=100.0,
+        help="open-loop arrival rate (requests/s)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="target an existing server"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="target an existing server instead of spawning one",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="spawned server's pool size"
+    )
+    args = parser.parse_args(argv)
+    if args.requests < 1 or args.unique < 1 or args.concurrency < 1:
+        parser.error("requests/unique/concurrency must be >= 1")
+
+    _ensure_importable()
+    from repro.seqio.generate import mutated_family
+
+    n_unique = args.unique if args.mix == "duplicate" else args.requests
+    triples = [
+        list(mutated_family(args.n, seed=2000 + i)) for i in range(n_unique)
+    ]
+    payloads = [triples[i % n_unique] for i in range(args.requests)]
+
+    proc = None
+    port = args.port
+    if port is None:
+        proc, port = spawn_server(["--workers", str(args.workers)])
+    rec = Recorder()
+    try:
+        if args.loop == "closed":
+            wall = run_closed(
+                args.host, port, payloads, args.concurrency, rec
+            )
+        else:
+            wall = run_open(
+                args.host, port, payloads, args.rate, args.concurrency, rec
+            )
+    finally:
+        if proc is not None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    total = sum(len(v) for v in rec.latencies.values()) + rec.conn_errors
+    shed = len(rec.latencies.get(429, []))
+    print(
+        f"# loop={args.loop} mix={args.mix} requests={args.requests} "
+        f"unique={n_unique} n={args.n} concurrency={args.concurrency}"
+        + (f" rate={args.rate:g}/s" if args.loop == "open" else "")
+    )
+    print(
+        f"# wall={wall:.3f}s throughput={total / wall:.1f} req/s "
+        f"shed_rate={shed / total if total else 0:.3f} "
+        f"conn_errors={rec.conn_errors}"
+    )
+    print(f"{'status':>6} {'count':>6} {'p50_ms':>8} {'p95_ms':>8} "
+          f"{'p99_ms':>8} {'max_ms':>8}")
+    for status in sorted(rec.latencies):
+        vals = sorted(rec.latencies[status])
+        print(
+            f"{status:>6} {len(vals):>6} "
+            f"{percentile(vals, 0.50) * 1e3:>8.2f} "
+            f"{percentile(vals, 0.95) * 1e3:>8.2f} "
+            f"{percentile(vals, 0.99) * 1e3:>8.2f} "
+            f"{vals[-1] * 1e3:>8.2f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

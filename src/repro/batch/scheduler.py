@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.cache import ResultCache, derive_for_order, permutation_key, permute_rows, request_key
 from repro.cache.key import MODES, canonical_order
@@ -293,9 +293,17 @@ class BatchScheduler:
     # ------------------------------------------------------------------
 
     def run(
-        self, requests: Iterable["AlignmentRequest | Sequence[str]"]
+        self,
+        requests: Iterable["AlignmentRequest | Sequence[str]"],
+        on_result: "Callable[[RequestResult], None] | None" = None,
     ) -> BatchReport:
-        """Serve ``requests``; results come back in request order."""
+        """Serve ``requests``; results come back in request order.
+
+        ``on_result`` is invoked with each :class:`RequestResult` the
+        moment its group is served (cache hits first, then computes as
+        each shape group finishes) — completion order, not request
+        order; ``RequestResult.index`` maps back.
+        """
         t_batch = time.perf_counter()
         reqs = [self._normalise(r) for r in requests]
         schemes = [resolve_scheme(r.seqs, r.scheme) for r in reqs]
@@ -303,7 +311,7 @@ class BatchScheduler:
         results: list[RequestResult | None] = [None] * len(reqs)
 
         with _trace.span("batch", requests=len(reqs)):
-            self._run_stages(reqs, schemes, results, stats)
+            self._run_stages(reqs, schemes, results, stats, emit=on_result)
 
         stats.wall_s = time.perf_counter() - t_batch
         final = [r for r in results if r is not None]
@@ -325,12 +333,32 @@ class BatchScheduler:
         )
         return BatchReport(results=final, stats=stats)
 
+    def run_stream(
+        self,
+        requests: Iterable["AlignmentRequest | Sequence[str]"],
+        on_result: "Callable[[RequestResult], None]",
+    ) -> BatchReport:
+        """Like :meth:`run`, but built for arbitrarily long batches: each
+        result goes to ``on_result`` as it completes and its alignment is
+        then **released** (set to None), so peak memory holds one shape
+        group's alignments instead of the whole batch's. The returned
+        report still carries full stats and per-request accounting
+        (index, rid, key, source, latency) — just no alignment rows.
+        """
+
+        def emit_and_release(res: RequestResult) -> None:
+            on_result(res)
+            res.alignment = None  # type: ignore[assignment]
+
+        return self.run(requests, on_result=emit_and_release)
+
     def _run_stages(
         self,
         reqs: list[AlignmentRequest],
         schemes: list[ScoringScheme],
         results: list[RequestResult | None],
         stats: BatchStats,
+        emit: "Callable[[RequestResult], None] | None" = None,
     ) -> None:
         # Stage 1: group identical requests; probe the cache once each.
         groups: dict[str, list[int]] = {}
@@ -350,7 +378,10 @@ class BatchScheduler:
                     source = "disk_hit"
             dt = time.perf_counter() - t0
             if hit is not None:
-                self._fill(results, reqs, idxs, key, hit, source, dt, stats)
+                self._fill(
+                    results, reqs, idxs, key, hit, source, dt, stats,
+                    emit=emit,
+                )
             else:
                 pending.append((key, idxs))
 
@@ -373,7 +404,8 @@ class BatchScheduler:
             if canon is not None:
                 derived = derive_for_order(canon, req.seqs)
                 self._fill(
-                    results, reqs, idxs, key, derived, "permutation", dt, stats
+                    results, reqs, idxs, key, derived, "permutation", dt,
+                    stats, emit=emit,
                 )
                 continue
             bucket = perm_groups.setdefault(pkey, [])
@@ -420,7 +452,7 @@ class BatchScheduler:
                 stats.pool_jobs += 1
                 self._finish_compute(
                     results, reqs, schemes, perm_groups, key, idxs, aln, dt,
-                    stats,
+                    stats, emit=emit,
                 )
 
         for key, idxs in direct:
@@ -429,7 +461,8 @@ class BatchScheduler:
             aln = self._compute_direct(req, scheme)
             dt = time.perf_counter() - t0
             self._finish_compute(
-                results, reqs, schemes, perm_groups, key, idxs, aln, dt, stats
+                results, reqs, schemes, perm_groups, key, idxs, aln, dt,
+                stats, emit=emit,
             )
 
     _last_setup_s: float = 0.0
@@ -449,6 +482,7 @@ class BatchScheduler:
         aln: Alignment3,
         dt: float,
         stats: BatchStats,
+        emit: "Callable[[RequestResult], None] | None" = None,
     ) -> None:
         req, scheme = reqs[idxs[0]], schemes[idxs[0]]
         stats.computed += 1
@@ -459,7 +493,9 @@ class BatchScheduler:
         if self.cache is not None:
             self.cache.put(key, aln)
             self.cache.put(pkey, permute_rows(aln, perm))
-        self._fill(results, reqs, idxs, key, aln, "computed", dt, stats)
+        self._fill(
+            results, reqs, idxs, key, aln, "computed", dt, stats, emit=emit
+        )
         # Permutation-equivalent followers discovered in stage 2.
         for fkey, fidxs in perm_groups.get(pkey, []):
             if fkey == key:
@@ -467,7 +503,8 @@ class BatchScheduler:
             freq = reqs[fidxs[0]]
             derived = derive_for_order(permute_rows(aln, perm), freq.seqs)
             self._fill(
-                results, reqs, fidxs, fkey, derived, "permutation", dt, stats
+                results, reqs, fidxs, fkey, derived, "permutation", dt,
+                stats, emit=emit,
             )
 
     def _fill(
@@ -480,6 +517,7 @@ class BatchScheduler:
         source: str,
         dt: float,
         stats: BatchStats,
+        emit: "Callable[[RequestResult], None] | None" = None,
     ) -> None:
         for rank, i in enumerate(idxs):
             # Each requester gets its own object; a shared one would let
@@ -498,7 +536,7 @@ class BatchScheduler:
                     stats.permutation_hits += 1
             else:
                 stats.dedup_hits += 1
-            results[i] = RequestResult(
+            res = RequestResult(
                 index=i,
                 rid=reqs[i].rid,
                 alignment=own,
@@ -506,6 +544,9 @@ class BatchScheduler:
                 source=src,
                 latency_s=dt,
             )
+            results[i] = res
+            if emit is not None:
+                emit(res)
 
 
 def run_batch(

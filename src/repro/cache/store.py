@@ -146,6 +146,7 @@ class ResultCache:
         self._memory: OrderedDict[str, dict] = OrderedDict()
         self._disk_index: dict[str, int] = {}
         self._disk_path: str | None = None
+        self._repair_newline = False
         if self.cache_dir is not None:
             os.makedirs(self.cache_dir, exist_ok=True)
             self._disk_path = os.path.join(self.cache_dir, self._DISK_FILE)
@@ -168,6 +169,11 @@ class ResultCache:
                         self._disk_index[rec["key"]] = offset
                     except (json.JSONDecodeError, KeyError, TypeError):
                         pass  # foreign or truncated line; skip it
+                else:
+                    # A writer died mid-append. The torn fragment itself
+                    # is unrecoverable, but the next append must not glue
+                    # onto it — that would corrupt a *good* record too.
+                    self._repair_newline = True
                 offset += len(line)
 
     def _disk_get(self, key: str) -> dict | None:
@@ -180,6 +186,12 @@ class ResultCache:
             with open(self._disk_path, "rb") as fh:
                 fh.seek(offset)
                 rec = json.loads(fh.readline())
+            # With concurrent writers the fstat-then-write in _disk_put
+            # can record a stale offset (another process appended in
+            # between). The line there is still a whole valid record —
+            # just someone else's — so verify before trusting it.
+            if rec.get("key") != key:
+                return None
             return rec["alignment"]
         except (OSError, json.JSONDecodeError, KeyError):
             return None
@@ -194,11 +206,19 @@ class ResultCache:
         # O_APPEND keeps concurrent writers line-atomic; the recorded
         # offset is only valid for this process's view, which is fine —
         # other processes build their own index on open.
+        skew = 0
+        if self._repair_newline:
+            # Terminate the torn final line left by a killed writer so
+            # this record starts on a fresh line. Done lazily on first
+            # append (not on open) so read-only opens never write.
+            data = b"\n" + data
+            skew = 1
+            self._repair_newline = False
         fd = os.open(
             self._disk_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
         try:
-            offset = os.fstat(fd).st_size
+            offset = os.fstat(fd).st_size + skew
             os.write(fd, data)
         finally:
             os.close(fd)

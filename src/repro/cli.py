@@ -5,8 +5,13 @@ Commands
 ``align``     align the sequences of a FASTA file (exact 3-way for three
               records, progressive MSA for more)
 ``batch``     serve many 3-way requests from one file with caching,
-              dedup and a persistent worker pool (``docs/batching.md``)
+              dedup and a persistent worker pool (``docs/batching.md``);
+              results stream to stdout as each group completes
+``serve``     run the long-lived alignment service: asyncio HTTP/1.1
+              JSON API with admission control, micro-batching and
+              graceful drain (``docs/serving.md``)
 ``score``     print the optimal SP score only (O(n^2) memory)
+``count``     count (and optionally enumerate) co-optimal alignments
 ``generate``  emit a synthetic mutated family as FASTA
 ``simulate``  run the cluster simulator and print speedup/efficiency
 ``report``    render a captured ``--trace`` JSONL file into tables
@@ -29,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import os
 import sys
 from typing import Iterator, Sequence
@@ -127,7 +133,88 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1024,
         help="in-memory cache capacity (LRU-evicted beyond this)",
     )
+    p_batch.add_argument(
+        "--output",
+        choices=("tsv", "jsonl"),
+        default="tsv",
+        help="per-request output: 'tsv' (id, score, source) or 'jsonl' "
+        "(adds the aligned rows); either way lines stream as results "
+        "complete, so memory stays bounded on long batches",
+    )
     _obs_args(p_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the alignment service (HTTP/1.1 JSON over asyncio)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (default 8673; 0 binds an ephemeral port — the "
+        "bound address is printed to stderr)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="worker pool size"
+    )
+    p_serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="max triples awaiting a batch flush before shedding (429)",
+    )
+    p_serve.add_argument(
+        "--max-inflight-cells",
+        type=int,
+        default=None,
+        help="max estimated DP cells admitted but not completed",
+    )
+    p_serve.add_argument(
+        "--max-request-cells",
+        type=int,
+        default=None,
+        help="hard per-POST cell cap (413 beyond it)",
+    )
+    p_serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=None,
+        help="micro-batch flush size (triples)",
+    )
+    p_serve.add_argument(
+        "--batch-age-ms",
+        type=float,
+        default=None,
+        help="micro-batch flush age in milliseconds",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline (504 beyond it)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="grace period for in-flight responses during SIGTERM drain",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent result cache directory (reused across restarts)",
+    )
+    p_serve.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="in-memory cache capacity",
+    )
+    _obs_args(p_serve)
 
     p_score = sub.add_parser("score", help="optimal SP score only")
     p_score.add_argument("fasta")
@@ -400,14 +487,38 @@ def _cmd_batch(args) -> int:
     cache = ResultCache(
         max_entries=args.max_entries, cache_dir=args.cache_dir
     )
+
+    # Results stream out as each shape-group completes rather than being
+    # buffered until the whole batch is done: long batches show progress,
+    # and run_stream releases each alignment after its line is written so
+    # resident memory stays bounded by one shape-group, not the batch.
+    if args.output == "jsonl":
+        def emit(res) -> None:
+            print(
+                json.dumps(
+                    {
+                        "id": res.rid or str(res.index),
+                        "index": res.index,
+                        "score": res.alignment.score,
+                        "source": res.source,
+                        "rows": list(res.alignment.rows),
+                    },
+                    separators=(",", ":"),
+                ),
+                flush=True,
+            )
+    else:
+        def emit(res) -> None:
+            print(
+                f"{res.rid or res.index}\t{res.alignment.score:g}"
+                f"\t{res.source}",
+                flush=True,
+            )
+
     with _obs_session(args):
         with BatchScheduler(cache=cache, workers=args.workers) as sched:
-            report = sched.run(requests)
+            report = sched.run_stream(requests, emit)
 
-    for res in report.results:
-        print(
-            f"{res.rid or res.index}\t{res.alignment.score:g}\t{res.source}"
-        )
     s = report.stats
     print(
         f"# requests={s.requests} computed={s.computed} "
@@ -418,6 +529,36 @@ def _cmd_batch(args) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    overrides = {
+        "host": args.host,
+        "port": args.port,
+        "workers": args.workers,
+        "cache_dir": args.cache_dir,
+        "cache_entries": args.max_entries,
+        "queue_depth": args.queue_depth,
+        "max_inflight_cells": args.max_inflight_cells,
+        "max_request_cells": args.max_request_cells,
+        "batch_max_requests": args.batch_max,
+        "default_deadline_s": args.deadline,
+        "drain_timeout_s": args.drain_timeout,
+    }
+    if args.batch_age_ms is not None:
+        overrides["batch_max_age_s"] = args.batch_age_ms / 1000.0
+    config = ServeConfig(
+        **{k: v for k, v in overrides.items() if v is not None}
+    )
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with _obs_session(args):
+        return run_server(config)
 
 
 def _cmd_score(args) -> int:
@@ -562,6 +703,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handler = {
         "align": _cmd_align,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
         "score": _cmd_score,
         "count": _cmd_count,
         "generate": _cmd_generate,

@@ -202,6 +202,66 @@ def record_batch(
             reg.counter("pool_spawn_savings_s").inc(pool_savings_s)
 
 
+def record_serve_request(*, route: str, status: int, seconds: float) -> None:
+    """One HTTP exchange served: route-agnostic latency plus status
+    classes the dashboards care about (shed, deadline-miss, failure)."""
+    if metrics.enabled:
+        reg = metrics.registry()
+        reg.counter("serve_requests").inc()
+        reg.counter(f"serve_status_{status}").inc()
+        reg.histogram(
+            "serve_latency_s", metrics.LATENCY_BUCKETS
+        ).observe(seconds)
+        if status == 429:
+            reg.counter("serve_shed_responses").inc()
+        elif status == 504:
+            reg.counter("serve_deadline_misses").inc()
+        elif status >= 500:
+            reg.counter("serve_failures").inc()
+
+
+def record_serve_queue(*, depth: int, inflight_cells: int) -> None:
+    """Admission-controller state after a transition (gauges, plus peak
+    high-watermarks so a scrape can't miss a burst)."""
+    if metrics.enabled:
+        reg = metrics.registry()
+        reg.gauge("serve_queue_depth").set(depth)
+        reg.gauge("serve_queue_depth_peak").max_update(depth)
+        reg.gauge("serve_inflight_cells").set(inflight_cells)
+        reg.gauge("serve_inflight_cells_peak").max_update(inflight_cells)
+
+
+def record_serve_shed(reason: str) -> None:
+    """One admission rejection, by resource (``queue_full``/``cells_full``)."""
+    if trace.enabled:
+        trace.event("serve_shed", reason=reason)
+    if metrics.enabled:
+        reg = metrics.registry()
+        reg.counter("serve_shed").inc()
+        reg.counter(f"serve_shed_{reason}").inc()
+
+
+def record_serve_flush(*, reason: str, jobs: int, requests: int) -> None:
+    """One micro-batch window closing (``size``/``age``/``drain``)."""
+    if trace.enabled:
+        trace.event(
+            "serve_flush", reason=reason, jobs=jobs, requests=requests
+        )
+    if metrics.enabled:
+        reg = metrics.registry()
+        reg.counter("serve_flushes").inc()
+        reg.counter(f"serve_flush_{reason}").inc()
+        reg.histogram("serve_batch_requests").observe(requests)
+
+
+def record_serve_batch_failure(kind: str) -> None:
+    """A whole compute batch failed (e.g. WorkerFailure past recovery)."""
+    if trace.enabled:
+        trace.event("serve_batch_failure", kind=kind)
+    if metrics.enabled:
+        metrics.registry().counter("serve_batch_failures").inc()
+
+
 def record_comm(
     rank: int,
     *,

@@ -1,0 +1,568 @@
+"""The alignment service: asyncio front-end over the batching layer.
+
+``repro serve`` turns the existing stack — :mod:`repro.obs` metrics,
+:mod:`repro.resilience` supervision, the :mod:`repro.cache` result store
+and the :mod:`repro.batch` scheduler — into a long-running HTTP/1.1 JSON
+service. One process, one event loop, one compute thread, one worker
+pool:
+
+* **POST /v1/align** — a single triple or a list; admitted requests join
+  the micro-batch queue and block until served (or add ``"async": true``
+  for a 202 + job id). Results are bit-identical to :func:`repro.core.api.align3`.
+* **GET /v1/jobs/<id>** — poll an async job.
+* **GET /healthz** — liveness + drain state (503 while draining, so load
+  balancers stop routing here first).
+* **GET /metrics** — JSON snapshot of the :mod:`repro.obs` registry plus
+  cache and admission state.
+
+Backpressure is explicit: a full queue or cell budget sheds with **429**
+and a ``Retry-After`` derived from the measured compute throughput; a
+request whose deadline lapses gets **504**; a worker failure that
+supervision could not absorb degrades to a typed **503** for that batch
+only. ``SIGTERM``/``SIGINT`` trigger a graceful drain — stop accepting,
+flush the queue, finish in-flight responses, close the pool — and the
+process exits 0. See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import signal
+import sys
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro import __version__
+from repro.batch.scheduler import (
+    AlignmentRequest,
+    BatchScheduler,
+    RequestResult,
+)
+from repro.cache import ResultCache
+from repro.obs import hooks as _obs
+from repro.obs import metrics as _metrics
+from repro.resilience.errors import WorkerFailure
+from repro.serve import protocol
+from repro.serve.admission import AdmissionController, estimate_cells
+from repro.serve.batcher import DeadlineExceeded, MicroBatcher
+from repro.serve.config import ServeConfig
+
+
+def parse_align_payload(
+    obj: Any, config: ServeConfig
+) -> tuple[list[AlignmentRequest], bool, float]:
+    """Validate one POST /v1/align body.
+
+    Returns ``(requests, want_async, deadline_s)``; raises
+    :class:`protocol.BadRequest` on any schema violation. Accepts either
+    a single request object or ``{"requests": [...]}``; each request is
+    ``{"seqs": [a, b, c]}`` or ``{"a": ..., "b": ..., "c": ...}`` with
+    optional ``id``, ``mode`` and ``method`` — the same shapes as the
+    ``repro batch`` JSONL format.
+    """
+    if not isinstance(obj, dict):
+        raise protocol.BadRequest(
+            f"body must be a JSON object, got {type(obj).__name__}"
+        )
+    if "requests" in obj:
+        items = obj["requests"]
+        if not isinstance(items, list) or not items:
+            raise protocol.BadRequest("'requests' must be a non-empty list")
+    else:
+        items = [obj]
+
+    want_async = bool(obj.get("async", False))
+    deadline_s = obj.get("deadline_s", config.default_deadline_s)
+    if not isinstance(deadline_s, (int, float)) or isinstance(deadline_s, bool):
+        raise protocol.BadRequest("'deadline_s' must be a number")
+    deadline_s = float(deadline_s)
+    if not (0 < deadline_s <= 3600):
+        raise protocol.BadRequest(
+            f"'deadline_s' must be in (0, 3600], got {deadline_s:g}"
+        )
+
+    requests: list[AlignmentRequest] = []
+    for i, item in enumerate(items):
+        if not isinstance(item, dict):
+            raise protocol.BadRequest(f"request {i} must be a JSON object")
+        if "seqs" in item:
+            seqs = item["seqs"]
+        elif all(k in item for k in ("a", "b", "c")):
+            seqs = [item["a"], item["b"], item["c"]]
+        else:
+            raise protocol.BadRequest(
+                f"request {i} needs 'seqs' or 'a'/'b'/'c'"
+            )
+        if not (
+            isinstance(seqs, list)
+            and len(seqs) == 3
+            and all(isinstance(s, str) for s in seqs)
+        ):
+            raise protocol.BadRequest(
+                f"request {i}: 'seqs' must be three strings"
+            )
+        req = AlignmentRequest(
+            seqs=tuple(seqs),  # type: ignore[arg-type]
+            mode=item.get("mode", "global"),
+            method=item.get("method", "auto"),
+            rid=str(item["id"]) if "id" in item else None,
+        )
+        try:
+            req = BatchScheduler._normalise(req)
+        except (ValueError, TypeError) as exc:
+            raise protocol.BadRequest(f"request {i}: {exc}") from None
+        requests.append(req)
+    return requests, want_async, deadline_s
+
+
+def result_payload(res: RequestResult) -> dict:
+    """Serialise one served request for the JSON response."""
+    aln = res.alignment
+    return {
+        "id": res.rid,
+        "index": res.index,
+        "score": aln.score,
+        "rows": list(aln.rows),
+        "source": res.source,
+        "cache_hit": res.cache_hit,
+        "engine": aln.meta.get("engine"),
+    }
+
+
+@dataclass
+class JobRecord:
+    """State of one async job in the bounded table."""
+
+    status: str = "queued"  # queued -> done | failed
+    created_at: float = 0.0
+    n_requests: int = 0
+    results: list[dict] | None = None
+    error: dict | None = None
+
+    def payload(self, jid: str) -> dict:
+        out: dict[str, Any] = {
+            "job": jid,
+            "status": self.status,
+            "requests": self.n_requests,
+        }
+        if self.results is not None:
+            out["results"] = self.results
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobTable:
+    """Bounded async-job registry (oldest *finished* jobs evicted first,
+    then oldest overall — a flood of async submissions cannot grow
+    memory without bound)."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._jobs: "OrderedDict[str, JobRecord]" = OrderedDict()
+        self._counter = itertools.count(1)
+
+    def register(self, n_requests: int) -> tuple[str, JobRecord]:
+        jid = f"job-{next(self._counter)}"
+        rec = JobRecord(
+            status="queued", created_at=time.time(), n_requests=n_requests
+        )
+        self._jobs[jid] = rec
+        self._evict()
+        return jid, rec
+
+    def get(self, jid: str) -> JobRecord | None:
+        return self._jobs.get(jid)
+
+    def _evict(self) -> None:
+        while len(self._jobs) > self.capacity:
+            victim = None
+            for jid, rec in self._jobs.items():
+                if rec.status != "queued":
+                    victim = jid
+                    break
+            if victim is None:  # all queued: drop the oldest anyway
+                victim = next(iter(self._jobs))
+            del self._jobs[victim]
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+
+class AlignServer:
+    """One serving instance: socket, admission, batcher, job table."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        *,
+        cache: ResultCache | None = None,
+        scheduler: BatchScheduler | None = None,
+    ):
+        self.config = (config or ServeConfig()).validate()
+        self.cache = cache if cache is not None else ResultCache(
+            max_entries=self.config.cache_entries,
+            cache_dir=self.config.cache_dir,
+        )
+        self.scheduler = scheduler or BatchScheduler(
+            cache=self.cache,
+            workers=self.config.workers,
+            max_pool_cells=self.config.max_pool_cells,
+        )
+        self.admission = AdmissionController(
+            max_queued_requests=self.config.queue_depth,
+            max_inflight_cells=self.config.max_inflight_cells,
+        )
+        self.batcher = MicroBatcher(
+            self.scheduler,
+            self.admission,
+            max_requests=self.config.batch_max_requests,
+            max_age_s=self.config.batch_max_age_s,
+        )
+        self.jobs = JobTable(self.config.job_capacity)
+        self.draining = False
+        self.host: str | None = None
+        self.port: int | None = None
+        self._server: asyncio.Server | None = None
+        self._batch_task: asyncio.Task | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._drain_requested: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind the socket and start the collector; returns (host, port)."""
+        # /metrics must always have a registry to snapshot; respect a
+        # registry the caller (e.g. --metrics) already enabled.
+        if not _metrics.enabled:
+            _metrics.enable()
+        self._loop = asyncio.get_running_loop()
+        self._drain_requested = asyncio.Event()
+        self._batch_task = asyncio.create_task(
+            self.batcher.run(), name="repro-serve-batcher"
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_HEADER_BYTES,
+        )
+        addr = self._server.sockets[0].getsockname()
+        self.host, self.port = addr[0], addr[1]
+        self._started_at = time.time()
+        return self.host, self.port
+
+    def request_drain(self) -> None:
+        """Ask the serve loop to drain and exit. Safe to call from a
+        signal handler or another thread, and idempotent — a repeat
+        signal after the loop already drained and closed is a no-op."""
+        if self._loop is not None and self._drain_requested is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._drain_requested.set)
+            except RuntimeError:
+                pass  # loop already closed: the drain it asked for is done
+
+    async def serve_until_drained(self) -> None:
+        """Serve until :meth:`request_drain`, then drain gracefully."""
+        assert self._drain_requested is not None, "call start() first"
+        await self._drain_requested.wait()
+        await self.drain()
+
+    async def drain(self) -> None:
+        """Stop accepting, flush the queue, finish in-flight responses,
+        release the pool. Idempotent."""
+        if self.draining:
+            return
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.batcher.drain()
+        if self._batch_task is not None:
+            await self._batch_task
+        # In-flight handlers now hold their results; give them until the
+        # drain timeout to write responses and hang up.
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while self._conn_tasks and time.monotonic() < deadline:
+            pending = {t for t in self._conn_tasks if not t.done()}
+            if not pending:
+                break
+            await asyncio.wait(
+                pending, timeout=max(0.05, deadline - time.monotonic())
+            )
+        for task in list(self._conn_tasks):
+            if not task.done():
+                task.cancel()
+        self.scheduler.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                request = await asyncio.wait_for(
+                    protocol.read_request(
+                        reader, max_body_bytes=self.config.max_body_bytes
+                    ),
+                    timeout=self.config.keepalive_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                return  # idle keep-alive connection
+            except protocol.PayloadTooLarge as exc:
+                writer.write(protocol.render_response(
+                    413,
+                    protocol.error_payload("payload_too_large", str(exc)),
+                    keep_alive=False,
+                ))
+                await writer.drain()
+                return
+            except protocol.BadRequest as exc:
+                writer.write(protocol.render_response(
+                    400,
+                    protocol.error_payload("bad_request", str(exc)),
+                    keep_alive=False,
+                ))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            keep_alive = not request.wants_close and not self.draining
+            body = await self._respond(request, keep_alive)
+            writer.write(body)
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    async def _respond(
+        self, request: protocol.HttpRequest, keep_alive: bool
+    ) -> bytes:
+        t0 = time.perf_counter()
+        extra: list[tuple[str, str]] = []
+        try:
+            status, payload, extra = await self._dispatch(request)
+        except protocol.BadRequest as exc:
+            status, payload = 400, protocol.error_payload(
+                "bad_request", str(exc)
+            )
+        except DeadlineExceeded as exc:
+            status, payload = 504, protocol.error_payload(
+                "deadline_exceeded", str(exc)
+            )
+        except WorkerFailure as exc:
+            status, payload = 503, protocol.error_payload(
+                "worker_failure", exc.describe()
+            )
+        except Exception as exc:  # never let a handler kill the loop
+            status, payload = 500, protocol.error_payload(
+                "internal", f"{type(exc).__name__}: {exc}"
+            )
+        _obs.record_serve_request(
+            route=request.path,
+            status=status,
+            seconds=time.perf_counter() - t0,
+        )
+        return protocol.render_response(
+            status, payload, keep_alive=keep_alive, extra_headers=extra
+        )
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    async def _dispatch(
+        self, request: protocol.HttpRequest
+    ) -> tuple[int, Any, list[tuple[str, str]]]:
+        path = request.path
+        if path == "/healthz":
+            if request.method != "GET":
+                return self._method_not_allowed("GET")
+            return self._healthz()
+        if path == "/metrics":
+            if request.method != "GET":
+                return self._method_not_allowed("GET")
+            return 200, self._metrics_payload(), []
+        if path == "/v1/align":
+            if request.method != "POST":
+                return self._method_not_allowed("POST")
+            return await self._align(request)
+        if path.startswith("/v1/jobs/"):
+            if request.method != "GET":
+                return self._method_not_allowed("GET")
+            return self._job_status(path[len("/v1/jobs/"):])
+        return 404, protocol.error_payload(
+            "not_found", f"no route for {request.method} {path}"
+        ), []
+
+    @staticmethod
+    def _method_not_allowed(
+        allowed: str,
+    ) -> tuple[int, Any, list[tuple[str, str]]]:
+        return 405, protocol.error_payload(
+            "method_not_allowed", f"use {allowed}"
+        ), [("Allow", allowed)]
+
+    def _healthz(self) -> tuple[int, Any, list[tuple[str, str]]]:
+        status = 503 if self.draining else 200
+        return status, {
+            "status": "draining" if self.draining else "ok",
+            "version": __version__,
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "queue_depth": self.admission.queued_requests,
+            "inflight_cells": self.admission.inflight_cells,
+            "workers": self.config.workers,
+        }, []
+
+    def _metrics_payload(self) -> dict:
+        return {
+            "metrics": _metrics.registry().snapshot(),
+            "cache": (
+                self.cache.stats.snapshot() if self.cache is not None else None
+            ),
+            "admission": self.admission.snapshot(),
+            "serve": {
+                "uptime_s": round(time.time() - self._started_at, 3),
+                "draining": self.draining,
+                "batches_run": self.batcher.batches_run,
+                "requests_served": self.batcher.requests_served,
+                "jobs_tracked": len(self.jobs),
+            },
+        }
+
+    def _job_status(
+        self, jid: str
+    ) -> tuple[int, Any, list[tuple[str, str]]]:
+        rec = self.jobs.get(jid)
+        if rec is None:
+            return 404, protocol.error_payload(
+                "not_found", f"unknown job {jid!r} (finished jobs are "
+                "evicted once the table fills)"
+            ), []
+        return 200, rec.payload(jid), []
+
+    async def _align(
+        self, request: protocol.HttpRequest
+    ) -> tuple[int, Any, list[tuple[str, str]]]:
+        if self.draining:
+            return 503, protocol.error_payload(
+                "draining", "server is draining; retry against another "
+                "instance"
+            ), [("Retry-After", "1")]
+        requests, want_async, deadline_s = parse_align_payload(
+            request.json(), self.config
+        )
+        cost = sum(estimate_cells(r.seqs) for r in requests)
+        if cost > self.config.max_request_cells:
+            return 413, protocol.error_payload(
+                "request_too_large",
+                f"estimated {cost} DP cells exceeds the per-request cap "
+                f"of {self.config.max_request_cells}",
+                estimated_cells=cost,
+            ), []
+        decision = self.admission.try_admit(len(requests), cost)
+        if not decision.admitted:
+            return 429, protocol.error_payload(
+                "overloaded",
+                f"admission shed this request ({decision.reason})",
+                reason=decision.reason,
+                retry_after_s=decision.retry_after_s,
+            ), [("Retry-After", str(decision.retry_after_s))]
+
+        job = self.batcher.submit(requests, cost, deadline_s)
+        if want_async:
+            jid, rec = self.jobs.register(len(requests))
+            job.future.add_done_callback(
+                lambda fut: self._finish_job(rec, fut)
+            )
+            return 202, {
+                "job": jid,
+                "status": "queued",
+                "poll": f"/v1/jobs/{jid}",
+                "requests": len(requests),
+            }, []
+
+        try:
+            results = await asyncio.wait_for(
+                asyncio.shield(job.future), timeout=deadline_s
+            )
+        except asyncio.TimeoutError:
+            # The batch may still compute this job; the client stopped
+            # waiting, so tell the batcher not to bother if it can skip.
+            job.cancelled = True
+            raise DeadlineExceeded(
+                f"no result within deadline_s={deadline_s:g}"
+            ) from None
+        return 200, {
+            "results": [result_payload(r) for r in results],
+            "count": len(results),
+        }, []
+
+    @staticmethod
+    def _finish_job(rec: JobRecord, fut: "asyncio.Future") -> None:
+        if fut.cancelled():
+            rec.status = "failed"
+            rec.error = {"type": "cancelled", "message": "job cancelled"}
+            return
+        exc = fut.exception()
+        if exc is None:
+            rec.status = "done"
+            rec.results = [result_payload(r) for r in fut.result()]
+        else:
+            rec.status = "failed"
+            if isinstance(exc, DeadlineExceeded):
+                kind = "deadline_exceeded"
+            elif isinstance(exc, WorkerFailure):
+                kind = "worker_failure"
+            else:
+                kind = "internal"
+            rec.error = {"type": kind, "message": str(exc)}
+
+
+async def _amain(config: ServeConfig) -> int:
+    server = AlignServer(config)
+    host, port = await server.start()
+    print(f"# serving on {host}:{port}", file=sys.stderr, flush=True)
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.add_signal_handler(sig, server.request_drain)
+    await server.serve_until_drained()
+    print("# drained cleanly", file=sys.stderr, flush=True)
+    return 0
+
+
+def run_server(config: ServeConfig | None = None) -> int:
+    """Blocking entry point for ``repro serve``; returns the exit code."""
+    try:
+        return asyncio.run(_amain(config or ServeConfig()))
+    except KeyboardInterrupt:  # signal handler not installable (rare)
+        return 0

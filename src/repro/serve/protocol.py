@@ -1,0 +1,192 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The serving layer speaks plain HTTP/1.1 with JSON bodies and needs
+nothing beyond the stdlib, so this module implements the narrow slice
+the service actually uses: request-line + header parsing, fixed-length
+bodies (``Content-Length`` only — chunked uploads are rejected), and
+keep-alive response rendering. Everything unusual becomes a typed
+exception the server maps onto a 4xx response instead of a dropped
+connection.
+
+Limits are explicit: the header block is capped by the stream reader's
+``limit`` (set by :func:`repro.serve.app.AlignServer.start`) and bodies
+by ``max_body_bytes`` — an oversized upload raises
+:class:`PayloadTooLarge` *before* the body is read into memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+#: Upper bound on the request head (request line + headers), enforced by
+#: the stream reader's ``limit`` argument.
+MAX_HEADER_BYTES = 32 * 1024
+
+#: Default body cap; :class:`~repro.serve.config.ServeConfig` overrides.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Reason phrases for the statuses the service emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_METHODS = ("GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH")
+
+
+class BadRequest(ValueError):
+    """The request violates HTTP framing or the JSON schema (-> 400)."""
+
+
+class PayloadTooLarge(ValueError):
+    """Headers or body exceed the configured limits (-> 413)."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: the framing plus the raw body."""
+
+    method: str
+    target: str
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def path(self) -> str:
+        """Target without the query string (no decoding: targets are ASCII
+        API routes, not file paths)."""
+        return self.target.split("?", 1)[0]
+
+    @property
+    def query(self) -> str:
+        parts = self.target.split("?", 1)
+        return parts[1] if len(parts) == 2 else ""
+
+    @property
+    def wants_close(self) -> bool:
+        """True when this request forbids keep-alive (explicit
+        ``Connection: close`` or an HTTP/1.0 peer)."""
+        conn = self.headers.get("connection", "").lower()
+        if "close" in conn:
+            return True
+        return self.version == "HTTP/1.0" and "keep-alive" not in conn
+
+    def json(self) -> Any:
+        """The body decoded as JSON, or :class:`BadRequest`."""
+        if not self.body:
+            raise BadRequest("empty body where JSON was expected")
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise BadRequest(f"body is not valid JSON: {exc}") from None
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> HttpRequest | None:
+    """Read one request off ``reader``.
+
+    Returns None on a clean EOF (the peer closed an idle keep-alive
+    connection); raises :class:`BadRequest` / :class:`PayloadTooLarge`
+    on malformed or oversized input.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise BadRequest("connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise PayloadTooLarge("request head exceeds the header limit") from None
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise BadRequest(f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+    if method not in _METHODS:
+        raise BadRequest(f"unknown method {method!r}")
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise BadRequest(f"unsupported HTTP version {version!r}")
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise BadRequest(f"malformed header line: {line!r}")
+        name, value = line.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise BadRequest("chunked request bodies are not supported")
+
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise BadRequest(
+                f"bad Content-Length: {raw_length!r}"
+            ) from None
+        if length < 0:
+            raise BadRequest(f"bad Content-Length: {raw_length!r}")
+        if length > max_body_bytes:
+            raise PayloadTooLarge(
+                f"body of {length} bytes exceeds the {max_body_bytes}-byte cap"
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise BadRequest("connection closed mid-body") from None
+    return HttpRequest(
+        method=method, target=target, version=version, headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    payload: Any,
+    *,
+    keep_alive: bool = True,
+    extra_headers: Iterable[tuple[str, str]] = (),
+) -> bytes:
+    """Serialise one JSON response (status line, headers, body)."""
+    body = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def error_payload(kind: str, message: str, **details: Any) -> dict:
+    """The service's uniform error body shape."""
+    err: dict[str, Any] = {"type": kind, "message": message}
+    err.update(details)
+    return {"error": err}

@@ -290,3 +290,74 @@ class TestRequestIO:
         # CLI default applies where the line didn't say otherwise
         assert reqs[0].mode == "semiglobal"
         assert reqs[1].mode == "local"
+
+
+class TestStreaming:
+    """run(on_result=...) / run_stream: results emitted as they land."""
+
+    def test_on_result_sees_every_result_with_alignment(self, dna_scheme):
+        reqs = [
+            AlignmentRequest(seqs=t, scheme=dna_scheme)
+            for t in (T1, T1, T2, T1_PERM)
+        ]
+        seen = []
+        with BatchScheduler(cache=ResultCache(), workers=1) as sched:
+            report = sched.run(reqs, on_result=seen.append)
+        assert sorted(r.index for r in seen) == [0, 1, 2, 3]
+        assert all(r.alignment is not None for r in seen)
+        # plain run() with a callback still returns intact results
+        assert all(r.alignment is not None for r in report.results)
+        assert len({id(r) for r in seen}) == 4  # each emitted exactly once
+
+    def test_run_stream_releases_alignments_after_emit(self, dna_scheme):
+        serial = {t: align3(*t, dna_scheme) for t in (T1, T2)}
+        reqs = [
+            AlignmentRequest(seqs=t, scheme=dna_scheme, rid=f"r{i}")
+            for i, t in enumerate((T1, T2, T1))
+        ]
+        emitted = {}
+        def emit(res):
+            # the alignment is only valid during the callback
+            assert res.alignment is not None
+            emitted[res.rid] = (
+                res.alignment.rows, res.alignment.score, res.source
+            )
+        with BatchScheduler(cache=ResultCache(), workers=1) as sched:
+            report = sched.run_stream(reqs, emit)
+        assert set(emitted) == {"r0", "r1", "r2"}
+        for i, t in enumerate((T1, T2, T1)):
+            rows, score, _source = emitted[f"r{i}"]
+            assert rows == serial[t].rows
+            assert score == serial[t].score
+        # after the run every alignment has been released
+        assert all(r.alignment is None for r in report.results)
+        assert report.stats.computed == 2
+        assert report.stats.dedup_hits == 1
+
+    def test_run_stream_and_buffered_run_agree_on_stats(self, dna_scheme):
+        reqs = [
+            AlignmentRequest(seqs=t, scheme=dna_scheme)
+            for t in (T1, T2, T1, T1_PERM, T2)
+        ]
+        with BatchScheduler(cache=ResultCache(), workers=1) as sched:
+            buffered = sched.run(reqs)
+        count = 0
+        def emit(_res):
+            nonlocal count
+            count += 1
+        with BatchScheduler(cache=ResultCache(), workers=1) as sched:
+            streamed = sched.run_stream(reqs, emit)
+        assert count == len(reqs)
+        assert streamed.stats.computed == buffered.stats.computed
+        assert streamed.stats.dedup_hits == buffered.stats.dedup_hits
+        assert (
+            streamed.stats.permutation_hits
+            == buffered.stats.permutation_hits
+        )
+        sources_s = [r.source for r in streamed.results]
+        sources_b = [r.source for r in buffered.results]
+        assert sources_s == sources_b
+
+    def test_run_without_callback_unchanged(self, dna_scheme):
+        report = run_batch([T1, T2], workers=1)
+        assert all(r.alignment is not None for r in report.results)

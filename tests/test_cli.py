@@ -345,3 +345,117 @@ class TestBatch:
         write_fasta(path, [(f"s{i}", "ACGT") for i in range(4)])
         assert main(["batch", str(path)]) == 2
         assert "multiple of three" in capsys.readouterr().err
+
+
+class TestBatchOutputFormats:
+    @pytest.fixture
+    def reqs_jsonl(self, tmp_path):
+        import json
+
+        t1 = ["GATTACA", "GATCA", "GTTACA"]
+        path = tmp_path / "reqs.jsonl"
+        path.write_text(
+            json.dumps({"seqs": t1, "id": "a"})
+            + "\n"
+            + json.dumps({"seqs": t1, "id": "b"})
+            + "\n"
+        )
+        return str(path)
+
+    def test_jsonl_output_carries_rows(self, reqs_jsonl, capsys):
+        import json
+
+        assert main(
+            ["batch", reqs_jsonl, "--workers", "1", "--output", "jsonl"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        recs = [json.loads(l) for l in lines]
+        assert [r["id"] for r in recs] == ["a", "b"]
+        assert recs[0]["rows"] == recs[1]["rows"]
+        assert len(recs[0]["rows"]) == 3
+        assert recs[0]["source"] == "computed"
+        assert recs[1]["source"] == "dedup"
+        assert recs[0]["score"] == recs[1]["score"]
+
+
+class TestCliDocDrift:
+    """Every subcommand the parser knows must be documented; a new
+    subparser without docs (or docs for a removed command) fails here."""
+
+    @staticmethod
+    def _subcommands():
+        import argparse
+
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                return sorted(action.choices)
+        raise AssertionError("no subparsers found on the CLI parser")
+
+    def test_expected_surface(self):
+        # the drift check below is only meaningful if discovery works
+        cmds = self._subcommands()
+        for expected in ("align", "batch", "serve", "score", "info"):
+            assert expected in cmds
+
+    def test_every_subcommand_in_readme(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        readme = (root / "README.md").read_text()
+        missing = [
+            c for c in self._subcommands() if f"repro {c}" not in readme
+        ]
+        assert not missing, (
+            f"subcommands absent from README.md: {missing}"
+        )
+
+    def test_every_subcommand_in_docs(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        corpus = "".join(
+            p.read_text() for p in sorted((root / "docs").glob("*.md"))
+        )
+        missing = [
+            c for c in self._subcommands() if f"repro {c}" not in corpus
+        ]
+        assert not missing, (
+            f"subcommands absent from docs/*.md: {missing}"
+        )
+
+    def test_module_docstring_lists_every_subcommand(self):
+        import repro.cli as cli
+
+        doc = cli.__doc__ or ""
+        missing = [
+            c for c in self._subcommands() if f"``{c}``" not in doc
+        ]
+        assert not missing, (
+            f"subcommands absent from the repro.cli docstring: {missing}"
+        )
+
+
+class TestServeCli:
+    def test_bad_config_rejected(self, capsys):
+        assert main(["serve", "--port", "-2"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_parser_accepts_all_knobs(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            [
+                "serve", "--host", "0.0.0.0", "--port", "0",
+                "--workers", "3", "--queue-depth", "64",
+                "--max-inflight-cells", "1000000",
+                "--max-request-cells", "2000000",
+                "--batch-max", "16", "--batch-age-ms", "5",
+                "--deadline", "10", "--drain-timeout", "5",
+                "--cache-dir", "/tmp/x", "--max-entries", "128",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.batch_age_ms == 5.0

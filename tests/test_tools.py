@@ -97,6 +97,61 @@ def test_check_batch_smoke():
     assert "OK:" in result.stdout and "dedup_ratio=" in result.stdout
 
 
+def test_check_serve_smoke():
+    # Small request count at low concurrency: verifies the gate's three
+    # phases end to end (spawn + bit-identity + dedup, tiny-queue 429s,
+    # SIGTERM drain); the full 200-request / 16-way run is the standalone
+    # acceptance gate.
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(ROOT / "tools" / "check_serve.py"),
+            "--requests", "40",
+            "--unique", "8",
+            "--n", "12",
+            "--concurrency", "8",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "OK:" in result.stdout and "dedup_ratio=" in result.stdout
+
+
+def test_check_all_discovers_every_gate():
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_all.py"), "--list"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    listed = set(result.stdout.split())
+    on_disk = {
+        p.name
+        for p in (ROOT / "tools").glob("check_*.py")
+        if p.name != "check_all.py"
+    }
+    assert listed == on_disk
+    assert "check_serve.py" in listed
+
+
+def test_check_all_rejects_unknown_gate():
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(ROOT / "tools" / "check_all.py"),
+            "--only", "no_such_gate",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 2
+
+
 def test_api_doc_mentions_key_entry_points():
     text = (ROOT / "docs" / "api.md").read_text()
     for name in ("align3", "WavefrontPool", "simulate_wavefront",

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Run every acceptance gate (``tools/check_*.py``) in one go.
+
+Discovers sibling ``check_*.py`` scripts at runtime — a new gate is
+picked up the moment it lands in ``tools/`` — and runs each as a child
+process with ``src`` on ``PYTHONPATH``, forwarding nothing: each gate's
+defaults are its CI contract. A one-line PASS/FAIL verdict per gate is
+printed as it finishes, then a summary; the exit status is 0 only when
+every gate passed.
+
+Usage::
+
+    python tools/check_all.py            # run everything
+    python tools/check_all.py --list     # print the gates, run nothing
+    python tools/check_all.py --only serve batch
+
+``--only`` filters by suffix (``serve`` → ``check_serve.py``), which is
+what you want while iterating on a single layer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+TOOLS_DIR = pathlib.Path(__file__).resolve().parent
+SRC_DIR = TOOLS_DIR.parent / "src"
+
+
+def discover() -> list[pathlib.Path]:
+    """All gate scripts, sorted by name (stable run order)."""
+    me = pathlib.Path(__file__).name
+    return sorted(
+        p
+        for p in TOOLS_DIR.glob("check_*.py")
+        if p.name != me
+    )
+
+
+def run_gate(path: pathlib.Path) -> tuple[int, float, str]:
+    """Run one gate; returns (exit code, seconds, captured output)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return proc.returncode, time.perf_counter() - t0, proc.stdout
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run every tools/check_*.py acceptance gate"
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the discovered gates and exit without running them",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        help="run only the named gates (suffix form: 'serve', 'batch')",
+    )
+    args = parser.parse_args(argv)
+
+    gates = discover()
+    if args.only:
+        wanted = {f"check_{n}.py" for n in args.only} | set(args.only)
+        gates = [g for g in gates if g.name in wanted]
+        missing = wanted - {g.name for g in gates} - set(args.only or [])
+        if not gates:
+            print(f"error: no gates match {args.only}", file=sys.stderr)
+            return 2
+        if missing:
+            print(f"warning: no such gates: {sorted(missing)}",
+                  file=sys.stderr)
+
+    if args.list:
+        for g in gates:
+            print(g.name)
+        return 0
+
+    results: list[tuple[str, int, float]] = []
+    for gate in gates:
+        rc, seconds, output = run_gate(gate)
+        verdict = "PASS" if rc == 0 else f"FAIL (rc={rc})"
+        print(f"{gate.name}: {verdict} in {seconds:.1f}s")
+        if rc != 0:
+            for line in output.splitlines():
+                print(f"    {line}")
+        results.append((gate.name, rc, seconds))
+
+    failed = [name for name, rc, _ in results if rc != 0]
+    total_s = sum(s for _, _, s in results)
+    print(
+        f"# {len(results) - len(failed)}/{len(results)} gates passed "
+        f"in {total_s:.1f}s"
+    )
+    if failed:
+        print(f"# failed: {', '.join(failed)}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
