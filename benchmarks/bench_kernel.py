@@ -1,0 +1,298 @@
+#!/usr/bin/env python
+"""Plane-kernel throughput benchmark and perf-baseline writer.
+
+Measures the zero-allocation wavefront kernel (``compute_plane_rows`` +
+:class:`~repro.core.workspace.PlaneWorkspace`) against the frozen
+pre-workspace reference kernel (``compute_plane_rows_ref``) on the two
+workloads that bracket the engine's regimes:
+
+* **small_repeated** — many score-only sweeps over small cubes, the
+  Hirschberg/persistent-pool regime where per-sweep allocation used to
+  rival the arithmetic. This is where the workspace wins big.
+* **large_sweep** — one big full-traceback sweep, the
+  bandwidth-dominated regime where allocation amortises; the new kernel
+  must simply not regress here.
+* **hirschberg_e2e** — end-to-end linear-space alignment wall time and
+  cell throughput, recorded for the perf trajectory.
+
+``python benchmarks/bench_kernel.py`` prints a summary and (with
+``--write``) saves ``BENCH_kernel.json`` at the repo root — the baseline
+that ``tools/check_perf.py`` gates against. The file is deliberately
+machine-neutral: workload config and measured numbers only, no
+hostnames, paths or timestamps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _ensure_importable() -> None:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        sys.path.insert(0, str(src))
+
+
+_ensure_importable()
+
+import numpy as np  # noqa: E402
+
+from repro.core.dp3d import NEG  # noqa: E402
+from repro.core.hirschberg import align3_hirschberg  # noqa: E402
+from repro.core.scoring import default_scheme_for  # noqa: E402
+from repro.core.wavefront import (  # noqa: E402
+    compute_plane_rows,
+    compute_plane_rows_ref,
+    wavefront_sweep,
+)
+from repro.core.workspace import PlaneWorkspace  # noqa: E402
+from repro.seqio.generate import mutated_family  # noqa: E402
+from repro.util.timing import repeat_min  # noqa: E402
+
+
+def _ab_min(run_ref, run_new, repeats):
+    """Interleaved A/B timing: min seconds per side.
+
+    Alternating ref/new inside each repeat makes slow drift (thermal
+    throttling, background load) hit both sides equally, so the two
+    minima compare like with like — the same trick as
+    ``tools/check_overhead.py``. Each side gets one untimed warmup.
+    Returns ``(ref_seconds, new_seconds, ref_result, new_result)``.
+    """
+    import time
+
+    run_ref()
+    run_new()
+    t_ref = t_new = float("inf")
+    ref_result = new_result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        ref_result = run_ref()
+        t_ref = min(t_ref, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        new_result = run_new()
+        t_new = min(t_new, time.perf_counter() - t0)
+    return t_ref, t_new, ref_result, new_result
+
+BASELINE_NAME = "BENCH_kernel.json"
+SCHEMA = "bench-kernel/1"
+
+#: Default workload knobs. ``quick`` halves the repeats for the CI gate.
+DEFAULT_CONFIG = {
+    "small_n": 14,
+    "small_triples": 24,
+    "small_rounds": 3,
+    "large_n": 110,
+    "hirschberg_n": 90,
+    "hirschberg_base_cells": 20_000,
+    "repeats": 5,
+    "seed": 20240805,
+}
+
+
+def _sweep_with_kernel(kernel, seqs, scheme, ws=None):
+    """Score-only sweep driving an explicit kernel (the A/B harness).
+
+    Mirrors :func:`repro.core.wavefront.wavefront_sweep` minus
+    observability, so the timing isolates kernel cost. Returns
+    (score, cells).
+    """
+    sa, sb, sc = seqs
+    n1, n2, n3 = len(sa), len(sb), len(sc)
+    sab, sac, sbc = scheme.profile_matrices(sa, sb, sc)
+    g2 = 2.0 * scheme.gap
+    dims = (n1, n2, n3)
+    if ws is None:
+        planes = [np.full((n1 + 2, n2 + 2), NEG) for _ in range(4)]
+        kwargs = {}
+    else:
+        planes = ws.planes_for(n1, n2)
+        kwargs = {"ws": ws}
+    cells = 0
+    dmax = n1 + n2 + n3
+    for d in range(dmax + 1):
+        cells += kernel(
+            d,
+            0,
+            n1,
+            planes[(d - 1) % 4],
+            planes[(d - 2) % 4],
+            planes[(d - 3) % 4],
+            planes[d % 4],
+            sab,
+            sac,
+            sbc,
+            g2,
+            dims,
+            **kwargs,
+        )
+    return float(planes[dmax % 4][n1 + 1, n2 + 1]), cells
+
+
+def _measure_small_repeated(config, scheme):
+    """Hirschberg-style regime: many small score-only sweeps."""
+    triples = [
+        mutated_family(config["small_n"], seed=config["seed"] + i)
+        for i in range(config["small_triples"])
+    ]
+    rounds = config["small_rounds"]
+
+    def run_ref():
+        total = 0
+        for _ in range(rounds):
+            for seqs in triples:
+                _, c = _sweep_with_kernel(
+                    compute_plane_rows_ref, seqs, scheme
+                )
+                total += c
+        return total
+
+    ws = PlaneWorkspace()
+
+    def run_new():
+        total = 0
+        for _ in range(rounds):
+            for seqs in triples:
+                _, c = _sweep_with_kernel(
+                    compute_plane_rows, seqs, scheme, ws=ws
+                )
+                total += c
+        return total
+
+    t_ref, t_new, cells, cells_new = _ab_min(
+        run_ref, run_new, config["repeats"]
+    )
+    assert cells == cells_new
+    return {
+        "cells": cells,
+        "ref_seconds": t_ref,
+        "new_seconds": t_new,
+        "ref_cells_per_s": cells / t_ref,
+        "new_cells_per_s": cells / t_new,
+        "speedup": t_ref / t_new,
+    }
+
+
+def _measure_large_sweep(config, scheme):
+    """Single large sweep: the no-regression side of the gate."""
+    seqs = mutated_family(config["large_n"], seed=config["seed"] + 1001)
+
+    def run_ref():
+        return _sweep_with_kernel(compute_plane_rows_ref, seqs, scheme)[1]
+
+    ws = PlaneWorkspace()
+
+    def run_new():
+        return _sweep_with_kernel(compute_plane_rows, seqs, scheme, ws=ws)[1]
+
+    t_ref, t_new, cells, _ = _ab_min(run_ref, run_new, config["repeats"])
+    return {
+        "cells": cells,
+        "ref_seconds": t_ref,
+        "new_seconds": t_new,
+        "ref_cells_per_s": cells / t_ref,
+        "new_cells_per_s": cells / t_new,
+        "speedup": t_ref / t_new,
+    }
+
+
+def _measure_hirschberg(config, scheme):
+    """End-to-end linear-space alignment; the trajectory number."""
+    seqs = mutated_family(
+        config["hirschberg_n"], seed=config["seed"] + 2002
+    )
+    n = config["hirschberg_n"]
+
+    def run():
+        return align3_hirschberg(
+            *seqs, scheme, base_cells=config["hirschberg_base_cells"]
+        )
+
+    seconds, aln = repeat_min(run, repeats=config["repeats"], warmup=1)
+    check = wavefront_sweep(*seqs, scheme, score_only=True).score
+    assert aln.score == check, "hirschberg/wavefront score mismatch"
+    cube = (n + 1) ** 3
+    return {
+        "n": n,
+        "seconds": seconds,
+        "cube_cells": cube,
+        "cube_cells_per_s": cube / seconds,
+        "score": aln.score,
+    }
+
+
+def run(config: dict | None = None) -> dict:
+    """Run the full benchmark; returns the result document."""
+    cfg = dict(DEFAULT_CONFIG)
+    if config:
+        cfg.update(config)
+    from repro.seqio import DNA
+
+    scheme = default_scheme_for(DNA)
+    return {
+        "schema": SCHEMA,
+        "config": cfg,
+        "small_repeated": _measure_small_repeated(cfg, scheme),
+        "large_sweep": _measure_large_sweep(cfg, scheme),
+        "hirschberg_e2e": _measure_hirschberg(cfg, scheme),
+    }
+
+
+def baseline_path() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parent.parent / BASELINE_NAME
+
+
+def summarise(doc: dict) -> str:
+    sm, lg, hb = (
+        doc["small_repeated"],
+        doc["large_sweep"],
+        doc["hirschberg_e2e"],
+    )
+    return "\n".join(
+        [
+            f"small repeated : {sm['new_cells_per_s']:,.0f} cells/s "
+            f"(ref {sm['ref_cells_per_s']:,.0f}) "
+            f"speedup {sm['speedup']:.2f}x",
+            f"large sweep    : {lg['new_cells_per_s']:,.0f} cells/s "
+            f"(ref {lg['ref_cells_per_s']:,.0f}) "
+            f"speedup {lg['speedup']:.2f}x",
+            f"hirschberg e2e : n={hb['n']} in {hb['seconds']:.3f} s "
+            f"({hb['cube_cells_per_s']:,.0f} cube cells/s)",
+        ]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the plane kernel and write the perf baseline"
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help=f"save results to {BASELINE_NAME} at the repo root",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timed repeats per side"
+    )
+    args = parser.parse_args(argv)
+    overrides = {}
+    if args.repeats is not None:
+        if args.repeats < 1:
+            parser.error("repeats must be >= 1")
+        overrides["repeats"] = args.repeats
+    doc = run(overrides)
+    print(summarise(doc))
+    if args.write:
+        path = baseline_path()
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"baseline written to {path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

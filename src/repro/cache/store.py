@@ -21,7 +21,12 @@ Round-trip fidelity
 ``encode_alignment``/``decode_alignment`` preserve rows and score
 bit-identically (JSON serialises floats via ``repr``, which Python
 round-trips exactly) and meta up to JSON canonicalisation — tuples
-become lists, numpy scalars become Python numbers
+become lists, numpy scalars become Python numbers, and non-finite
+floats become the string sentinels ``"NaN"``/``"Infinity"``/
+``"-Infinity"`` so the emitted JSON stays *strict* (RFC 8259 has no
+NaN/Infinity literals; ``json.dumps`` would otherwise emit extensions
+many parsers reject). A non-finite *score* round-trips exactly because
+``decode_alignment`` passes the sentinel through ``float()``
 (:func:`jsonable`). Comparisons should therefore go through
 :func:`repro.cache.key.comparable_meta`, which applies the same
 canonicalisation to both sides and strips timing fields.
@@ -30,6 +35,7 @@ canonicalisation to both sides and strips timing fields.
 from __future__ import annotations
 
 import json
+import math
 import os
 import threading
 from collections import OrderedDict
@@ -46,9 +52,10 @@ def jsonable(value: Any) -> Any:
     """Recursively convert ``value`` into plain JSON-able Python objects.
 
     Tuples become lists, numpy scalars/arrays become numbers/nested
-    lists; anything JSON cannot carry falls back to ``repr`` (provenance
-    meta is free-form, and a lossy-but-stable rendering beats a failed
-    put).
+    lists, non-finite floats become the strict-JSON string sentinels
+    ``"NaN"``/``"Infinity"``/``"-Infinity"``; anything JSON cannot carry
+    falls back to ``repr`` (provenance meta is free-form, and a
+    lossy-but-stable rendering beats a failed put).
     """
     if isinstance(value, dict):
         return {str(k): jsonable(v) for k, v in value.items()}
@@ -58,6 +65,10 @@ def jsonable(value: Any) -> Any:
         return [jsonable(v) for v in value.tolist()]
     if isinstance(value, np.generic):
         return jsonable(value.item())
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "Infinity" if value > 0 else "-Infinity"
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return repr(value)
@@ -67,16 +78,31 @@ def encode_alignment(aln: Alignment3) -> dict:
     """Encode an alignment as a JSON-able dict (inverse of decode)."""
     return {
         "rows": list(aln.rows),
-        "score": float(aln.score),
+        # jsonable() turns a non-finite score into its string sentinel;
+        # decode's float() parses the sentinel back exactly.
+        "score": jsonable(float(aln.score)),
         "meta": jsonable(aln.meta),
     }
 
 
-def decode_alignment(payload: dict) -> Alignment3:
-    """Rebuild an :class:`Alignment3` from :func:`encode_alignment` output."""
+def decode_alignment(payload: dict, key: str | None = None) -> Alignment3:
+    """Rebuild an :class:`Alignment3` from :func:`encode_alignment` output.
+
+    ``key`` (when known) is included in validation errors so a corrupted
+    disk entry can be traced back to its cache line.
+    """
     rows = tuple(payload["rows"])
+    where = "" if key is None else f" (cache key {key!r})"
     if len(rows) != 3:
-        raise ValueError(f"cache payload has {len(rows)} rows, expected 3")
+        raise ValueError(
+            f"cache payload has {len(rows)} rows, expected 3{where}"
+        )
+    for r, row in enumerate(rows):
+        if not isinstance(row, str):
+            raise ValueError(
+                f"cache payload row {r} is {type(row).__name__}, "
+                f"expected str{where}"
+            )
     return Alignment3(
         rows=rows,  # type: ignore[arg-type]
         score=float(payload["score"]),
@@ -199,8 +225,13 @@ class ResultCache:
     def _disk_put(self, key: str, payload: dict) -> None:
         if self._disk_path is None:
             return
+        # allow_nan=False guards the strictness contract: jsonable()
+        # should have sentinel-ised every non-finite float, and a miss
+        # fails loudly here instead of writing non-strict JSON to disk.
         line = json.dumps(
-            {"key": key, "alignment": payload}, separators=(",", ":")
+            {"key": key, "alignment": payload},
+            separators=(",", ":"),
+            allow_nan=False,
         )
         data = (line + "\n").encode()
         # O_APPEND keeps concurrent writers line-atomic; the recorded
@@ -248,14 +279,14 @@ class ResultCache:
                 if record:
                     self.stats.memory_hits += 1
                     _obs.record_cache("memory_hit")
-                return decode_alignment(payload)
+                return decode_alignment(payload, key=key)
             payload = self._disk_get(key)
             if payload is not None:
                 self._insert_memory(key, payload)
                 if record:
                     self.stats.disk_hits += 1
                     _obs.record_cache("disk_hit")
-                return decode_alignment(payload)
+                return decode_alignment(payload, key=key)
             if record:
                 self.stats.misses += 1
                 _obs.record_cache("miss")

@@ -31,6 +31,7 @@ from repro.core.rolling import backward_slab, forward_slab
 from repro.core.scoring import ScoringScheme
 from repro.core.types import Alignment3
 from repro.core.wavefront import align3_wavefront
+from repro.core.workspace import PlaneWorkspace
 from repro.util.validation import check_sequences
 
 #: Default subproblem size (in cells) below which the full-matrix wavefront
@@ -54,11 +55,12 @@ def _solve(
     base_cells: int,
     engine: str,
     stats: _Stats,
+    ws: PlaneWorkspace,
 ) -> list[tuple[str, str, str]]:
     n1, n2, n3 = (len(s) for s in seqs)
     volume = (n1 + 1) * (n2 + 1) * (n3 + 1)
     if volume <= base_cells or max(n1, n2, n3) < 2:
-        aln = align3_wavefront(*seqs, scheme)
+        aln = align3_wavefront(*seqs, scheme, workspace=ws)
         stats.base_calls += 1
         stats.base_cells += volume
         return list(aln.columns())
@@ -71,8 +73,10 @@ def _solve(
     ps = (seqs[perm[0]], seqs[perm[1]], seqs[perm[2]])
 
     mid = len(ps[0]) // 2
-    fwd = forward_slab(*ps, scheme, mid, engine=engine)
-    bwd = backward_slab(*ps, scheme, mid, engine=engine)
+    # The forward slab is freshly allocated (never a workspace view), so it
+    # survives the backward sweep's reuse of the same workspace.
+    fwd = forward_slab(*ps, scheme, mid, engine=engine, workspace=ws)
+    bwd = backward_slab(*ps, scheme, mid, engine=engine, workspace=ws)
     stats.slab_sweeps += 2
     total = fwd + bwd
     j_star, k_star = np.unravel_index(int(np.argmax(total)), total.shape)
@@ -84,6 +88,7 @@ def _solve(
         base_cells,
         engine,
         stats,
+        ws,
     )
     right = _solve(
         (ps[0][mid:], ps[1][j_star:], ps[2][k_star:]),
@@ -91,6 +96,7 @@ def _solve(
         base_cells,
         engine,
         stats,
+        ws,
     )
     cols = left + right
     inv = tuple(perm.index(y) for y in range(3))
@@ -104,6 +110,7 @@ def align3_hirschberg(
     scheme: ScoringScheme,
     base_cells: int = DEFAULT_BASE_CELLS,
     engine: str = "wavefront",
+    workspace: PlaneWorkspace | None = None,
 ) -> Alignment3:
     """Optimal three-way alignment in O(n^2) memory.
 
@@ -116,6 +123,12 @@ def align3_hirschberg(
     engine:
         Slab backend: ``"wavefront"`` (plane sweep with row capture) or
         ``"slab"`` (the rolling-slab formulation).
+    workspace:
+        Optional :class:`~repro.core.workspace.PlaneWorkspace`. Every
+        recursion node — both slab sweeps and the base-case wavefront —
+        draws its buffers from this one workspace instead of
+        reallocating per split; by default a fresh one is created per
+        call. Not thread-safe.
     """
     check_sequences((sa, sb, sc), count=3)
     if scheme.is_affine:
@@ -123,7 +136,8 @@ def align3_hirschberg(
     if base_cells < 8:
         raise ValueError(f"base_cells must be >= 8, got {base_cells}")
     stats = _Stats()
-    cols = _solve((sa, sb, sc), scheme, base_cells, engine, stats)
+    ws = PlaneWorkspace() if workspace is None else workspace
+    cols = _solve((sa, sb, sc), scheme, base_cells, engine, stats, ws)
     rows = tuple("".join(col[r] for col in cols) for r in range(3))
     score = scheme.sp_score(rows)
     meta: dict[str, Any] = {

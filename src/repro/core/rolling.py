@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.dp3d import NEG
 from repro.core.scoring import ScoringScheme
+from repro.core.workspace import PlaneWorkspace
 from repro.util.validation import check_sequences
 
 
@@ -43,6 +44,7 @@ def slab_sweep(
     sc: str,
     scheme: ScoringScheme,
     want_levels: Iterable[int] = (),
+    workspace: PlaneWorkspace | None = None,
 ) -> SlabResult:
     """Roll the 3-D DP along ``sa``, returning the final score.
 
@@ -51,6 +53,10 @@ def slab_sweep(
     want_levels:
         ``i`` levels whose full forward slab ``F[i, :, :]`` should be copied
         out (each is ``(n2+1, n3+1)``); used by Hirschberg.
+    workspace:
+        Optional :class:`~repro.core.workspace.PlaneWorkspace` supplying
+        the slab and envelope buffers, so repeated sweeps (Hirschberg
+        recursion) skip the per-call allocations. Not thread-safe.
     """
     check_sequences((sa, sb, sc), count=3)
     if scheme.is_affine:
@@ -65,9 +71,16 @@ def slab_sweep(
     g2 = 2.0 * scheme.gap
 
     # Padded slabs: cell (j, k) lives at [j+1, k+1]; pad row/col hold NEG.
-    prev = np.full((n2 + 2, n3 + 2), NEG)
-    cur = np.full((n2 + 2, n3 + 2), NEG)
-    base = np.empty((n2 + 1, n3 + 1))
+    ws = PlaneWorkspace((0, n2, n3)) if workspace is None else workspace
+    prev, cur, base, ab, ac, bc, tmp = ws.slab_buffers(n2, n3)
+    # Substitution envelopes. Row/col 0 pair with NEG pad reads, so their
+    # zeros never win; the ``bc`` term and the zero borders are constant
+    # across ``i`` and set once, only the ``i-1`` profile rows roll.
+    ab.fill(0.0)
+    ac.fill(0.0)
+    bc.fill(0.0)
+    if n2 and n3:
+        bc[1:, 1:] = sbc
     captured: dict[int, np.ndarray] = {}
     cells = 0
 
@@ -82,20 +95,23 @@ def slab_sweep(
             p_10 = prev[:-1, 1:]  # (j-1, k)   -> move AB
             p_01 = prev[1:, :-1]  # (j,   k-1) -> move AC
             p_11 = prev[:-1, :-1]  # (j-1, k-1) -> move ABC
-            # Substitution terms; row/col 0 of the padded gathers pair with
-            # NEG plane reads, so their (garbage) values never win.
-            ab = np.full((n2 + 1, n3 + 1), 0.0)
-            ac = np.full((n2 + 1, n3 + 1), 0.0)
-            bc = np.full((n2 + 1, n3 + 1), 0.0)
             if n2:
                 ab[1:, :] = sab[i - 1, :, None]
             if n3:
                 ac[:, 1:] = sac[i - 1, None, :]
-            if n2 and n3:
-                bc[1:, 1:] = sbc
-            np.maximum(p_00 + g2, p_10 + ab + g2, out=base)
-            np.maximum(base, p_01 + ac + g2, out=base)
-            np.maximum(base, p_11 + ab + ac + bc, out=base)
+            # In-place running max, same addition order as the original
+            # expression tree, so scores stay bit-identical.
+            np.add(p_00, g2, out=base)
+            np.add(p_10, ab, out=tmp)
+            tmp += g2
+            np.maximum(base, tmp, out=base)
+            np.add(p_01, ac, out=tmp)
+            tmp += g2
+            np.maximum(base, tmp, out=base)
+            np.add(p_11, ab, out=tmp)
+            tmp += ac
+            tmp += bc
+            np.maximum(base, tmp, out=base)
 
         # In-slab 2-D DP over anti-diagonals t = j + k.
         for t in range(n2 + n3 + 1):
@@ -139,19 +155,30 @@ def forward_slab(
     scheme: ScoringScheme,
     level: int,
     engine: str = "wavefront",
+    workspace: PlaneWorkspace | None = None,
 ) -> np.ndarray:
     """Forward scores ``F[level, j, k]`` for all ``(j, k)``.
 
     ``engine`` selects the implementation: ``"wavefront"`` (default; plane
-    sweep with row capture) or ``"slab"`` (this module's roll).
+    sweep with row capture) or ``"slab"`` (this module's roll). The
+    returned slab is always freshly allocated (never a workspace view),
+    so callers may hold it across further sweeps.
     """
     if engine == "slab":
-        return slab_sweep(sa, sb, sc, scheme, want_levels=(level,)).slabs[level]
+        return slab_sweep(
+            sa, sb, sc, scheme, want_levels=(level,), workspace=workspace
+        ).slabs[level]
     if engine == "wavefront":
         from repro.core.wavefront import wavefront_sweep
 
         res = wavefront_sweep(
-            sa, sb, sc, scheme, score_only=True, capture_level=level
+            sa,
+            sb,
+            sc,
+            scheme,
+            score_only=True,
+            capture_level=level,
+            workspace=workspace,
         )
         assert res.captured_slab is not None
         return res.captured_slab
@@ -165,6 +192,7 @@ def backward_slab(
     scheme: ScoringScheme,
     level: int,
     engine: str = "wavefront",
+    workspace: PlaneWorkspace | None = None,
 ) -> np.ndarray:
     """Backward scores ``B[level, j, k]``: the optimal score of aligning the
     suffixes ``sa[level:]``, ``sb[j:]``, ``sc[k:]``.
@@ -174,6 +202,12 @@ def backward_slab(
     """
     n1, n2, n3 = len(sa), len(sb), len(sc)
     rev = forward_slab(
-        sa[::-1], sb[::-1], sc[::-1], scheme, n1 - level, engine=engine
+        sa[::-1],
+        sb[::-1],
+        sc[::-1],
+        scheme,
+        n1 - level,
+        engine=engine,
+        workspace=workspace,
     )
     return rev[::-1, ::-1].copy()

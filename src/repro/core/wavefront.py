@@ -22,6 +22,32 @@ what makes the "same (i, j), previous plane" read correctly model the
 Within each plane, computation is restricted to the bounding box of valid
 cells, so the total vector work is close to the true cell count rather than
 ``3x`` it.
+
+Steady-state allocation freedom
+-------------------------------
+The kernel evaluates the 7-candidate maximum as an in-place running
+max/argmax over preallocated scratch from a
+:class:`~repro.core.workspace.PlaneWorkspace`, and scatters argmax moves
+into the move cube through a strided view instead of ``np.nonzero``
+fancy indexing. Per-sweep invariants — the ``i + j`` grid, the
+clip-padded substitution tables and the flat gather offsets — are built
+*once per sweep* by :meth:`~repro.core.workspace.PlaneWorkspace.bind_profiles`
+(triggered lazily by an identity check on the profile matrices), so each
+plane costs ~25 cheap in-place ufunc calls: the ``k`` lattice is a
+single subtract, validity a single compare, the AB substitution term a
+plain table view and the AC/BC terms one add + one flat ``take`` each.
+The score-only path additionally folds the shared ``2*gap`` term out of
+six candidates and accumulates the running max directly into the output
+plane (``max`` commutes exactly with adding a constant in float64, so
+values are unchanged).
+
+With a workspace supplied, the unmasked hot path performs **zero** array
+allocations per plane; results stay bit-identical to the original
+allocating kernel, which is kept verbatim as
+:func:`compute_plane_rows_ref` for A/B benchmarking
+(``benchmarks/bench_kernel.py``) and the bit-identity tests
+(``tests/test_workspace.py``). The masked (Carrillo–Lipman) path may
+allocate a few O(row)/O(col) temporaries while tightening the live box.
 """
 
 from __future__ import annotations
@@ -37,6 +63,7 @@ from repro.obs import hooks as _obs
 from repro.core.scoring import ScoringScheme
 from repro.core.traceback import traceback_moves
 from repro.core.types import Alignment3, moves_to_columns
+from repro.core.workspace import PlaneWorkspace
 from repro.util.validation import check_sequences
 
 
@@ -56,6 +83,84 @@ def plane_bounds(
     return ilo, ihi, jlo, jhi
 
 
+def _flat(a: np.ndarray) -> np.ndarray:
+    """A flat C-order view of ``a`` (copying only if non-contiguous)."""
+    if a.flags.c_contiguous:
+        return a.reshape(-1)
+    return np.ascontiguousarray(a).reshape(-1)
+
+
+def _take_better(
+    best: np.ndarray,
+    cand: np.ndarray,
+    mv: np.ndarray,
+    move: int,
+    gt: np.ndarray,
+) -> None:
+    """Fold candidate ``cand`` into the running max/argmax in place.
+
+    Strictly-greater replacement reproduces ``argmax``'s first-wins tie
+    break over the move order 1..7, so the traceback is bit-identical to
+    the 7-candidate-stack formulation.
+    """
+    np.greater(cand, best, out=gt)
+    np.copyto(mv, np.int8(move), where=gt)
+    np.maximum(best, cand, out=best)
+
+
+def _band_count(t: int, h: int, w: int) -> int:
+    """Pairs ``(a, b)`` with ``0 <= a < h``, ``0 <= b < w``, ``a + b <= t``.
+
+    Inclusion-exclusion over triangular numbers: the unconstrained count
+    is ``T2(t) = (t+1)(t+2)/2``; subtract the ``a >= h`` and ``b >= w``
+    overshoots, add back their overlap. Lets the kernel count a plane
+    block's on-cube cells in closed form instead of materialising and
+    reducing a boolean mask.
+    """
+
+    def T2(x: int) -> int:
+        return (x + 1) * (x + 2) // 2 if x >= 0 else 0
+
+    return T2(t) - T2(t - h) - T2(t - w) + T2(t - h - w)
+
+
+def _scatter_moves(
+    move_cube: np.ndarray,
+    mv: np.ndarray,
+    valid: np.ndarray,
+    K: np.ndarray,
+    d: int,
+    row_lo: int,
+    jlo: int,
+    dims: tuple[int, int, int],
+) -> None:
+    """Write the block's argmax moves into ``move_cube[i, j, d-i-j]``.
+
+    The cube addresses of a plane block are affine in ``(i, j)`` —
+    ``addr = i*(plane_sz-1) + j*n3 + d`` with ``plane_sz =
+    (n2+1)*(n3+1)`` — so a single strided int8 view covers them and a
+    masked ``copyto`` replaces the ``np.nonzero`` + triple fancy-index
+    scatter without allocating. Every address of the view lies inside
+    the cube (the corner ``(n1, n2)`` lands exactly on the last byte),
+    and distinct ``(i, j)`` never alias for ``n3 >= 1``; ``n3 == 0``
+    would make the ``j`` stride zero, so it falls back to the sparse
+    scatter (at most one valid cell per row there).
+    """
+    n1, n2, n3 = dims
+    if n3 == 0:
+        ii, jj = np.nonzero(valid)
+        move_cube[row_lo + ii, jlo + jj, K[ii, jj]] = mv[ii, jj]
+        return
+    plane_sz = (n2 + 1) * (n3 + 1)
+    start = row_lo * (plane_sz - 1) + jlo * n3 + d
+    view = np.lib.stride_tricks.as_strided(
+        _flat(move_cube)[start:],
+        shape=mv.shape,
+        strides=(plane_sz - 1, n3),  # itemsize 1 (int8): strides in cells
+    )
+    np.copyto(view, mv, where=valid)
+
+
 def compute_plane_rows(
     d: int,
     row_lo: int,
@@ -71,6 +176,7 @@ def compute_plane_rows(
     dims: tuple[int, int, int],
     move_cube: np.ndarray | None = None,
     mask: np.ndarray | None = None,
+    ws: PlaneWorkspace | None = None,
 ) -> int:
     """Compute rows ``row_lo..row_hi`` (inclusive, cell coordinates) of plane
     ``d`` into the padded buffer ``out``.
@@ -104,11 +210,242 @@ def compute_plane_rows(
     mask:
         Optional boolean cube; cells that are False are pruned (kept at
         ``NEG``).
+    ws:
+        Scratch workspace; one per concurrently-running worker. When
+        None a transient workspace is built (correct but allocating —
+        every engine in the repo passes one).
 
     Returns
     -------
     int
         Number of valid (computed, unpruned) cells in this row block.
+    """
+    n1, n2, n3 = dims
+    # plane_bounds(), inlined: this is the hottest function in the repo.
+    row_lo = max(row_lo, d - n2 - n3, 0)
+    row_hi = min(row_hi, n1, d)
+    jlo = max(0, d - n1 - n3)
+    jhi = min(n2, d)
+    if row_lo > row_hi or jlo > jhi:
+        return 0
+
+    # Reset target rows: stale values from plane d-4 live in this buffer.
+    out[row_lo + 1 : row_hi + 2, :] = NEG
+
+    if d == 0:
+        # Only the origin exists; it has no predecessors. (Its box is
+        # the single cell (0, 0) whenever this call covers row 0.)
+        if row_lo == 0 and jlo == 0 and (mask is None or bool(mask[0, 0, 0])):
+            out[1, 1] = 0.0
+            return 1
+        return 0
+
+    if ws is None:
+        ws = PlaneWorkspace(dims)
+    if not ws.bound_to(sab, sac, sbc, dims):
+        # First plane of this sweep: build the per-sweep tables once.
+        ws.bind_profiles(sab, sac, sbc, dims)
+
+    (
+        K,
+        kc,
+        valid,
+        tmp,
+        fi,
+        fi2,
+        gv2,
+        c,
+        mv,
+        d0v,
+        g_ab,
+        rtac,
+        ctbc,
+    ) = ws.box_views(row_lo, row_hi, jlo, jhi)
+    np.subtract(d, d0v, out=K)
+    # kc = clip(k, 0, n3): the shared gather index, and cheap validity —
+    # a cell is on the cube exactly when clamping was a no-op. The box's
+    # K range is known in Python ([d-row_hi-jhi, d-row_lo-jlo]), so each
+    # one-sided clamp runs only when it can actually bite.
+    kmin = d - row_hi - jhi
+    kmax = d - row_lo - jlo
+    if kmin >= 0:
+        if kmax <= n3:
+            kc = K  # every cell is on the cube; no clamp, all valid
+        else:
+            np.minimum(K, n3, out=kc)
+    elif kmax <= n3:
+        np.maximum(K, 0, out=kc)
+    else:
+        np.maximum(K, 0, out=kc)
+        np.minimum(kc, n3, out=kc)
+    all_valid = kc is K
+    fast = move_cube is None and mask is None
+    if fast:
+        # Score-only, unmasked: only the *invalid* cells are ever
+        # needed (NEG write-back and the complement count).
+        if not all_valid:
+            np.not_equal(K, kc, out=tmp)
+    else:
+        np.equal(K, kc, out=valid)
+        if mask is not None:
+            # Gather mask[i, j, kc] through a flat index buffer.
+            np.add(ws.m0[row_lo : row_hi + 1, jlo : jhi + 1], kc, out=fi)
+            _flat(mask).take(fi, out=tmp)
+            valid &= tmp
+
+    if mask is not None:
+        # Tighten the computed box to the mask's live cells: with aggressive
+        # Carrillo–Lipman pruning the live region is a thin tube around the
+        # main diagonal, so this is where the pruning speedup comes from.
+        # (The full row range was already reset to NEG above, so skipped
+        # cells correctly read as unreachable from later planes.)
+        rows_any = valid.any(axis=1)
+        if not rows_any.any():
+            return 0
+        r_lo = int(rows_any.argmax())
+        r_hi = len(rows_any) - 1 - int(rows_any[::-1].argmax())
+        cols_any = valid.any(axis=0)
+        col_lo = int(cols_any.argmax())
+        col_hi = len(cols_any) - 1 - int(cols_any[::-1].argmax())
+        row_lo, row_hi = row_lo + r_lo, row_lo + r_hi
+        jlo, jhi = jlo + col_lo, jlo + col_hi
+        # Keep the *computed* K/kc/valid data in place (offset views);
+        # re-derive the still-unwritten scratch at the new box shape.
+        K = K[r_lo : r_hi + 1, col_lo : col_hi + 1]
+        kc = kc[r_lo : r_hi + 1, col_lo : col_hi + 1]
+        valid = valid[r_lo : r_hi + 1, col_lo : col_hi + 1]
+        h = row_hi - row_lo + 1
+        w = jhi - jlo + 1
+        tmp = ws.tmp[:h, :w]
+        fi2 = ws._idx2_flat[: 2 * h * w].reshape(2, h, w)
+        gv2 = ws._gacbc_flat[: 2 * h * w].reshape(2, h, w)
+        c = ws.cand[:h, :w]
+        mv = ws.moves[:h, :w]
+        g_ab = ws.tab_ab[row_lo : row_hi + 1, jlo : jhi + 1]
+        rtac = ws.rows_tac[row_lo : row_hi + 1]
+        ctbc = ws.cols_tbc[jlo : jhi + 1]
+
+    # Shifted reads of previous planes. Padded buffers make the i-1 / j-1
+    # shifts unconditional: the pad row/col holds NEG.
+    r0, r1 = row_lo + 1, row_hi + 2  # padded row slice for (i)
+    c0, c1 = jlo + 1, jhi + 2
+    p1_00 = P1[r0:r1, c0:c1]  # (i,   j)   -> move C
+    p1_10 = P1[r0 - 1 : r1 - 1, c0:c1]  # (i-1, j)   -> move A
+    p1_01 = P1[r0:r1, c0 - 1 : c1 - 1]  # (i,   j-1) -> move B
+    p2_11 = P2[r0 - 1 : r1 - 1, c0 - 1 : c1 - 1]  # move AB
+    p2_10 = P2[r0 - 1 : r1 - 1, c0:c1]  # move AC
+    p2_01 = P2[r0:r1, c0 - 1 : c1 - 1]  # move BC
+    p3_11 = P3[r0 - 1 : r1 - 1, c0 - 1 : c1 - 1]  # move ABC
+
+    # Substitution terms from the per-sweep clip-padded tables: AB is a
+    # plain view (it only depends on i, j), AC and BC come out of one
+    # fused flat ``take`` over the concatenated table (cols_tbc carries
+    # tab_bc's offset). Where an index was clamped the gathered value is
+    # garbage, but the corresponding plane read is NEG (invalid source),
+    # so the candidate can never win; the tables reproduce the reference
+    # kernel's clamped reads exactly, garbage included.
+    np.add(rtac, kc, out=fi2[0])
+    np.add(ctbc, kc, out=fi2[1])
+    ws._tab_acbc_flat.take(fi2, out=gv2)
+    g_ac = gv2[0]
+    g_bc = gv2[1]
+
+    # Running max/argmax over the 7 move candidates, accumulated directly
+    # into the output plane (distinct buffer from P1/P2/P3: the rotation
+    # keeps four live planes). Addition order within each candidate
+    # matches the stack formulation exactly, and ``max`` is exact for
+    # float64, so the plane is bit-identical to the reference kernel.
+    best = out[r0:r1, c0:c1]
+    if move_cube is None:
+        # Score-only: moves 1-6 all add the same g2 term, and float64
+        # ``max`` commutes exactly with adding a constant (monotone
+        # rounding), so fold g2 out of the chain and add it once.
+        np.maximum(p1_10, p1_01, out=best)  # moves 1, 2: A, B
+        np.maximum(best, p1_00, out=best)  # move 4: C
+        np.add(p2_11, g_ab, out=c)  # move 3: AB
+        np.maximum(best, c, out=best)
+        np.add(p2_10, g_ac, out=c)  # move 5: AC
+        np.maximum(best, c, out=best)
+        np.add(p2_01, g_bc, out=c)  # move 6: BC
+        np.maximum(best, c, out=best)
+        best += g2
+        np.add(p3_11, g_ab, out=c)
+        c += g_ac
+        c += g_bc  # move 7: ABC
+        np.maximum(best, c, out=best)
+    else:
+        # Move tracking compares g2-inclusive candidates in order 1..7
+        # (ties must break exactly like the reference argmax).
+        mv.fill(1)
+        np.add(p1_10, g2, out=best)  # move 1: A
+        np.add(p1_01, g2, out=c)  # move 2: B
+        _take_better(best, c, mv, 2, tmp)
+        np.add(p2_11, g_ab, out=c)
+        c += g2  # move 3: AB
+        _take_better(best, c, mv, 3, tmp)
+        np.add(p1_00, g2, out=c)  # move 4: C
+        _take_better(best, c, mv, 4, tmp)
+        np.add(p2_10, g_ac, out=c)
+        c += g2  # move 5: AC
+        _take_better(best, c, mv, 5, tmp)
+        np.add(p2_01, g_bc, out=c)
+        c += g2  # move 6: BC
+        _take_better(best, c, mv, 6, tmp)
+        np.add(p3_11, g_ab, out=c)
+        c += g_ac
+        c += g_bc  # move 7: ABC
+        _take_better(best, c, mv, 7, tmp)
+
+    # The origin may sit inside this block on plane 0 only; for d >= 1 every
+    # valid cell has at least one legal predecessor, except the origin's
+    # plane which was handled above. On the fast path ``tmp`` already
+    # holds the invalid cells.
+    h = row_hi - row_lo + 1
+    w = jhi - jlo + 1
+    if fast:
+        if all_valid:
+            return h * w
+        np.copyto(best, NEG, where=tmp)
+        # Valid cells are 0 <= K <= n3 with K affine in (i, j): count
+        # them in closed form instead of reducing the mask.
+        return _band_count(kmax, h, w) - _band_count(kmax - n3 - 1, h, w)
+
+    np.logical_not(valid, out=tmp)
+    np.copyto(best, NEG, where=tmp)
+
+    if move_cube is not None:
+        _scatter_moves(move_cube, mv, valid, K, d, row_lo, jlo, dims)
+
+    if mask is None:
+        # Unmasked traceback sweep: validity is still the pure band
+        # condition, so the closed-form count applies here too.
+        return _band_count(kmax, h, w) - _band_count(kmax - n3 - 1, h, w)
+    return int(np.count_nonzero(valid))
+
+
+def compute_plane_rows_ref(
+    d: int,
+    row_lo: int,
+    row_hi: int,
+    P1: np.ndarray,
+    P2: np.ndarray,
+    P3: np.ndarray,
+    out: np.ndarray,
+    sab: np.ndarray,
+    sac: np.ndarray,
+    sbc: np.ndarray,
+    g2: float,
+    dims: tuple[int, int, int],
+    move_cube: np.ndarray | None = None,
+    mask: np.ndarray | None = None,
+) -> int:
+    """The original allocating plane kernel, kept verbatim.
+
+    Builds the full ``(7,) + shape`` candidate stack and ~10 fresh
+    arrays per call. Serves as the A/B baseline for
+    ``benchmarks/bench_kernel.py`` and as the oracle the zero-allocation
+    :func:`compute_plane_rows` must match bit-for-bit
+    (``tests/test_workspace.py``). Not used by any engine.
     """
     n1, n2, n3 = dims
     ilo, ihi, jlo, jhi = plane_bounds(d, n1, n2, n3)
@@ -137,11 +474,6 @@ def compute_plane_rows(
         return 0
 
     if mask is not None:
-        # Tighten the computed box to the mask's live cells: with aggressive
-        # Carrillo–Lipman pruning the live region is a thin tube around the
-        # main diagonal, so this is where the pruning speedup comes from.
-        # (The full row range was already reset to NEG above, so skipped
-        # cells correctly read as unreachable from later planes.)
         rows_any = valid.any(axis=1)
         if not rows_any.any():
             return 0
@@ -157,21 +489,16 @@ def compute_plane_rows(
         K = d - I - J
         valid = valid[r_lo : r_hi + 1, col_lo : col_hi + 1]
 
-    # Shifted reads of previous planes. Padded buffers make the i-1 / j-1
-    # shifts unconditional: the pad row/col holds NEG.
-    r0, r1 = row_lo + 1, row_hi + 2  # padded row slice for (i)
+    r0, r1 = row_lo + 1, row_hi + 2
     c0, c1 = jlo + 1, jhi + 2
-    p1_00 = P1[r0:r1, c0:c1]  # (i,   j)   -> move C
-    p1_10 = P1[r0 - 1 : r1 - 1, c0:c1]  # (i-1, j)   -> move A
-    p1_01 = P1[r0:r1, c0 - 1 : c1 - 1]  # (i,   j-1) -> move B
-    p2_11 = P2[r0 - 1 : r1 - 1, c0 - 1 : c1 - 1]  # move AB
-    p2_10 = P2[r0 - 1 : r1 - 1, c0:c1]  # move AC
-    p2_01 = P2[r0:r1, c0 - 1 : c1 - 1]  # move BC
-    p3_11 = P3[r0 - 1 : r1 - 1, c0 - 1 : c1 - 1]  # move ABC
+    p1_00 = P1[r0:r1, c0:c1]
+    p1_10 = P1[r0 - 1 : r1 - 1, c0:c1]
+    p1_01 = P1[r0:r1, c0 - 1 : c1 - 1]
+    p2_11 = P2[r0 - 1 : r1 - 1, c0 - 1 : c1 - 1]
+    p2_10 = P2[r0 - 1 : r1 - 1, c0:c1]
+    p2_01 = P2[r0:r1, c0 - 1 : c1 - 1]
+    p3_11 = P3[r0 - 1 : r1 - 1, c0 - 1 : c1 - 1]
 
-    # Substitution gathers. Where an index underflows the gather value is
-    # garbage, but the corresponding plane read is NEG (invalid source), so
-    # the candidate can never win; clipping just keeps indexing legal.
     Ic = np.clip(I - 1, 0, max(n1 - 1, 0))
     Jc = np.clip(J - 1, 0, max(n2 - 1, 0))
     Kc = np.clip(K - 1, 0, max(n3 - 1, 0))
@@ -198,9 +525,6 @@ def compute_plane_rows(
     cand[6] = p3_11 + g_ab + g_ac + g_bc  # move 7: ABC
 
     best = cand.max(axis=0)
-    # The origin may sit inside this block on plane 0 only; for d >= 1 every
-    # valid cell has at least one legal predecessor, except the origin's
-    # plane which was handled above.
     np.copyto(best, NEG, where=~valid)
     out[r0:r1, c0:c1] = best
 
@@ -231,6 +555,7 @@ def wavefront_sweep(
     score_only: bool = False,
     mask: np.ndarray | None = None,
     capture_level: int | None = None,
+    workspace: PlaneWorkspace | None = None,
 ) -> WavefrontResult:
     """Run the full wavefront sweep.
 
@@ -244,6 +569,12 @@ def wavefront_sweep(
         When given, collect the full slab ``F[capture_level, j, k]`` during
         the sweep (used by the Hirschberg divide-and-conquer, which needs
         forward scores on one ``i`` level but not the whole cube).
+    workspace:
+        Optional :class:`~repro.core.workspace.PlaneWorkspace` to source
+        the plane buffers and kernel scratch from. Sequential sweeps
+        through one workspace (Hirschberg recursion, the persistent
+        pool's job loop) skip all steady-state allocation. Not
+        thread-safe: never share one across concurrent sweeps.
     """
     check_sequences((sa, sb, sc), count=3)
     if scheme.is_affine:
@@ -262,12 +593,20 @@ def wavefront_sweep(
     g2 = 2.0 * scheme.gap
     dims = (n1, n2, n3)
 
-    planes = [np.full((n1 + 2, n2 + 2), NEG) for _ in range(4)]
+    ws = (
+        PlaneWorkspace(dims)
+        if workspace is None
+        else workspace.reserve(n1, n2, n3)
+    )
+    planes = ws.planes_for(n1, n2)
     move_cube = (
         None
         if score_only
         else np.zeros((n1 + 1, n2 + 1, n3 + 1), dtype=np.int8)
     )
+    # The captured slab is part of the *result* (Hirschberg holds the
+    # forward slab across the backward sweep), so it must be a fresh
+    # allocation, never a workspace view the next sweep would clobber.
     slab = (
         np.full((n2 + 1, n3 + 1), NEG) if capture_level is not None else None
     )
@@ -297,6 +636,7 @@ def wavefront_sweep(
             dims,
             move_cube=move_cube,
             mask=mask,
+            ws=ws,
         )
         if observing:
             plane_cell_log.append(plane_cells)
@@ -348,12 +688,21 @@ def align3_wavefront(
     sc: str,
     scheme: ScoringScheme,
     mask: np.ndarray | None = None,
+    workspace: PlaneWorkspace | None = None,
 ) -> Alignment3:
     """Optimal three-way alignment via the vectorised wavefront engine."""
     from repro.obs import trace as _trace
 
     with _trace.span("wavefront.sweep"):
-        res = wavefront_sweep(sa, sb, sc, scheme, score_only=False, mask=mask)
+        res = wavefront_sweep(
+            sa,
+            sb,
+            sc,
+            scheme,
+            score_only=False,
+            mask=mask,
+            workspace=workspace,
+        )
     if res.score <= NEG / 2:
         raise RuntimeError(
             "terminal cell unreachable (over-aggressive pruning mask?)"
@@ -377,8 +726,9 @@ def score3_wavefront(
     sc: str,
     scheme: ScoringScheme,
     mask: np.ndarray | None = None,
+    workspace: PlaneWorkspace | None = None,
 ) -> float:
     """Optimal SP score via a memory-light (O(n^2)) wavefront sweep."""
     return wavefront_sweep(
-        sa, sb, sc, scheme, score_only=True, mask=mask
+        sa, sb, sc, scheme, score_only=True, mask=mask, workspace=workspace
     ).score

@@ -46,6 +46,7 @@ from repro.core.scoring import ScoringScheme
 from repro.core.traceback import traceback_moves
 from repro.core.types import Alignment3, moves_to_columns
 from repro.core.wavefront import compute_plane_rows, plane_bounds
+from repro.core.workspace import PlaneWorkspace
 from repro.parallel.partition import split_range
 from repro.parallel.shared import fork_available
 from repro.resilience import faults as _faults
@@ -99,6 +100,10 @@ def _pool_worker(
             (_ctrl_slots(workers),), dtype=np.float64, buffer=shms["ctrl"].buf
         )
         rec = RecoveryBlock(ctrl, workers, base=_CTRL_REC_BASE)
+        # One capacity-sized workspace per worker process, reused across
+        # every job the pool ever runs — the persistent-pool analogue of
+        # long-lived MPI rank buffers (zero steady-state allocation).
+        ws = PlaneWorkspace(capacity)
         resume = resume_plane
         while True:
             if resume is None:
@@ -172,6 +177,7 @@ def _pool_worker(
                                 g2,
                                 dims,
                                 move_cube=move_cube,
+                                ws=ws,
                             )
                             cells += plane_cells
                     last_done = d
@@ -245,6 +251,9 @@ class WavefrontPool:
             (policy or SupervisionPolicy.from_env()) if supervise else None
         )
         self._serial = workers == 1 or not fork_available()
+        # The dispatcher's own workspace (also the serial fallback's):
+        # sized to capacity once, so every job runs allocation-free.
+        self._ws = PlaneWorkspace(self.capacity)
         self._closed = False
         self._failed = False
         self._shms: dict[str, shared_memory.SharedMemory] = {}
@@ -399,7 +408,9 @@ class WavefrontPool:
         if self._serial:
             from repro.core.wavefront import wavefront_sweep
 
-            res = wavefront_sweep(sa, sb, sc, scheme, score_only=score_only)
+            res = wavefront_sweep(
+                sa, sb, sc, scheme, score_only=score_only, workspace=self._ws
+            )
             return res.score, res.move_cube
 
         try:
@@ -486,6 +497,7 @@ class WavefrontPool:
                         g2,
                         dims,
                         move_cube=move_cube,
+                        ws=self._ws,
                     )
                     cells += plane_cells
             if observing:

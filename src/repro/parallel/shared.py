@@ -39,6 +39,7 @@ from repro.core.scoring import ScoringScheme
 from repro.core.traceback import traceback_moves
 from repro.core.types import Alignment3, moves_to_columns
 from repro.core.wavefront import compute_plane_rows, plane_bounds
+from repro.core.workspace import PlaneWorkspace
 from repro.parallel.partition import split_range
 from repro.resilience import faults as _faults
 from repro.resilience.errors import WorkerFailure
@@ -88,6 +89,9 @@ def _sweep_planes(
     """
     n1, n2, n3 = dims
     observing = _obs.active()
+    # Per-process kernel scratch, reused across all planes of the sweep
+    # (each worker runs this loop exactly once, in its own process).
+    ws = PlaneWorkspace(dims)
     busy = wait = 0.0
     cells = 0
     if observing:
@@ -119,6 +123,7 @@ def _sweep_planes(
                         g2,
                         dims,
                         move_cube=move_cube,
+                        ws=ws,
                     )
                     cells += plane_cells
             last_done = d

@@ -31,6 +31,7 @@ from repro.core.scoring import ScoringScheme
 from repro.core.traceback import traceback_moves
 from repro.core.types import Alignment3, moves_to_columns
 from repro.core.wavefront import compute_plane_rows, plane_bounds
+from repro.core.workspace import PlaneWorkspace
 from repro.parallel.partition import split_range
 from repro.resilience import faults as _faults
 from repro.resilience.errors import FailureRecord, WorkerFailure
@@ -97,6 +98,9 @@ def _threaded_sweep(
 
     def loop(worker_id: int) -> None:
         try:
+            # Workspaces are per-worker: the kernel scratch is not
+            # thread-safe, but each worker reuses its own across planes.
+            ws = PlaneWorkspace(dims)
             busy = wait = 0.0
             cells = 0
             if observing:
@@ -124,6 +128,7 @@ def _threaded_sweep(
                             g2,
                             dims,
                             move_cube=move_cube,
+                            ws=ws,
                         )
                         cells += plane_cells
                 if observing:

@@ -31,6 +31,9 @@ class Timer:
     Calling :meth:`stop` without a prior :meth:`start` (or ``__enter__``)
     raises ``RuntimeError`` — previously it silently measured from the
     epoch of the performance counter and returned a huge bogus elapsed.
+    ``__exit__`` shares the same guard, so misuse (e.g. ``stop()`` inside
+    the ``with`` block) raises the descriptive error instead of a bare
+    ``TypeError`` from ``float - None``.
     """
 
     elapsed: float = 0.0
@@ -41,8 +44,7 @@ class Timer:
         return self
 
     def __exit__(self, *exc: Any) -> None:
-        self.elapsed = time.perf_counter() - self._start
-        self._start = None
+        self.stop()
 
     def start(self) -> None:
         """Start (or restart) the stopwatch outside a ``with`` block."""
@@ -127,13 +129,20 @@ def repeat_min(
 
 
 def format_seconds(seconds: float) -> str:
-    """Human-friendly rendering of a duration (``1.23 s``, ``45.6 ms`` ...)."""
+    """Human-friendly rendering of a duration (``1.23 s``, ``45.6 ms`` ...).
+
+    Negative durations (clock skew, subtracted timestamps) format the
+    magnitude and prefix the sign, so ``-0.5`` renders as ``-500.00 ms``
+    rather than falling through every threshold into the ns branch.
+    """
     if seconds != seconds:  # NaN
         return "nan"
-    if seconds >= 1.0:
-        return f"{seconds:.3f} s"
-    if seconds >= 1e-3:
-        return f"{seconds * 1e3:.2f} ms"
-    if seconds >= 1e-6:
-        return f"{seconds * 1e6:.2f} us"
-    return f"{seconds * 1e9:.1f} ns"
+    sign = "-" if seconds < 0 else ""
+    s = abs(seconds)
+    if s >= 1.0:
+        return f"{sign}{s:.3f} s"
+    if s >= 1e-3:
+        return f"{sign}{s * 1e3:.2f} ms"
+    if s >= 1e-6:
+        return f"{sign}{s * 1e6:.2f} us"
+    return f"{sign}{s * 1e9:.1f} ns"

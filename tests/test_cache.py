@@ -143,6 +143,83 @@ class TestEncoding:
         with pytest.raises(ValueError, match="rows"):
             decode_alignment({"rows": ["A", "A"], "score": 0.0})
 
+    def test_jsonable_sanitises_non_finite_floats(self):
+        import json
+
+        import numpy as np
+
+        payload = jsonable(
+            {
+                "nan": float("nan"),
+                "inf": float("inf"),
+                "ninf": float("-inf"),
+                "np_nan": np.float64("nan"),
+                "fine": 1.5,
+            }
+        )
+        assert payload == {
+            "nan": "NaN",
+            "inf": "Infinity",
+            "ninf": "-Infinity",
+            "np_nan": "NaN",
+            "fine": 1.5,
+        }
+        # The result is strict JSON: no NaN/Infinity literals needed.
+        json.dumps(payload, allow_nan=False)
+
+    def test_non_finite_meta_round_trips_strict_json(self, dna_scheme):
+        import json
+        import math
+
+        aln = align3(*TRIPLE, dna_scheme)
+        aln.meta["lower_bound"] = float("-inf")
+        aln.meta["divergence"] = float("nan")
+        text = json.dumps(encode_alignment(aln), allow_nan=False)
+        back = decode_alignment(json.loads(text))
+        assert back.rows == aln.rows
+        assert back.score == aln.score
+        # Sentinels are deliberate: strict parsers get strings, and the
+        # values stay recoverable via float().
+        assert math.isinf(float(back.meta["lower_bound"]))
+        assert math.isnan(float(back.meta["divergence"]))
+
+    def test_non_finite_score_round_trips_exactly(self):
+        import json
+
+        aln = Alignment3(
+            rows=("A", "A", "A"), score=float("-inf"), meta={}
+        )
+        text = json.dumps(encode_alignment(aln), allow_nan=False)
+        back = decode_alignment(json.loads(text))
+        assert back.score == float("-inf")
+
+    def test_decode_rejects_non_string_rows_naming_key(self):
+        payload = {"rows": ["A", None, "A"], "score": 0.0}
+        with pytest.raises(ValueError, match=r"row 1 is NoneType.*'k123'"):
+            decode_alignment(payload, key="k123")
+        # without a key the error still identifies the bad row
+        with pytest.raises(ValueError, match="row 1 is NoneType"):
+            decode_alignment(payload)
+
+    def test_corrupted_disk_row_surfaces_value_error(self, tmp_path):
+        import json
+
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put("good", self._mk_aln())
+        # Corrupt the disk entry: rows become numbers, as a buggy or
+        # foreign writer might produce.
+        path = tmp_path / "results.jsonl"
+        rec = json.loads(path.read_text())
+        rec["alignment"]["rows"] = [1, 2, 3]
+        path.write_text(json.dumps(rec) + "\n")
+        fresh = ResultCache(cache_dir=tmp_path)
+        with pytest.raises(ValueError, match=r"expected str \(cache key"):
+            fresh.get("good")
+
+    @staticmethod
+    def _mk_aln():
+        return Alignment3(rows=("A", "A", "A"), score=1.0, meta={})
+
     def test_comparable_meta_strips_volatile(self):
         meta = {
             "method": "wavefront",

@@ -53,6 +53,14 @@ class TestTimer:
         with pytest.raises(RuntimeError):
             t.stop()
 
+    def test_exit_after_stop_inside_block_raises_runtime_error(self):
+        # stop() inside the with block consumes _start; __exit__ must
+        # raise the same descriptive RuntimeError, not a bare TypeError
+        # from `float - None`.
+        with pytest.raises(RuntimeError, match="without a matching start"):
+            with Timer() as t:
+                t.stop()
+
 
 class TestRepeatMin:
     def test_returns_min_and_result(self):
@@ -108,6 +116,17 @@ class TestFormatSeconds:
 
     def test_nan(self):
         assert format_seconds(float("nan")) == "nan"
+
+    def test_negative_durations_format_magnitude_with_sign(self):
+        # Negative values used to fall through every >= threshold into
+        # the ns branch (-0.5 -> "-500000000.0 ns").
+        assert format_seconds(-0.5) == "-500.00 ms"
+        assert format_seconds(-2.5) == "-2.500 s"
+        assert format_seconds(-4.56e-5) == "-45.60 us"
+        assert format_seconds(-7.8e-9) == "-7.8 ns"
+
+    def test_zero(self):
+        assert format_seconds(0.0) == "0.0 ns"
 
 
 class TestTables:

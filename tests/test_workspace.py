@@ -1,0 +1,354 @@
+"""Workspace-reuse property tests (repro.core.workspace).
+
+The zero-allocation kernel slices every buffer out of one grow-only
+:class:`PlaneWorkspace`, so the risk it introduces is *stale state*: a
+sweep over a small cube reading garbage a bigger previous sweep left in
+the shared scratch. These tests hammer heterogeneous shapes — skewed
+cubes, empty sequences, masked/pruned sweeps — through a single
+workspace and assert every result is bit-identical to (a) a
+fresh-workspace run and (b) the frozen pre-workspace reference kernel
+:func:`repro.core.wavefront.compute_plane_rows_ref`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dp3d import NEG
+from repro.core.hirschberg import align3_hirschberg
+from repro.core.rolling import backward_slab, forward_slab, slab_sweep
+from repro.core.wavefront import (
+    align3_wavefront,
+    compute_plane_rows,
+    compute_plane_rows_ref,
+    wavefront_sweep,
+)
+from repro.core.workspace import PlaneWorkspace
+from repro.parallel.shared import fork_available
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+# Deliberately heterogeneous: cube shapes shrink, grow, zero out and skew
+# between consecutive sweeps so stale workspace state would surface.
+SHAPES = [
+    (6, 6, 6),
+    (1, 1, 1),
+    (12, 3, 1),
+    (0, 0, 0),
+    (2, 9, 4),
+    (0, 5, 7),
+    (5, 0, 7),
+    (5, 7, 0),
+    (9, 9, 9),
+    (1, 0, 0),
+    (3, 3, 12),
+]
+
+
+def _random_triple(rng, shape):
+    return tuple(
+        "".join(rng.choice(list("ACGT")) for _ in range(n)) for n in shape
+    )
+
+
+def _random_mask(rng, shape, density=0.7):
+    n1, n2, n3 = shape
+    mask = rng.random((n1 + 1, n2 + 1, n3 + 1)) < density
+    mask[0, 0, 0] = True
+    mask[n1, n2, n3] = True
+    return mask
+
+
+def _run_kernel(kernel, seqs, scheme, mask=None, score_only=False, ws=None):
+    """Drive a full sweep through ``kernel`` plane by plane, returning
+    every plane buffer state plus the move cube."""
+    n1, n2, n3 = (len(s) for s in seqs)
+    sab, sac, sbc = scheme.profile_matrices(*seqs)
+    g2 = 2.0 * scheme.gap
+    dims = (n1, n2, n3)
+    planes = [np.full((n1 + 2, n2 + 2), NEG) for _ in range(4)]
+    move_cube = (
+        None
+        if score_only
+        else np.zeros((n1 + 1, n2 + 1, n3 + 1), dtype=np.int8)
+    )
+    kwargs = {} if ws is None else {"ws": ws}
+    plane_states = []
+    for d in range(n1 + n2 + n3 + 1):
+        out = planes[d % 4]
+        kernel(
+            d,
+            0,
+            n1,
+            planes[(d - 1) % 4],
+            planes[(d - 2) % 4],
+            planes[(d - 3) % 4],
+            out,
+            sab,
+            sac,
+            sbc,
+            g2,
+            dims,
+            move_cube=move_cube,
+            mask=mask,
+            **kwargs,
+        )
+        plane_states.append(out.copy())
+    return plane_states, move_cube
+
+
+class TestKernelBitIdentity:
+    """The zero-allocation kernel vs the frozen reference kernel."""
+
+    def test_heterogeneous_shapes_one_workspace(self, dna_scheme):
+        rng = np.random.default_rng(7)
+        ws = PlaneWorkspace()
+        for shape in SHAPES:
+            seqs = _random_triple(rng, shape)
+            ref_planes, ref_mc = _run_kernel(
+                compute_plane_rows_ref, seqs, dna_scheme
+            )
+            got_planes, got_mc = _run_kernel(
+                compute_plane_rows, seqs, dna_scheme, ws=ws
+            )
+            for d, (a, b) in enumerate(zip(ref_planes, got_planes)):
+                assert np.array_equal(a, b), f"plane {d} differs at {shape}"
+            assert np.array_equal(ref_mc, got_mc), f"moves differ at {shape}"
+
+    def test_masked_sweeps_one_workspace(self, dna_scheme):
+        rng = np.random.default_rng(11)
+        ws = PlaneWorkspace()
+        for shape in SHAPES:
+            seqs = _random_triple(rng, shape)
+            mask = _random_mask(rng, shape)
+            ref_planes, ref_mc = _run_kernel(
+                compute_plane_rows_ref, seqs, dna_scheme, mask=mask
+            )
+            got_planes, got_mc = _run_kernel(
+                compute_plane_rows, seqs, dna_scheme, mask=mask, ws=ws
+            )
+            for d, (a, b) in enumerate(zip(ref_planes, got_planes)):
+                assert np.array_equal(a, b), f"plane {d} differs at {shape}"
+            assert np.array_equal(ref_mc, got_mc), f"moves differ at {shape}"
+
+    def test_score_only_sweeps_one_workspace(self, dna_scheme):
+        rng = np.random.default_rng(13)
+        ws = PlaneWorkspace()
+        for shape in SHAPES:
+            seqs = _random_triple(rng, shape)
+            ref_planes, _ = _run_kernel(
+                compute_plane_rows_ref, seqs, dna_scheme, score_only=True
+            )
+            got_planes, _ = _run_kernel(
+                compute_plane_rows, seqs, dna_scheme, score_only=True, ws=ws
+            )
+            for d, (a, b) in enumerate(zip(ref_planes, got_planes)):
+                assert np.array_equal(a, b), f"plane {d} differs at {shape}"
+
+    def test_pruned_to_empty_plane(self, dna_scheme):
+        # A mask that kills whole planes exercises the early-return paths.
+        rng = np.random.default_rng(17)
+        seqs = _random_triple(rng, (5, 5, 5))
+        mask = np.zeros((6, 6, 6), dtype=bool)
+        mask[0, 0, 0] = True
+        mask[5, 5, 5] = True
+        ws = PlaneWorkspace()
+        ref_planes, ref_mc = _run_kernel(
+            compute_plane_rows_ref, seqs, dna_scheme, mask=mask
+        )
+        got_planes, got_mc = _run_kernel(
+            compute_plane_rows, seqs, dna_scheme, mask=mask, ws=ws
+        )
+        for a, b in zip(ref_planes, got_planes):
+            assert np.array_equal(a, b)
+        assert np.array_equal(ref_mc, got_mc)
+
+    def test_long_thin_cubes(self, dna_scheme):
+        rng = np.random.default_rng(19)
+        ws = PlaneWorkspace()
+        for shape in [(60, 2, 3), (2, 60, 3), (2, 3, 60)]:
+            seqs = _random_triple(rng, shape)
+            ref_planes, ref_mc = _run_kernel(
+                compute_plane_rows_ref, seqs, dna_scheme
+            )
+            got_planes, got_mc = _run_kernel(
+                compute_plane_rows, seqs, dna_scheme, ws=ws
+            )
+            for a, b in zip(ref_planes, got_planes):
+                assert np.array_equal(a, b)
+            assert np.array_equal(ref_mc, got_mc)
+
+    def test_non_contiguous_inputs(self, dna_scheme):
+        # Profile matrices arriving as views (e.g. shared-memory slices)
+        # must gather identically.
+        rng = np.random.default_rng(23)
+        seqs = _random_triple(rng, (6, 5, 4))
+        sab, sac, sbc = dna_scheme.profile_matrices(*seqs)
+        big = np.full((sab.shape[0] * 2, sab.shape[1] * 2), 99.0)
+        big[:: 2, :: 2] = sab
+        sab_view = big[:: 2, :: 2]
+        assert not sab_view.flags.c_contiguous
+        n1, n2, n3 = (len(s) for s in seqs)
+        dims = (n1, n2, n3)
+        g2 = 2.0 * dna_scheme.gap
+        planes_a = [np.full((n1 + 2, n2 + 2), NEG) for _ in range(4)]
+        planes_b = [np.full((n1 + 2, n2 + 2), NEG) for _ in range(4)]
+        ws = PlaneWorkspace(dims)
+        for d in range(n1 + n2 + n3 + 1):
+            compute_plane_rows_ref(
+                d, 0, n1,
+                planes_a[(d - 1) % 4], planes_a[(d - 2) % 4],
+                planes_a[(d - 3) % 4], planes_a[d % 4],
+                sab_view, sac, sbc, g2, dims,
+            )
+            compute_plane_rows(
+                d, 0, n1,
+                planes_b[(d - 1) % 4], planes_b[(d - 2) % 4],
+                planes_b[(d - 3) % 4], planes_b[d % 4],
+                sab_view, sac, sbc, g2, dims, ws=ws,
+            )
+            assert np.array_equal(planes_a[d % 4], planes_b[d % 4])
+
+
+class TestEngineReuse:
+    """Whole engines sharing one workspace across heterogeneous runs."""
+
+    def test_wavefront_sweep_reuse(self, dna_scheme):
+        rng = np.random.default_rng(29)
+        ws = PlaneWorkspace()
+        for shape in SHAPES:
+            seqs = _random_triple(rng, shape)
+            fresh = wavefront_sweep(*seqs, dna_scheme)
+            reused = wavefront_sweep(*seqs, dna_scheme, workspace=ws)
+            assert fresh.score == reused.score
+            assert np.array_equal(fresh.move_cube, reused.move_cube)
+            assert fresh.cells_computed == reused.cells_computed
+
+    def test_align3_wavefront_reuse(self, dna_scheme):
+        rng = np.random.default_rng(31)
+        ws = PlaneWorkspace()
+        for shape in [(8, 6, 7), (2, 2, 2), (10, 1, 4)]:
+            seqs = _random_triple(rng, shape)
+            fresh = align3_wavefront(*seqs, dna_scheme)
+            reused = align3_wavefront(*seqs, dna_scheme, workspace=ws)
+            assert fresh.rows == reused.rows
+            assert fresh.score == reused.score
+            assert fresh.meta == reused.meta
+
+    def test_capture_slab_survives_reuse(self, dna_scheme):
+        # Hirschberg holds the forward slab across the backward sweep of
+        # the SAME workspace; the slab must be a fresh array, not a view.
+        rng = np.random.default_rng(37)
+        seqs = _random_triple(rng, (8, 7, 6))
+        ws = PlaneWorkspace()
+        level = 4
+        fwd = forward_slab(*seqs, dna_scheme, level, workspace=ws)
+        snapshot = fwd.copy()
+        backward_slab(*seqs, dna_scheme, level, workspace=ws)
+        assert np.array_equal(fwd, snapshot)
+        assert np.array_equal(
+            fwd, forward_slab(*seqs, dna_scheme, level)
+        )
+
+    def test_slab_sweep_reuse(self, dna_scheme):
+        rng = np.random.default_rng(41)
+        ws = PlaneWorkspace()
+        for shape in SHAPES:
+            seqs = _random_triple(rng, shape)
+            fresh = slab_sweep(*seqs, dna_scheme, want_levels=(0, len(seqs[0])))
+            reused = slab_sweep(
+                *seqs, dna_scheme, want_levels=(0, len(seqs[0])), workspace=ws
+            )
+            assert fresh.score == reused.score
+            assert fresh.cells_computed == reused.cells_computed
+            for lvl, slab in fresh.slabs.items():
+                assert np.array_equal(slab, reused.slabs[lvl])
+
+    def test_slab_engine_slabs_bit_identical(self, dna_scheme):
+        rng = np.random.default_rng(43)
+        ws = PlaneWorkspace()
+        for shape in [(7, 6, 5), (3, 9, 2), (1, 1, 8)]:
+            seqs = _random_triple(rng, shape)
+            n1 = len(seqs[0])
+            for level in {0, n1 // 2, n1}:
+                fresh = forward_slab(*seqs, dna_scheme, level, engine="slab")
+                reused = forward_slab(
+                    *seqs, dna_scheme, level, engine="slab", workspace=ws
+                )
+                assert np.array_equal(fresh, reused)
+
+    def test_hirschberg_reuse(self, dna_scheme):
+        rng = np.random.default_rng(47)
+        ws = PlaneWorkspace()
+        for shape in [(20, 16, 18), (6, 30, 4), (9, 9, 9)]:
+            seqs = _random_triple(rng, shape)
+            for engine in ("wavefront", "slab"):
+                fresh = align3_hirschberg(
+                    *seqs, dna_scheme, base_cells=64, engine=engine
+                )
+                reused = align3_hirschberg(
+                    *seqs,
+                    dna_scheme,
+                    base_cells=64,
+                    engine=engine,
+                    workspace=ws,
+                )
+                assert fresh.rows == reused.rows
+                assert fresh.score == reused.score
+                assert fresh.meta == reused.meta
+
+    @needs_fork
+    def test_pool_varied_job_shapes(self, dna_scheme):
+        # The pool's persistent workers each hold one workspace across
+        # every job; interleaved shapes must stay bit-identical.
+        from repro.parallel.executor import WavefrontPool
+
+        rng = np.random.default_rng(53)
+        shapes = [(12, 12, 12), (3, 3, 3), (12, 2, 5), (1, 9, 9), (12, 12, 12)]
+        with WavefrontPool((12, 12, 12), workers=2) as pool:
+            for shape in shapes:
+                seqs = _random_triple(rng, shape)
+                got = pool.align3(*seqs, dna_scheme)
+                ref = align3_wavefront(*seqs, dna_scheme)
+                assert got.rows == ref.rows
+                assert got.score == ref.score
+
+
+class TestWorkspaceMechanics:
+    def test_grow_only(self):
+        ws = PlaneWorkspace((4, 4, 4))
+        assert ws.capacity == (4, 4, 4)
+        assert ws.grows == 0
+        ws.reserve(2, 2, 2)  # shrink request: no-op
+        assert ws.capacity == (4, 4, 4)
+        assert ws.grows == 0
+        ws.reserve(8, 2, 2)
+        assert ws.capacity == (8, 4, 4)
+        assert ws.grows == 1
+
+    def test_steady_state_no_regrow(self, dna_scheme):
+        rng = np.random.default_rng(59)
+        ws = PlaneWorkspace((10, 10, 10))
+        ws.planes_for(10, 10)  # materialise plane buffers up front
+        for shape in [(10, 10, 10), (4, 4, 4), (10, 2, 7)]:
+            seqs = _random_triple(rng, shape)
+            wavefront_sweep(*seqs, dna_scheme, workspace=ws)
+        assert ws.grows == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PlaneWorkspace((-1, 0, 0))
+
+    def test_planes_are_neg_filled_views(self):
+        ws = PlaneWorkspace((5, 5, 0))
+        planes = ws.planes_for(5, 5)
+        assert len(planes) == 4
+        for p in planes:
+            assert p.shape == (7, 7)
+            assert np.all(p == NEG)
+        planes[0][3, 3] = 1.0
+        again = ws.planes_for(2, 2)
+        for p in again:
+            assert p.shape == (4, 4)
+            assert np.all(p == NEG)

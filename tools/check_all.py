@@ -15,7 +15,10 @@ Usage::
     python tools/check_all.py --only serve batch
 
 ``--only`` filters by suffix (``serve`` → ``check_serve.py``), which is
-what you want while iterating on a single layer.
+what you want while iterating on a single layer. The perf gate
+(``check_perf.py``) needs the committed ``BENCH_kernel.json`` baseline;
+regenerate it with ``benchmarks/bench_kernel.py --write`` after a
+deliberate kernel change.
 """
 
 from __future__ import annotations

@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Guard against plane-kernel performance regressions.
+
+Re-runs ``benchmarks/bench_kernel.py`` with the workload config stored
+in the committed baseline (``BENCH_kernel.json``) and fails when the
+kernel has lost its edge:
+
+* the **baseline document** must itself satisfy the acceptance
+  criterion — ≥ 1.5x speedup over the frozen reference kernel on the
+  repeated-small-plane (Hirschberg-style) workload and no regression
+  (≥ 1.0x) on the single large sweep;
+* the **measured speedups** of the current checkout must not regress
+  more than ``--tolerance`` (default 20%) below the baseline's.
+
+Speedup ratios (new kernel vs the frozen in-process reference kernel,
+timed back to back) are the primary gate because they are
+machine-neutral: a slower CI box scales both sides equally. Absolute
+cells/s are printed for the trajectory and enforced only with
+``--absolute``, for use on the machine that wrote the baseline.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_perf.py [--repeats 3]
+        [--tolerance 0.20] [--absolute] [--update]
+
+``--update`` rewrites ``BENCH_kernel.json`` from the current run after
+the gate passes (refresh the baseline when the kernel gets faster).
+Exit status 0 when within tolerance, 1 on regression (2 on bad
+arguments or a missing/invalid baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _ensure_importable() -> None:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        sys.path.insert(0, str(src))
+
+
+_ensure_importable()
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks import bench_kernel  # noqa: E402
+
+#: The PR's acceptance floor, enforced on the committed baseline.
+SMALL_SPEEDUP_FLOOR = 1.5
+LARGE_SPEEDUP_FLOOR = 1.0
+
+
+def load_baseline() -> dict:
+    path = bench_kernel.baseline_path()
+    if not path.exists():
+        raise FileNotFoundError(
+            f"{path.name} not found — generate it with "
+            f"'PYTHONPATH=src python benchmarks/bench_kernel.py --write'"
+        )
+    doc = json.loads(path.read_text())
+    if doc.get("schema") != bench_kernel.SCHEMA:
+        raise ValueError(
+            f"{path.name} schema {doc.get('schema')!r} != "
+            f"{bench_kernel.SCHEMA!r} — regenerate with --write"
+        )
+    return doc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="assert the plane kernel has not regressed vs baseline"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed repeats per side (default: baseline config)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="max allowed fractional speedup regression vs baseline",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="also enforce the tolerance on absolute cells/s "
+        "(same-machine runs only)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run if the gate passes",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0 or (args.repeats is not None and args.repeats < 1):
+        parser.error("tolerance must be >= 0 and repeats >= 1")
+
+    try:
+        baseline = load_baseline()
+    except (FileNotFoundError, ValueError, json.JSONDecodeError) as exc:
+        print(f"FAIL: {exc}")
+        return 2
+
+    base_small = baseline["small_repeated"]["speedup"]
+    base_large = baseline["large_sweep"]["speedup"]
+    failures: list[str] = []
+    if base_small < SMALL_SPEEDUP_FLOOR:
+        failures.append(
+            f"baseline small-repeated speedup {base_small:.2f}x is below "
+            f"the {SMALL_SPEEDUP_FLOOR:.1f}x acceptance floor"
+        )
+    if base_large < LARGE_SPEEDUP_FLOOR:
+        failures.append(
+            f"baseline large-sweep speedup {base_large:.2f}x regresses "
+            f"the reference kernel"
+        )
+
+    config = dict(baseline["config"])
+    if args.repeats is not None:
+        config["repeats"] = args.repeats
+    doc = bench_kernel.run(config)
+    print(bench_kernel.summarise(doc))
+
+    scale = 1.0 - args.tolerance
+    for name, floor_note in (("small_repeated", "small"), ("large_sweep", "large")):
+        now = doc[name]["speedup"]
+        base = baseline[name]["speedup"]
+        if now < base * scale:
+            failures.append(
+                f"{floor_note} speedup {now:.2f}x regressed more than "
+                f"{args.tolerance:.0%} below baseline {base:.2f}x"
+            )
+        if args.absolute:
+            now_abs = doc[name]["new_cells_per_s"]
+            base_abs = baseline[name]["new_cells_per_s"]
+            if now_abs < base_abs * scale:
+                failures.append(
+                    f"{floor_note} throughput {now_abs:,.0f} cells/s "
+                    f"regressed more than {args.tolerance:.0%} below "
+                    f"baseline {base_abs:,.0f}"
+                )
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+
+    print(
+        f"OK: small {doc['small_repeated']['speedup']:.2f}x "
+        f"(baseline {base_small:.2f}x), "
+        f"large {doc['large_sweep']['speedup']:.2f}x "
+        f"(baseline {base_large:.2f}x), tolerance {args.tolerance:.0%}"
+    )
+    if args.update:
+        path = bench_kernel.baseline_path()
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
