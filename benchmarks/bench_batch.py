@@ -4,7 +4,9 @@ A duplicate-heavy batch (75% repeats, the serving-workload shape the
 batching issue targets) through :func:`repro.batch.run_batch` against the
 same requests as a serial ``align3`` loop. The batch side should win by
 at least the dedup ratio; ``tools/check_batch.py`` enforces the >= 2x
-acceptance bound in CI, these benchmarks provide the numbers.
+acceptance bound in CI, these benchmarks provide the numbers — and each
+test records its timing plus dedup accounting as one row of the
+run-record database via the session ``run_recorder`` fixture.
 """
 
 import pytest
@@ -18,6 +20,27 @@ from repro.seqio.generate import mutated_family
 UNIQUE = 6
 REPEATS = 4
 
+#: Shared run-row config: the workload shape, for config-hash grouping.
+_CONFIG = {"unique": UNIQUE, "repeats": REPEATS, "n": 40}
+
+
+def _timing_metrics(benchmark) -> dict:
+    """pytest-benchmark stats as flat run-row metrics.
+
+    Empty under ``--benchmark-disable``, where the fixture runs the
+    callable once without collecting stats.
+    """
+    try:
+        stats = benchmark.stats.stats
+    except AttributeError:
+        return {}
+    return {
+        "mean_s": stats.mean,
+        "min_s": stats.min,
+        "max_s": stats.max,
+        "rounds": float(stats.rounds),
+    }
+
 
 @pytest.fixture(scope="module")
 def duplicate_heavy(dna_scheme):
@@ -30,15 +53,16 @@ def duplicate_heavy(dna_scheme):
     return reqs
 
 
-def test_serial_align3_loop(benchmark, duplicate_heavy):
+def test_serial_align3_loop(benchmark, duplicate_heavy, run_recorder):
     def serial():
         return [align3(*r.seqs, r.scheme) for r in duplicate_heavy]
 
     alns = benchmark(serial)
     assert len(alns) == UNIQUE * REPEATS
+    run_recorder("bench_batch_serial", _timing_metrics(benchmark), _CONFIG)
 
 
-def test_batch_cold_cache(benchmark, duplicate_heavy):
+def test_batch_cold_cache(benchmark, duplicate_heavy, run_recorder):
     """In-batch dedup alone: a fresh cache every round."""
 
     def batch():
@@ -47,9 +71,15 @@ def test_batch_cold_cache(benchmark, duplicate_heavy):
     report = benchmark(batch)
     assert report.stats.computed == UNIQUE
     assert report.stats.dedup_ratio >= 0.5
+    run_recorder(
+        "bench_batch_cold",
+        {**_timing_metrics(benchmark),
+         "dedup_ratio": report.stats.dedup_ratio},
+        _CONFIG,
+    )
 
 
-def test_batch_warm_cache(benchmark, duplicate_heavy, dna_scheme):
+def test_batch_warm_cache(benchmark, duplicate_heavy, dna_scheme, run_recorder):
     """Steady-state serving: long-lived scheduler, every request a hit."""
     cache = ResultCache()
     with BatchScheduler(cache=cache, workers=1) as sched:
@@ -59,3 +89,10 @@ def test_batch_warm_cache(benchmark, duplicate_heavy, dna_scheme):
     assert report.stats.computed == 0
     assert report.stats.cache_hits == UNIQUE
     assert report.stats.dedup_ratio == 1.0
+    run_recorder(
+        "bench_batch_warm",
+        {**_timing_metrics(benchmark),
+         "dedup_ratio": report.stats.dedup_ratio,
+         "cache_hit_rate": cache.stats.hit_rate},
+        _CONFIG,
+    )

@@ -20,6 +20,12 @@ workloads that bracket the engine's regimes:
 that ``tools/check_perf.py`` gates against. The file is deliberately
 machine-neutral: workload config and measured numbers only, no
 hostnames, paths or timestamps.
+
+Every run also self-records one ``bench_kernel`` row into the run-record
+database (``RUNS.jsonl``, see ``docs/observability.md``), growing the
+perf trajectory that ``check_perf.py --trajectory`` gates against and
+``repro report --trends`` renders. ``--no-record`` opts out,
+``--runs-file`` redirects the row elsewhere.
 """
 
 from __future__ import annotations
@@ -279,14 +285,44 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=None, help="timed repeats per side"
     )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip appending this run to the run-record store",
+    )
+    parser.add_argument(
+        "--runs-file",
+        default=None,
+        metavar="FILE",
+        help="run-record store to append to (default: RUNS.jsonl at the "
+        "repo root)",
+    )
     args = parser.parse_args(argv)
     overrides = {}
     if args.repeats is not None:
         if args.repeats < 1:
             parser.error("repeats must be >= 1")
         overrides["repeats"] = args.repeats
+
+    import time as _time
+
+    from repro.runs import kernel_metrics, record_run
+
+    t0 = _time.perf_counter()
     doc = run(overrides)
+    wall = _time.perf_counter() - t0
     print(summarise(doc))
+    record = record_run(
+        "bench_kernel",
+        config=doc["config"],
+        metrics=kernel_metrics(doc),
+        wall_s=wall,
+        runs_file=args.runs_file,
+        enabled=not args.no_record,
+        git_dir=baseline_path().parent,
+    )
+    if record is not None:
+        print(f"# run recorded: kind=bench_kernel fp={record.fp[:8]}")
     if args.write:
         path = baseline_path()
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

@@ -17,7 +17,12 @@ via ``--port``) and drives it with either loop mode:
 Two built-in mixes: ``duplicate`` (requests drawn from ``--unique``
 distinct triples — the cache/dedup-friendly shape) and ``unique`` (every
 request distinct — worst case, every triple computed). Reports p50/p95/
-p99 latency per status class, throughput, and the shed rate.
+p99 latency per status class, an aggregate ``p50/p95/p99 + shed_rate``
+line for the served (200) class, and throughput — and self-records the
+same numbers as one ``bench_serve`` row in the run-record database
+(``RUNS.jsonl``), so serve-latency percentiles and the shed rate become
+gateable trajectory metrics (``repro report --trends``). ``--no-record``
+opts out, ``--runs-file`` redirects the row.
 
 Usage::
 
@@ -76,6 +81,29 @@ def spawn_server(extra: list[str]) -> tuple[subprocess.Popen, int]:
             ).start()
             return proc, port
     raise RuntimeError(f"server failed to start (rc={proc.poll()})")
+
+
+def summarise(rec: "Recorder", wall: float) -> dict[str, float]:
+    """Flat, gateable summary of one load run.
+
+    Percentiles are over the served (200) class only — shed responses
+    return in microseconds and would flatter the latency numbers; their
+    share is reported separately as ``shed_rate``.
+    """
+    ok = sorted(rec.latencies.get(200, []))
+    total = sum(len(v) for v in rec.latencies.values()) + rec.conn_errors
+    shed = len(rec.latencies.get(429, []))
+    return {
+        "requests": float(total),
+        "ok": float(len(ok)),
+        "throughput_rps": total / wall if wall > 0 else 0.0,
+        "p50_ms": percentile(ok, 0.50) * 1e3,
+        "p95_ms": percentile(ok, 0.95) * 1e3,
+        "p99_ms": percentile(ok, 0.99) * 1e3,
+        "max_ms": (ok[-1] * 1e3) if ok else float("nan"),
+        "shed_rate": shed / total if total else 0.0,
+        "conn_errors": float(rec.conn_errors),
+    }
 
 
 class Recorder:
@@ -212,6 +240,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--workers", type=int, default=2, help="spawned server's pool size"
     )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip appending this run to the run-record store",
+    )
+    parser.add_argument(
+        "--runs-file",
+        default=None,
+        metavar="FILE",
+        help="run-record store to append to (default: RUNS.jsonl at the "
+        "repo root)",
+    )
     args = parser.parse_args(argv)
     if args.requests < 1 or args.unique < 1 or args.concurrency < 1:
         parser.error("requests/unique/concurrency must be >= 1")
@@ -247,17 +287,21 @@ def main(argv: list[str] | None = None) -> int:
             except subprocess.TimeoutExpired:
                 proc.kill()
 
-    total = sum(len(v) for v in rec.latencies.values()) + rec.conn_errors
-    shed = len(rec.latencies.get(429, []))
+    summary = summarise(rec, wall)
     print(
         f"# loop={args.loop} mix={args.mix} requests={args.requests} "
         f"unique={n_unique} n={args.n} concurrency={args.concurrency}"
         + (f" rate={args.rate:g}/s" if args.loop == "open" else "")
     )
     print(
-        f"# wall={wall:.3f}s throughput={total / wall:.1f} req/s "
-        f"shed_rate={shed / total if total else 0:.3f} "
+        f"# wall={wall:.3f}s throughput={summary['throughput_rps']:.1f} "
+        f"req/s shed_rate={summary['shed_rate']:.3f} "
         f"conn_errors={rec.conn_errors}"
+    )
+    print(
+        f"# served(200): p50={summary['p50_ms']:.2f}ms "
+        f"p95={summary['p95_ms']:.2f}ms p99={summary['p99_ms']:.2f}ms "
+        f"shed_rate={summary['shed_rate']:.3f}"
     )
     print(f"{'status':>6} {'count':>6} {'p50_ms':>8} {'p95_ms':>8} "
           f"{'p99_ms':>8} {'max_ms':>8}")
@@ -270,6 +314,28 @@ def main(argv: list[str] | None = None) -> int:
             f"{percentile(vals, 0.99) * 1e3:>8.2f} "
             f"{vals[-1] * 1e3:>8.2f}"
         )
+
+    from repro.runs import record_run
+
+    config = {
+        "loop": args.loop,
+        "mix": args.mix,
+        "requests": args.requests,
+        "unique": n_unique,
+        "n": args.n,
+        "concurrency": args.concurrency,
+        "workers": args.workers,
+    }
+    if args.loop == "open":
+        config["rate"] = args.rate
+    record_run(
+        "bench_serve",
+        config=config,
+        metrics=summary,
+        wall_s=wall,
+        runs_file=args.runs_file,
+        enabled=not args.no_record,
+    )
     return 0
 
 

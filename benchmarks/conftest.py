@@ -16,6 +16,37 @@ from repro.seqio.generate import MutationModel, mutated_family
 
 
 @pytest.fixture(scope="session")
+def run_recorder():
+    """Buffer run rows during the benchmark session, flush at teardown.
+
+    Benchmark tests call ``run_recorder(kind, metrics, config)`` after
+    their timed section; one row per call lands in the run-record
+    database (``RUNS.jsonl``, see ``docs/observability.md``) when the
+    session ends, so pytest-benchmark runs feed the same perf
+    trajectory as the standalone benchmark scripts. Recording is
+    best-effort — a read-only checkout never fails the benchmarks.
+    """
+    buffered: list[tuple[str, dict, dict]] = []
+
+    def record(kind: str, metrics: dict, config: dict | None = None) -> None:
+        if not metrics:  # --benchmark-disable: nothing worth a row
+            return
+        buffered.append((kind, dict(metrics), dict(config or {})))
+
+    yield record
+
+    from repro.runs import record_run
+
+    for kind, metrics, config in buffered:
+        record_run(
+            kind,
+            config=config,
+            metrics=metrics,
+            wall_s=float(metrics.get("mean_s", 0.0)),
+        )
+
+
+@pytest.fixture(scope="session")
 def dna_scheme():
     return default_scheme_for(DNA)
 

@@ -35,6 +35,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write each experiment's rendered output to DIR/<id>.txt",
     )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip appending each experiment to the run-record store "
+        "(RUNS.jsonl; see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--runs-file",
+        default=None,
+        metavar="FILE",
+        help="run-record store to append to (default: RUNS.jsonl at the "
+        "repo root)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -53,7 +66,12 @@ def main(argv: list[str] | None = None) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
     total = 0.0
     for eid in ids:
-        result = run_experiment(eid, quick=args.quick)
+        result = run_experiment(
+            eid,
+            quick=args.quick,
+            record=not args.no_record,
+            runs_file=args.runs_file,
+        )
         total += result.duration_s
         print(result.rendered)
         extras = ""

@@ -59,12 +59,21 @@ def list_experiments() -> list[tuple[str, str]]:
     return [(eid, title) for eid, (title, _fn) in _REGISTRY.items()]
 
 
-def run_experiment(exp_id: str, quick: bool = False) -> ExperimentResult:
+def run_experiment(
+    exp_id: str,
+    quick: bool = False,
+    *,
+    record: bool = False,
+    runs_file: Any = None,
+) -> ExperimentResult:
     """Run one experiment by id (see ``DESIGN.md`` §4 for the index).
 
     The run is wrapped in a metrics-collection scope, so the returned
     result carries engine-level metrics (cells/sec, peak bytes) alongside
-    its rendered table, plus its wall-clock duration.
+    its rendered table, plus its wall-clock duration. With
+    ``record=True`` the same summary is appended as one ``experiment``
+    row to the run-record database (``runs_file`` defaults to
+    ``RUNS.jsonl`` at the repo root; see ``docs/observability.md``).
     """
     from repro.obs import metrics as _metrics
 
@@ -79,6 +88,17 @@ def run_experiment(exp_id: str, quick: bool = False) -> ExperimentResult:
         result = fn(quick)
         result.duration_s = time.perf_counter() - t0
     result.metrics = reg.summary()
+    if record:
+        from repro.runs import record_run
+
+        record_run(
+            "experiment",
+            config={"exp": exp_id, "quick": quick},
+            metrics={**result.metrics, "duration_s": result.duration_s},
+            wall_s=result.duration_s,
+            notes={"title": title},
+            runs_file=runs_file,
+        )
     return result
 
 

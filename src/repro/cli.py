@@ -14,7 +14,10 @@ Commands
 ``count``     count (and optionally enumerate) co-optimal alignments
 ``generate``  emit a synthetic mutated family as FASTA
 ``simulate``  run the cluster simulator and print speedup/efficiency
-``report``    render a captured ``--trace`` JSONL file into tables
+``report``    render a captured ``--trace`` JSONL file into tables, or
+              perf trends from the run-record database (``--trends``)
+``runs``      inspect the run-record database (``RUNS.jsonl``):
+              list/tail/show/gc (``docs/observability.md``)
 ``info``      version, engines, bundled datasets
 
 ``align`` and ``simulate`` accept ``--trace FILE`` (capture a span/plane/
@@ -273,9 +276,16 @@ def _build_parser() -> argparse.ArgumentParser:
     _obs_args(p_sim)
 
     p_rep = sub.add_parser(
-        "report", help="render a --trace JSONL file into breakdown tables"
+        "report",
+        help="render a --trace JSONL file into breakdown tables, or "
+        "run-record trends with --trends",
     )
-    p_rep.add_argument("trace", help="trace file captured with --trace")
+    p_rep.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="trace file captured with --trace (omit with --trends)",
+    )
     p_rep.add_argument(
         "--planes",
         type=int,
@@ -283,9 +293,73 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="BINS",
         help="number of bins for the per-plane table (0 = one row per plane)",
     )
+    p_rep.add_argument(
+        "--trends",
+        action="store_true",
+        help="render per-kind metric trends (sparkline + delta + "
+        "regression flags) from the run-record database",
+    )
+    p_rep.add_argument(
+        "--kind",
+        action="append",
+        default=None,
+        metavar="KIND",
+        help="restrict --trends to this run kind (repeatable)",
+    )
+    p_rep.add_argument(
+        "--window",
+        type=int,
+        default=12,
+        help="newest rows per kind the trend tables cover",
+    )
+    _runs_file_arg(p_rep)
+
+    p_runs = sub.add_parser(
+        "runs", help="inspect the run-record database (RUNS.jsonl)"
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    pr_list = runs_sub.add_parser("list", help="one table row per record")
+    pr_list.add_argument(
+        "--kind", default=None, help="only records of this kind"
+    )
+    pr_list.add_argument(
+        "--limit", type=int, default=50, help="newest records shown"
+    )
+    _runs_file_arg(pr_list)
+    pr_tail = runs_sub.add_parser("tail", help="print raw JSONL lines")
+    pr_tail.add_argument(
+        "--limit", type=int, default=10, help="newest lines printed"
+    )
+    _runs_file_arg(pr_tail)
+    pr_show = runs_sub.add_parser(
+        "show", help="pretty-print one record as JSON"
+    )
+    pr_show.add_argument(
+        "index",
+        type=int,
+        help="record index from 'repro runs list' (negative counts "
+        "from the newest, e.g. -1)",
+    )
+    _runs_file_arg(pr_show)
+    pr_gc = runs_sub.add_parser(
+        "gc", help="rotate the store, keeping the newest rows per kind"
+    )
+    pr_gc.add_argument(
+        "--keep", type=int, default=100, help="rows kept per kind"
+    )
+    _runs_file_arg(pr_gc)
 
     sub.add_parser("info", help="version, engines and datasets")
     return parser
+
+
+def _runs_file_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--runs-file",
+        default=None,
+        metavar="FILE",
+        help="run-record store (default: RUNS.jsonl at the repo root)",
+    )
 
 
 def _obs_args(p: argparse.ArgumentParser) -> None:
@@ -669,10 +743,73 @@ def _cmd_simulate(args) -> int:
 def _cmd_report(args) -> int:
     from repro.obs.report import render_report
 
+    if args.trends:
+        from repro.runs import render_trends
+
+        store = _open_runs_store(args.runs_file)
+        print(render_trends(store, kinds=args.kind, window=args.window))
+        return 0
+    if args.trace is None:
+        print(
+            "error: give a trace file to render, or --trends for the "
+            "run-record database",
+            file=sys.stderr,
+        )
+        return 2
     if not os.path.exists(args.trace):
         print(f"error: no such trace file: {args.trace}", file=sys.stderr)
         return 2
     print(render_report(args.trace, plane_bins=args.planes))
+    return 0
+
+
+def _open_runs_store(runs_file):
+    """Open the run store and fold the committed kernel baseline in as
+    the first trajectory row (idempotent; soft-fails on read-only
+    checkouts so viewing never errors)."""
+    from repro.runs import RunStore, seed_from_baseline
+
+    store = RunStore(runs_file)
+    try:
+        seed_from_baseline(store)
+    except Exception:  # noqa: BLE001 — viewing must not require writing
+        pass
+    return store
+
+
+def _cmd_runs(args) -> int:
+    from repro.runs import render_runs_table
+
+    store = _open_runs_store(args.runs_file)
+    if args.runs_command == "list":
+        records = store.records(kind=args.kind)
+        if args.limit and args.limit > 0:
+            records = records[-args.limit:]
+        print(render_runs_table(records, skipped=store.skipped))
+    elif args.runs_command == "tail":
+        for line in store.tail_lines(args.limit):
+            print(line)
+    elif args.runs_command == "show":
+        records = store.records()
+        if not records:
+            print("error: run store is empty", file=sys.stderr)
+            return 2
+        try:
+            record = records[args.index]
+        except IndexError:
+            print(
+                f"error: index {args.index} out of range "
+                f"(store has {len(records)} records)",
+                file=sys.stderr,
+            )
+            return 2
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+    else:  # gc
+        kept, dropped = store.gc(keep_per_kind=args.keep)
+        print(
+            f"gc: kept {kept} record(s), dropped {dropped} "
+            f"(backup at {store.path.name}.1)"
+        )
     return 0
 
 
@@ -709,6 +846,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generate": _cmd_generate,
         "simulate": _cmd_simulate,
         "report": _cmd_report,
+        "runs": _cmd_runs,
         "info": _cmd_info,
     }[args.command]
     try:

@@ -1,0 +1,137 @@
+"""Run-record database: every benchmark, gate and load run is a row.
+
+``repro.runs`` turns one-off performance snapshots into a *trajectory*:
+each run of ``benchmarks/bench_*.py``, ``tools/check_*.py`` and the
+``repro.bench`` harness appends a schema-versioned
+:class:`~repro.runs.record.RunRecord` to an append-only JSONL store
+(``RUNS.jsonl`` at the repo root, not committed), and
+``tools/check_perf.py --trajectory`` gates fresh measurements against
+the rolling median of prior same-machine rows instead of a single
+committed baseline. ``repro runs`` and ``repro report --trends`` render
+the database. See ``docs/observability.md``.
+
+:func:`record_run` is the one-call recorder the instrumented scripts
+use — deliberately best-effort, because a benchmark must never fail
+just because its bookkeeping could not be written.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Mapping
+
+from repro.runs.record import (  # noqa: F401
+    BASELINE_FP,
+    SCHEMA,
+    EnvLeakError,
+    RunRecord,
+    assert_env_clean,
+    config_hash,
+    fingerprint_id,
+    git_revision,
+    machine_fingerprint,
+    new_record,
+)
+from repro.runs.store import (  # noqa: F401
+    RUNS_NAME,
+    RunStore,
+    default_runs_path,
+)
+from repro.runs.trajectory import (  # noqa: F401
+    KERNEL_KIND,
+    default_baseline_path,
+    kernel_metrics,
+    rolling_median,
+    seed_from_baseline,
+    trajectory,
+    trajectory_median,
+)
+from repro.runs.trend import (  # noqa: F401
+    lower_is_better,
+    render_runs_table,
+    render_trends,
+    sparkline,
+)
+
+__all__ = [
+    "BASELINE_FP",
+    "SCHEMA",
+    "EnvLeakError",
+    "RunRecord",
+    "RunStore",
+    "RUNS_NAME",
+    "assert_env_clean",
+    "config_hash",
+    "default_baseline_path",
+    "default_runs_path",
+    "fingerprint_id",
+    "git_revision",
+    "KERNEL_KIND",
+    "kernel_metrics",
+    "lower_is_better",
+    "machine_fingerprint",
+    "new_record",
+    "record_run",
+    "render_runs_table",
+    "render_trends",
+    "rolling_median",
+    "seed_from_baseline",
+    "sparkline",
+    "trajectory",
+    "trajectory_median",
+]
+
+
+def record_run(
+    kind: str,
+    *,
+    config: Mapping[str, Any] | None = None,
+    metrics: Mapping[str, Any] | None = None,
+    wall_s: float = 0.0,
+    notes: Mapping[str, Any] | None = None,
+    runs_file: Any = None,
+    enabled: bool = True,
+    git_dir: Any = None,
+) -> RunRecord | None:
+    """Build and append one run row; never raises.
+
+    Returns the appended record, or None when recording is disabled or
+    failed (the failure is reported on stderr — a read-only checkout or
+    a full disk must not turn a green benchmark red).
+    """
+    if not enabled:
+        return None
+    try:
+        record = new_record(
+            kind,
+            config=config,
+            metrics=metrics,
+            wall_s=wall_s,
+            notes=notes,
+            git_dir=git_dir,
+        )
+        RunStore(runs_file).append(record)
+        return record
+    except Exception as exc:  # noqa: BLE001 — recording is best-effort
+        print(f"warning: run record not written: {exc}", file=sys.stderr)
+        return None
+
+
+class RunTimer:
+    """Context manager measuring ``wall_s`` for :func:`record_run`.
+
+    >>> with RunTimer() as timer:
+    ...     pass
+    >>> timer.wall_s >= 0.0
+    True
+    """
+
+    def __enter__(self) -> "RunTimer":
+        self._t0 = time.perf_counter()
+        self.wall_s = 0.0
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.wall_s = time.perf_counter() - self._t0
+        return False

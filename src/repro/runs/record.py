@@ -1,0 +1,242 @@
+"""Schema-versioned run records (``runs/1``).
+
+A :class:`RunRecord` is one full-context measurement row: what ran
+(``kind``), under which knobs (``config`` + its hash), on which code
+(git revision + dirty flag), on what machine (an *environment-elided*
+fingerprint), for how long (``wall_s``), and what it measured (a flat
+``metrics`` payload of floats — cells/s, speedups, latency percentiles,
+hit rates, shed rates…). The perf-trajectory gate in
+``tools/check_perf.py --trajectory`` compares a fresh measurement
+against the rolling median of prior same-fingerprint rows, so every
+field here exists to make rows comparable *or* to explain why they are
+not (different config hash, different machine, dirty tree).
+
+Environment hygiene
+-------------------
+The machine fingerprint is built from :mod:`platform` and
+``os.cpu_count()`` only — never from ``os.environ`` — mirroring the
+PR 2 ``docs/api.md`` fix that stopped generated artifacts from leaking
+the build machine's environment. :func:`assert_env_clean` enforces the
+discipline at append time: a serialised record that contains the value
+of any environment variable is rejected with :class:`EnvLeakError`
+before it reaches disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.cache.store import jsonable
+
+#: Schema tag stamped on every row; readers skip rows with any other tag.
+SCHEMA = "runs/1"
+
+#: Fingerprint id of rows migrated from a committed machine-neutral
+#: baseline (e.g. ``BENCH_kernel.json``). Deliberately never equal to a
+#: real :func:`fingerprint_id`, so baseline rows seed *trends* but are
+#: excluded from same-fingerprint trajectory gating.
+BASELINE_FP = "baseline"
+
+#: Environment-variable values shorter than this are not treated as
+#: leaks: tiny values ("1", "xterm", "C.UTF-8") collide with legitimate
+#: record content far too often to be a signal.
+_MIN_LEAK_LEN = 16
+
+
+class EnvLeakError(ValueError):
+    """A run record contains the value of an environment variable."""
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic strict-JSON rendering (sorted keys, no whitespace)."""
+    return json.dumps(
+        jsonable(value), sort_keys=True, separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def digest(value: Any, length: int = 12) -> str:
+    """Truncated SHA-256 of the canonical JSON rendering of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode()).hexdigest()[:length]
+
+
+def machine_fingerprint() -> dict[str, Any]:
+    """What kind of machine this is — without saying *which* machine.
+
+    CPU count, platform triple and Python version are what move
+    benchmark numbers; hostnames, usernames, paths and environment
+    variables identify people and machines and are deliberately absent.
+    """
+    return {
+        "platform": platform.system(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def fingerprint_id(fingerprint: Mapping[str, Any] | None = None) -> str:
+    """Stable short id of a fingerprint dict (default: this machine)."""
+    fp = machine_fingerprint() if fingerprint is None else dict(fingerprint)
+    return digest(fp)
+
+
+def config_hash(config: Mapping[str, Any] | None) -> str:
+    """Stable short id of a config dict (key order never matters)."""
+    return digest(dict(config or {}))
+
+
+def git_revision(start_dir: Any = None) -> tuple[str | None, bool]:
+    """``(short_rev, dirty)`` of the checkout at ``start_dir``, best effort.
+
+    Returns ``(None, False)`` when git is missing, times out, or the
+    directory is not a work tree — a record without provenance still
+    beats no record.
+    """
+    cwd = os.fspath(start_dir) if start_dir is not None else os.getcwd()
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        if rev.returncode != 0:
+            return None, False
+        status = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        dirty = status.returncode == 0 and bool(status.stdout.strip())
+        return rev.stdout.strip(), dirty
+    except (OSError, subprocess.SubprocessError):
+        return None, False
+
+
+def assert_env_clean(
+    record_text: str, environ: Mapping[str, str] | None = None
+) -> None:
+    """Raise :class:`EnvLeakError` if ``record_text`` contains the value
+    of any environment variable (of :data:`_MIN_LEAK_LEN`+ characters).
+
+    ``environ`` defaults to ``os.environ`` *at call time* (the PR 2
+    rule: no import-time environment snapshots).
+    """
+    env = os.environ if environ is None else environ
+    for name, value in env.items():
+        if len(value) >= _MIN_LEAK_LEN and value in record_text:
+            raise EnvLeakError(
+                f"run record contains the value of ${name} — records must "
+                "stay environment-free (see docs/observability.md)"
+            )
+
+
+@dataclass
+class RunRecord:
+    """One schema-versioned row of the run database."""
+
+    kind: str
+    config: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    wall_s: float = 0.0
+    t: float = 0.0
+    fingerprint: dict[str, Any] = field(default_factory=dict)
+    fp: str = ""
+    config_hash: str = ""
+    git_rev: str | None = None
+    git_dirty: bool = False
+    notes: dict[str, Any] = field(default_factory=dict)
+    schema: str = SCHEMA
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "kind": self.kind,
+            "t": self.t,
+            "config": jsonable(self.config),
+            "config_hash": self.config_hash,
+            "fingerprint": jsonable(self.fingerprint),
+            "fp": self.fp,
+            "git_rev": self.git_rev,
+            "git_dirty": self.git_dirty,
+            "wall_s": self.wall_s,
+            "metrics": jsonable(self.metrics),
+            "notes": jsonable(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "RunRecord":
+        """Rebuild a record from a parsed row; raises on malformed docs."""
+        if doc.get("schema") != SCHEMA:
+            raise ValueError(
+                f"row schema {doc.get('schema')!r} is not {SCHEMA!r}"
+            )
+        kind = doc["kind"]
+        if not isinstance(kind, str) or not kind:
+            raise ValueError("row kind must be a non-empty string")
+        metrics = doc.get("metrics") or {}
+        if not isinstance(metrics, dict):
+            raise ValueError("row metrics must be an object")
+        return cls(
+            kind=kind,
+            config=dict(doc.get("config") or {}),
+            metrics={str(k): v for k, v in metrics.items()},
+            wall_s=float(doc.get("wall_s", 0.0)),
+            t=float(doc.get("t", 0.0)),
+            fingerprint=dict(doc.get("fingerprint") or {}),
+            fp=str(doc.get("fp", "")),
+            config_hash=str(doc.get("config_hash", "")),
+            git_rev=doc.get("git_rev"),
+            git_dirty=bool(doc.get("git_dirty", False)),
+            notes=dict(doc.get("notes") or {}),
+        )
+
+    def metric(self, name: str, default: float | None = None) -> float | None:
+        """One metric as a float (non-finite sentinels parse back)."""
+        value = self.metrics.get(name)
+        if value is None:
+            return default
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            return default
+
+    def when(self) -> str:
+        """Human timestamp; migrated baseline rows have no wall clock."""
+        if self.t <= 0.0:
+            return "baseline"
+        return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(self.t))
+
+
+def new_record(
+    kind: str,
+    *,
+    config: Mapping[str, Any] | None = None,
+    metrics: Mapping[str, Any] | None = None,
+    wall_s: float = 0.0,
+    notes: Mapping[str, Any] | None = None,
+    fingerprint: Mapping[str, Any] | None = None,
+    git_dir: Any = None,
+) -> RunRecord:
+    """Build a fully-populated record for a run that just finished."""
+    fp_dict = machine_fingerprint() if fingerprint is None else dict(fingerprint)
+    rev, dirty = git_revision(git_dir)
+    cfg = dict(config or {})
+    return RunRecord(
+        kind=kind,
+        config=cfg,
+        metrics=dict(metrics or {}),
+        wall_s=float(wall_s),
+        t=time.time(),
+        fingerprint=fp_dict,
+        fp=fingerprint_id(fp_dict),
+        config_hash=config_hash(cfg),
+        git_rev=rev,
+        git_dirty=dirty,
+        notes=dict(notes or {}),
+    )

@@ -1,0 +1,189 @@
+"""Append-only, torn-line-tolerant JSONL store for run records.
+
+``RUNS.jsonl`` lives at the repo root next to ``BENCH_kernel.json`` (it
+is *not* committed — rows carry machine fingerprints and timestamps) and
+is shared by every benchmark, acceptance gate and load generator that
+self-records. The durability story is the cache disk tier's
+(:mod:`repro.cache.store`), proven by ``tests/test_cache_concurrency.py``:
+
+* appends go through an ``O_APPEND`` descriptor, so concurrent writers
+  interleave at line granularity and never corrupt each other;
+* a writer killed mid-append leaves a torn final line; readers skip it,
+  and the next append newline-terminates it first so a *good* record is
+  never glued onto the fragment;
+* rows whose ``schema`` tag is unknown are skipped on read (counted in
+  :attr:`RunStore.skipped`), so a future ``runs/2`` writer does not
+  brick a ``runs/1`` reader sharing the file.
+
+Unbounded append-only files eventually need mowing: :meth:`RunStore.gc`
+keeps the newest N rows per kind, rotating the previous file to
+``RUNS.jsonl.1`` so nothing is destroyed by a GC.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any
+
+from repro.runs.record import SCHEMA, RunRecord, assert_env_clean
+
+RUNS_NAME = "RUNS.jsonl"
+
+
+def default_runs_path() -> pathlib.Path:
+    """The store path: the repo root when running from a checkout
+    (``src`` layout, three parents up), the working directory otherwise."""
+    root = pathlib.Path(__file__).resolve().parents[3]
+    if (root / "pyproject.toml").exists():
+        return root / RUNS_NAME
+    return pathlib.Path.cwd() / RUNS_NAME
+
+
+class RunStore:
+    """Run-record database over one JSONL file.
+
+    Stateless between calls: every read re-scans the file, so a store
+    object is always consistent with concurrent appenders (rows are
+    small and counts stay in the hundreds thanks to :meth:`gc`).
+    """
+
+    def __init__(self, path: Any = None):
+        self.path = (
+            default_runs_path()
+            if path is None
+            else pathlib.Path(os.fspath(path))
+        )
+        #: Lines the last read pass skipped (torn, foreign schema, or
+        #: malformed) — surfaced by ``repro runs list``.
+        self.skipped = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, record: RunRecord) -> None:
+        """Append one record; raises :class:`~repro.runs.record.EnvLeakError`
+        if the serialised row contains any environment-variable value."""
+        line = json.dumps(
+            record.to_dict(), sort_keys=True, separators=(",", ":"),
+            allow_nan=False,
+        )
+        assert_env_clean(line)
+        data = (line + "\n").encode()
+        if self._tail_is_torn():
+            # Terminate the torn final line a killed writer left behind
+            # so this record starts on a fresh line (the fragment stays,
+            # unparseable but harmless — readers skip it).
+            data = b"\n" + data
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    def _tail_is_torn(self) -> bool:
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                return fh.read(1) != b"\n"
+        except (OSError, ValueError):
+            return False  # missing or empty file: nothing to repair
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def records(
+        self,
+        kind: str | None = None,
+        fp: str | None = None,
+        limit: int | None = None,
+    ) -> list[RunRecord]:
+        """Rows in append order, optionally filtered by ``kind`` and
+        fingerprint id; ``limit`` keeps only the newest N after filtering."""
+        out: list[RunRecord] = []
+        self.skipped = 0
+        if not self.path.exists():
+            return out
+        with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                    rec = RunRecord.from_dict(doc)
+                except (json.JSONDecodeError, ValueError, KeyError, TypeError):
+                    self.skipped += 1
+                    continue
+                if kind is not None and rec.kind != kind:
+                    continue
+                if fp is not None and rec.fp != fp:
+                    continue
+                out.append(rec)
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def tail_lines(self, limit: int = 10) -> list[str]:
+        """The last ``limit`` raw lines (including ones readers skip)."""
+        if not self.path.exists():
+            return []
+        with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
+            lines = [ln.rstrip("\n") for ln in fh if ln.strip()]
+        return lines[-limit:] if limit >= 0 else lines
+
+    def counts(self) -> dict[str, int]:
+        """Row count per kind (valid rows only)."""
+        out: dict[str, int] = {}
+        for rec in self.records():
+            out[rec.kind] = out.get(rec.kind, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Rotation / GC
+    # ------------------------------------------------------------------
+
+    def gc(self, keep_per_kind: int = 100) -> tuple[int, int]:
+        """Compact the store to the newest ``keep_per_kind`` rows per kind.
+
+        The pre-GC file is rotated to ``<path>.1`` (clobbering any older
+        rotation), so one GC is always reversible; torn fragments and
+        foreign-schema rows are left behind in the rotation only.
+        Returns ``(kept, dropped)`` counting valid rows.
+        """
+        if keep_per_kind < 1:
+            raise ValueError(
+                f"keep_per_kind must be >= 1, got {keep_per_kind}"
+            )
+        recs = self.records()
+        dropped = self.skipped
+        keep_idx: set[int] = set()
+        per_kind: dict[str, list[int]] = {}
+        for i, rec in enumerate(recs):
+            per_kind.setdefault(rec.kind, []).append(i)
+        for indices in per_kind.values():
+            keep_idx.update(indices[-keep_per_kind:])
+        kept = [recs[i] for i in sorted(keep_idx)]
+        dropped += len(recs) - len(kept)
+        if not self.path.exists():
+            return 0, 0
+        rotated = self.path.with_name(self.path.name + ".1")
+        os.replace(self.path, rotated)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for rec in kept:
+                fh.write(
+                    json.dumps(
+                        rec.to_dict(), sort_keys=True,
+                        separators=(",", ":"), allow_nan=False,
+                    )
+                    + "\n"
+                )
+        os.replace(tmp, self.path)
+        return len(kept), dropped

@@ -1,0 +1,185 @@
+"""Trend rendering: sparklines, deltas and regression annotations.
+
+Backend of ``repro report --trends`` and the ``repro runs`` CLI. Each
+metric recorded by at least two rows of a kind becomes one trend row:
+
+``metric  n  first  last  delta%  trend  spark``
+
+where ``delta%`` compares the newest value against the median of the
+*previous* values (one noisy run should not move the reference), and
+``trend`` annotates moves beyond the tolerance as ``REGRESSING`` or
+``improving`` with direction awareness — cells/s falling is a
+regression, p99 latency falling is an improvement.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro.runs.store import RunStore
+from repro.runs.trajectory import rolling_median
+from repro.util.tables import format_table
+
+#: Eight-level block sparkline ramp (min .. max of the series).
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """Render ``values`` as one block character each; NaN renders as a
+    space, a constant series as a flat mid-level line."""
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return " " * len(values)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for v in values:
+        if not math.isfinite(v):
+            out.append(" ")
+        elif span <= 0:
+            out.append(SPARK_CHARS[3])
+        else:
+            idx = int((v - lo) / span * (len(SPARK_CHARS) - 1))
+            out.append(SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def lower_is_better(metric: str) -> bool:
+    """Direction heuristic from the metric name.
+
+    Throughput-ish names (per_s, speedup, rates of good events) count up;
+    time-ish and failure-ish names (seconds, latency percentiles, shed,
+    overhead, errors, misses) count down. Checked before the generic
+    ``_s`` suffix so ``cells_per_s`` stays higher-is-better.
+    """
+    name = metric.lower()
+    higher = ("per_s", "speedup", "hit_rate", "throughput", "dedup", "passed")
+    if any(h in name for h in higher):
+        return False
+    lower = (
+        "second", "latency", "_ms", "p50", "p95", "p99", "shed",
+        "overhead", "err", "miss", "wall",
+    )
+    if any(h in name for h in lower):
+        return True
+    return name.endswith("_s")
+
+
+def _delta(values: list[float]) -> float | None:
+    """Fractional move of the newest value vs the median of the rest."""
+    if len(values) < 2:
+        return None
+    ref = rolling_median(values[:-1])
+    if ref == 0:
+        return None
+    return values[-1] / ref - 1.0
+
+
+def trend_flag(metric: str, delta: float | None, tolerance: float) -> str:
+    """Annotate a delta: regressions shout, improvements whisper."""
+    if delta is None or abs(delta) <= tolerance:
+        return ""
+    worse = delta < 0 if not lower_is_better(metric) else delta > 0
+    return "REGRESSING" if worse else "improving"
+
+
+def render_trends(
+    store: RunStore,
+    *,
+    kinds: list[str] | None = None,
+    window: int = 12,
+    tolerance: float = 0.10,
+) -> str:
+    """Per-kind trend tables over the last ``window`` rows of each kind."""
+    records = store.records()
+    if kinds:
+        wanted = set(kinds)
+        records = [r for r in records if r.kind in wanted]
+    if not records:
+        return f"run store {store.path}: no records"
+    by_kind: dict[str, list] = defaultdict(list)
+    for rec in records:
+        by_kind[rec.kind].append(rec)
+
+    sections = [
+        f"run store {store.path}: {len(records)} record(s), "
+        f"{len(by_kind)} kind(s)"
+        + (f", {store.skipped} skipped line(s)" if store.skipped else "")
+    ]
+    for kind in sorted(by_kind):
+        recs = by_kind[kind][-window:] if window >= 0 else by_kind[kind]
+        series: dict[str, list[float]] = defaultdict(list)
+        for rec in recs:
+            for name in rec.metrics:
+                value = rec.metric(name)
+                if value is not None:
+                    series[name].append(value)
+        rows = []
+        for name in sorted(series):
+            values = series[name]
+            if len(values) < 2:
+                continue
+            delta = _delta(values)
+            rows.append(
+                (
+                    name,
+                    len(values),
+                    values[0],
+                    values[-1],
+                    "-" if delta is None else f"{delta:+.1%}",
+                    trend_flag(name, delta, tolerance),
+                    sparkline(values),
+                )
+            )
+        if rows:
+            span = f"{recs[0].when()} .. {recs[-1].when()}"
+            sections.append(
+                format_table(
+                    f"{kind} trends ({len(recs)} runs, {span})",
+                    ["metric", "n", "first", "last", "delta",
+                     "trend", "spark"],
+                    rows,
+                )
+            )
+        else:
+            sections.append(
+                f"== {kind} trends ==\n(only one recorded run — "
+                "record another to see a trend)"
+            )
+    return "\n\n".join(sections)
+
+
+def render_runs_table(records: list, skipped: int = 0) -> str:
+    """The ``repro runs list`` view: one row per record."""
+    if not records:
+        return "no run records"
+    rows = []
+    for i, rec in enumerate(records):
+        key_metrics = ", ".join(
+            f"{k}={rec.metrics[k]:.4g}"
+            if isinstance(rec.metrics[k], (int, float))
+            else f"{k}={rec.metrics[k]}"
+            for k in sorted(rec.metrics)[:2]
+        )
+        rows.append(
+            (
+                i,
+                rec.when(),
+                rec.kind,
+                rec.fp[:8] or "-",
+                rec.config_hash[:8] or "-",
+                (rec.git_rev or "-") + ("+" if rec.git_dirty else ""),
+                rec.wall_s,
+                len(rec.metrics),
+                key_metrics,
+            )
+        )
+    title = f"run records ({len(records)} shown"
+    title += f", {skipped} skipped line(s))" if skipped else ")"
+    return format_table(
+        title,
+        ["#", "when", "kind", "fp", "config", "git", "wall_s",
+         "metrics", "head"],
+        rows,
+    )

@@ -1,0 +1,431 @@
+"""Tests for the run-record database (repro.runs).
+
+Covers the record schema and its environment hygiene (the PR 2 env-leak
+discipline: fingerprints come from platform facts, never os.environ),
+the torn-line-tolerant JSONL store with schema-version skip and GC
+rotation, baseline migration, the rolling-median trajectory gate with
+its thin-history fallback, trend rendering, and the ``repro runs`` /
+``repro report --trends`` CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.runs import (
+    BASELINE_FP,
+    SCHEMA,
+    EnvLeakError,
+    RunRecord,
+    RunStore,
+    assert_env_clean,
+    config_hash,
+    default_baseline_path,
+    fingerprint_id,
+    kernel_metrics,
+    lower_is_better,
+    machine_fingerprint,
+    new_record,
+    record_run,
+    render_runs_table,
+    render_trends,
+    rolling_median,
+    seed_from_baseline,
+    sparkline,
+    trajectory_median,
+)
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+# ----------------------------------------------------------------------
+# Records, hashing, environment hygiene
+# ----------------------------------------------------------------------
+
+
+class TestRunRecord:
+    def test_round_trip_preserves_every_field(self):
+        rec = new_record(
+            "bench_kernel",
+            config={"n": 40, "repeats": 3},
+            metrics={"small_speedup": 1.5},
+            wall_s=2.5,
+            notes={"reason": "unit test"},
+        )
+        back = RunRecord.from_dict(
+            json.loads(json.dumps(rec.to_dict()))
+        )
+        assert back.kind == "bench_kernel"
+        assert back.config == {"n": 40, "repeats": 3}
+        assert back.metric("small_speedup") == 1.5
+        assert back.wall_s == 2.5
+        assert back.fp == rec.fp
+        assert back.config_hash == rec.config_hash
+        assert back.notes == {"reason": "unit test"}
+
+    def test_from_dict_rejects_foreign_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            RunRecord.from_dict({"schema": "runs/999", "kind": "x"})
+
+    def test_from_dict_rejects_missing_kind(self):
+        with pytest.raises((ValueError, KeyError)):
+            RunRecord.from_dict({"schema": SCHEMA})
+
+    def test_config_hash_ignores_key_order(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_git_provenance_captured_in_this_checkout(self):
+        rec = new_record("x", git_dir=ROOT)
+        assert rec.git_rev is not None and len(rec.git_rev) == 12
+
+    def test_git_provenance_soft_fails_outside_a_repo(self, tmp_path):
+        rec = new_record("x", git_dir=tmp_path)
+        assert rec.git_rev is None and rec.git_dirty is False
+
+    def test_baseline_rows_render_as_baseline(self):
+        rec = RunRecord(kind="bench_kernel", t=0.0)
+        assert rec.when() == "baseline"
+
+
+class TestEnvHygiene:
+    """The PR 2 regression tests: no os.environ contents in a record."""
+
+    CANARY = "super-secret-environment-token-123456"
+
+    def test_fingerprint_carries_only_platform_facts(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_CANARY", self.CANARY)
+        fp = machine_fingerprint()
+        assert set(fp) == {"platform", "machine", "python", "cpus"}
+        assert self.CANARY not in json.dumps(fp)
+
+    def test_clean_record_serialises_env_free(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_CANARY", self.CANARY)
+        rec = new_record(
+            "bench_kernel", config={"n": 40}, metrics={"speedup": 1.5}
+        )
+        text = json.dumps(rec.to_dict())
+        assert self.CANARY not in text
+        assert_env_clean(text)  # must not raise
+
+    def test_poisoned_append_is_rejected_before_disk(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TEST_CANARY", self.CANARY)
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        rec = new_record("x", notes={"oops": self.CANARY})
+        with pytest.raises(EnvLeakError, match="REPRO_TEST_CANARY"):
+            store.append(rec)
+        assert not store.path.exists()
+
+    def test_environ_is_read_at_call_time_not_import_time(self, monkeypatch):
+        text = f'{{"notes": "{self.CANARY}"}}'
+        assert_env_clean(text)  # canary not set yet: clean
+        monkeypatch.setenv("REPRO_TEST_CANARY", self.CANARY)
+        with pytest.raises(EnvLeakError):
+            assert_env_clean(text)
+
+    def test_short_env_values_are_not_leaks(self, monkeypatch):
+        monkeypatch.setenv("COLUMNS", "80")
+        assert_env_clean('{"wall_s": 80}')
+
+
+# ----------------------------------------------------------------------
+# Store durability
+# ----------------------------------------------------------------------
+
+
+class TestRunStore:
+    def test_append_and_filtered_reads(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        for i in range(3):
+            store.append(new_record("a", metrics={"v": float(i)}))
+        store.append(new_record("b", metrics={"v": 9.0}))
+        assert len(store.records()) == 4
+        assert [r.metric("v") for r in store.records(kind="a")] == [
+            0.0, 1.0, 2.0,
+        ]
+        assert store.records(kind="a", limit=2)[0].metric("v") == 1.0
+        assert store.counts() == {"a": 3, "b": 1}
+        fp = fingerprint_id()
+        assert len(store.records(fp=fp)) == 4
+        assert store.records(fp="nonexistent") == []
+
+    def test_unknown_schema_rows_are_skipped_not_fatal(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        store.append(new_record("a", metrics={"v": 1.0}))
+        with open(store.path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema":"runs/2","kind":"future","metrics":{}}\n')
+            fh.write("not json at all\n")
+        store.append(new_record("a", metrics={"v": 2.0}))
+        recs = store.records()
+        assert [r.metric("v") for r in recs] == [1.0, 2.0]
+        assert store.skipped == 2
+
+    def test_torn_final_line_skipped_and_repaired(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        store.append(new_record("a", metrics={"v": 1.0}))
+        with open(store.path, "ab") as fh:
+            fh.write(b'{"schema":"runs/1","kind":"torn","metr')
+        assert len(store.records()) == 1
+        assert store.skipped == 1
+        # The next append newline-terminates the fragment first, so the
+        # good record is never glued onto it.
+        store.append(new_record("a", metrics={"v": 2.0}))
+        assert [r.metric("v") for r in store.records()] == [1.0, 2.0]
+        for line in store.path.read_bytes().splitlines(keepends=True):
+            assert line.endswith(b"\n")
+
+    def test_gc_keeps_newest_per_kind_and_rotates(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        for i in range(5):
+            store.append(new_record("a", metrics={"v": float(i)}))
+        store.append(new_record("b", metrics={"v": 99.0}))
+        kept, dropped = store.gc(keep_per_kind=2)
+        assert (kept, dropped) == (3, 3)  # newest 2 of "a" + the 1 "b"
+        assert [r.metric("v") for r in store.records(kind="a")] == [3.0, 4.0]
+        assert len(store.records(kind="b")) == 1
+        backup = store.path.with_name(store.path.name + ".1")
+        assert backup.exists()
+        # Rotation is reversible: all 6 rows survive in the backup.
+        assert len(RunStore(backup).records()) == 6
+
+    def test_gc_rejects_nonpositive_keep(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunStore(tmp_path / "RUNS.jsonl").gc(keep_per_kind=0)
+
+    def test_tail_lines(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        for i in range(4):
+            store.append(new_record("a", metrics={"v": float(i)}))
+        tail = store.tail_lines(2)
+        assert len(tail) == 2
+        assert json.loads(tail[-1])["metrics"]["v"] == 3.0
+
+    def test_record_run_is_best_effort(self, tmp_path, capsys):
+        # Recording into an impossible path must warn, not raise.
+        bad = tmp_path / "file"
+        bad.write_text("x")
+        rec = record_run(
+            "a", metrics={"v": 1.0}, runs_file=bad / "RUNS.jsonl"
+        )
+        assert rec is None
+        assert "run record not written" in capsys.readouterr().err
+        assert record_run("a", enabled=False) is None
+
+
+# ----------------------------------------------------------------------
+# Baseline migration + trajectory gating
+# ----------------------------------------------------------------------
+
+
+class TestTrajectory:
+    def test_seed_from_committed_baseline_is_idempotent(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        seeded = seed_from_baseline(store, default_baseline_path())
+        assert seeded is not None
+        assert seeded.fp == BASELINE_FP
+        assert seeded.when() == "baseline"
+        assert seeded.metric("small_speedup") > 0
+        assert seed_from_baseline(store, default_baseline_path()) is None
+        assert len(store.records(kind="bench_kernel")) == 1
+
+    def test_seed_tolerates_missing_or_foreign_baseline(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        assert seed_from_baseline(store, tmp_path / "nope.json") is None
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text('{"schema": "something-else/1"}')
+        assert seed_from_baseline(store, foreign) is None
+
+    def test_kernel_metrics_flattens_the_committed_doc(self):
+        doc = json.loads(default_baseline_path().read_text())
+        metrics = kernel_metrics(doc)
+        assert metrics["small_speedup"] > 0
+        assert metrics["large_cells_per_s"] > 0
+
+    def test_rolling_median(self):
+        assert rolling_median([3.0]) == 3.0
+        assert rolling_median([1.0, 5.0, 3.0]) == 3.0
+        assert rolling_median([1.0, 2.0, 3.0, 10.0]) == 2.5
+        with pytest.raises(ValueError):
+            rolling_median([])
+
+    def test_median_excludes_baseline_and_other_fingerprints(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        seed_from_baseline(store, default_baseline_path())
+        for v in (1.0, 2.0, 3.0):
+            store.append(
+                new_record("bench_kernel", metrics={"small_speedup": v})
+            )
+        store.append(
+            RunRecord(
+                kind="bench_kernel",
+                metrics={"small_speedup": 100.0},
+                fp="some-other-machine",
+                t=1.0,
+            )
+        )
+        median, values = trajectory_median(
+            store, "small_speedup", min_rows=3
+        )
+        assert median == 2.0  # neither the baseline nor the foreign row
+        assert values == [1.0, 2.0, 3.0]
+
+    def test_thin_trajectory_signals_baseline_fallback(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        store.append(new_record("bench_kernel", metrics={"small_speedup": 2.0}))
+        median, values = trajectory_median(store, "small_speedup", min_rows=3)
+        assert median is None
+        assert values == [2.0]
+
+    def test_window_keeps_only_newest_values(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        for v in (10.0, 1.0, 2.0, 3.0):
+            store.append(new_record("bench_kernel", metrics={"s": v}))
+        median, values = trajectory_median(
+            store, "s", window=3, min_rows=3
+        )
+        assert values == [1.0, 2.0, 3.0]
+        assert median == 2.0
+
+    def test_nan_values_are_dropped(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        for v in (1.0, 2.0, 3.0):
+            store.append(new_record("bench_kernel", metrics={"s": v}))
+        rec = store.records()[0]
+        assert rec.metric("missing") is None
+        median, values = trajectory_median(store, "s", min_rows=3)
+        assert median == 2.0 and not any(math.isnan(v) for v in values)
+
+
+# ----------------------------------------------------------------------
+# Trend rendering
+# ----------------------------------------------------------------------
+
+
+class TestTrends:
+    def test_sparkline_shape(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+        assert sparkline([5.0, 5.0]) == "▄▄"
+        assert sparkline([1.0, float("nan"), 2.0])[1] == " "
+        assert sparkline([]) == ""
+
+    def test_lower_is_better_heuristic(self):
+        assert lower_is_better("p99_ms")
+        assert lower_is_better("shed_rate")
+        assert lower_is_better("wall_s")
+        assert lower_is_better("untraced_seconds")
+        assert not lower_is_better("small_cells_per_s")  # despite _s suffix
+        assert not lower_is_better("large_speedup")
+        assert not lower_is_better("cache_hit_rate")
+        assert not lower_is_better("dedup_ratio")
+
+    def test_render_trends_flags_a_regression(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        for v in (2.0, 2.0, 2.0, 1.0):  # speedup halves on the newest run
+            store.append(
+                new_record("bench_kernel", metrics={"small_speedup": v})
+            )
+        out = render_trends(store)
+        assert "bench_kernel trends" in out
+        assert "small_speedup" in out
+        assert "REGRESSING" in out
+        assert any(c in out for c in "▁▂▃▄▅▆▇█")
+
+    def test_render_trends_flags_an_improvement(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        for v in (100.0, 100.0, 100.0, 50.0):  # p99 halves: good
+            store.append(new_record("bench_serve", metrics={"p99_ms": v}))
+        assert "improving" in render_trends(store)
+
+    def test_render_trends_on_empty_and_single_run_stores(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        assert "no records" in render_trends(store)
+        store.append(new_record("a", metrics={"v": 1.0}))
+        assert "only one recorded run" in render_trends(store)
+
+    def test_render_runs_table(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        store.append(new_record("a", metrics={"v": 1.0}))
+        out = render_runs_table(store.records(), skipped=0)
+        assert "run records (1 shown)" in out
+        assert "v=1" in out
+        assert render_runs_table([]) == "no run records"
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+
+class TestRunsCli:
+    @pytest.fixture()
+    def store_path(self, tmp_path):
+        store = RunStore(tmp_path / "RUNS.jsonl")
+        for v in (1.0, 2.0, 3.0):
+            store.append(
+                new_record("bench_kernel", metrics={"small_speedup": v})
+            )
+        return store.path
+
+    def test_runs_list(self, store_path, capsys):
+        assert cli_main(
+            ["runs", "list", "--runs-file", str(store_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "run records" in out and "bench_kernel" in out
+
+    def test_runs_list_seeds_baseline_into_empty_store(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "RUNS.jsonl"
+        assert cli_main(["runs", "list", "--runs-file", str(path)]) == 0
+        assert "baseline" in capsys.readouterr().out
+        assert len(RunStore(path).records(kind="bench_kernel")) == 1
+
+    def test_runs_show_and_negative_index(self, store_path, capsys):
+        assert cli_main(
+            ["runs", "show", "-1", "--runs-file", str(store_path)]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == SCHEMA
+        assert doc["metrics"]["small_speedup"] == 3.0
+
+    def test_runs_show_out_of_range(self, store_path, capsys):
+        assert cli_main(
+            ["runs", "show", "99", "--runs-file", str(store_path)]
+        ) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_runs_tail(self, store_path, capsys):
+        assert cli_main(
+            ["runs", "tail", "--limit", "2", "--runs-file", str(store_path)]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[-1])["kind"] == "bench_kernel"
+
+    def test_runs_gc(self, store_path, capsys):
+        assert cli_main(
+            ["runs", "gc", "--keep", "1", "--runs-file", str(store_path)]
+        ) == 0
+        assert "kept" in capsys.readouterr().out
+        assert len(RunStore(store_path).records()) == 1
+
+    def test_report_trends(self, store_path, capsys):
+        assert cli_main(
+            ["report", "--trends", "--runs-file", str(store_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trends" in out and "small_speedup" in out
+
+    def test_report_without_trace_or_trends_errors(self, capsys):
+        assert cli_main(["report"]) == 2
+        assert "trace" in capsys.readouterr().err

@@ -1,0 +1,140 @@
+"""Concurrency and crash-recovery tests for the run-record store.
+
+``RUNS.jsonl`` is shared by every benchmark and acceptance gate that
+self-records, and nothing stops two of them from finishing at once (a
+``check_all.py`` sweep runs gates back to back; CI may run shards in
+parallel on one machine). These tests mirror
+``tests/test_cache_concurrency.py`` for the disk cache tier:
+
+- concurrent multi-process appends interleave at line granularity
+  (O_APPEND), so every line stays parseable;
+- a fresh reader sees every writer's rows;
+- rows written by a future schema version are skipped without hiding
+  their neighbours;
+- a writer killed mid-append leaves a torn final line that readers skip
+  and the next append repairs.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pathlib
+
+import pytest
+
+from repro.runs import SCHEMA, RunStore, new_record
+
+
+def _writer_proc(path: str, worker: int, n_rows: int) -> None:
+    store = RunStore(pathlib.Path(path))
+    for i in range(n_rows):
+        store.append(
+            new_record(
+                "bench_kernel",
+                config={"worker": worker},
+                metrics={"row": float(i), "worker": float(worker)},
+            )
+        )
+
+
+@pytest.mark.parametrize("n_procs", [2, 4])
+def test_concurrent_appends_keep_every_line_parseable(tmp_path, n_procs):
+    path = tmp_path / "RUNS.jsonl"
+    n_rows = 25
+    procs = [
+        multiprocessing.Process(
+            target=_writer_proc, args=(str(path), w, n_rows)
+        )
+        for w in range(n_procs)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+
+    lines = path.read_bytes().splitlines(keepends=True)
+    assert len(lines) == n_procs * n_rows
+    for line in lines:
+        assert line.endswith(b"\n")  # no interleaved/torn writes
+        doc = json.loads(line)
+        assert doc["schema"] == SCHEMA
+
+    # A fresh reader sees every writer's rows, in line-atomic wholes.
+    store = RunStore(path)
+    recs = store.records(kind="bench_kernel")
+    assert len(recs) == n_procs * n_rows
+    assert store.skipped == 0
+    per_worker = {}
+    for rec in recs:
+        w = int(rec.metric("worker"))
+        per_worker[w] = per_worker.get(w, 0) + 1
+    assert per_worker == {w: n_rows for w in range(n_procs)}
+
+
+def test_future_schema_rows_do_not_hide_neighbours(tmp_path):
+    path = tmp_path / "RUNS.jsonl"
+    store = RunStore(path)
+    store.append(new_record("a", metrics={"v": 1.0}))
+    # A newer writer sharing the file stamps a schema this reader does
+    # not understand; the row must be skipped, not fatal.
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"schema":"runs/2","kind":"a","metrics":{"v":99}}\n')
+    store.append(new_record("a", metrics={"v": 2.0}))
+    recs = store.records()
+    assert [r.metric("v") for r in recs] == [1.0, 2.0]
+    assert store.skipped == 1
+
+
+def test_killed_writer_leaves_recoverable_store(tmp_path):
+    path = tmp_path / "RUNS.jsonl"
+    store = RunStore(path)
+    store.append(new_record("a", metrics={"v": 1.0}))
+    # Simulate SIGKILL mid-append: half a row, no trailing newline.
+    whole = json.dumps(new_record("a", metrics={"v": 2.0}).to_dict())
+    with open(path, "ab") as fh:
+        fh.write(whole[: len(whole) // 2].encode())
+
+    survivor = RunStore(path)
+    assert [r.metric("v") for r in survivor.records()] == [1.0]
+    assert survivor.skipped == 1
+
+    # The next append must start on a fresh line and be readable both by
+    # this store object and a fresh reload.
+    survivor.append(new_record("a", metrics={"v": 3.0}))
+    assert [r.metric("v") for r in survivor.records()] == [1.0, 3.0]
+    reloaded = RunStore(path)
+    assert [r.metric("v") for r in reloaded.records()] == [1.0, 3.0]
+    for line in path.read_bytes().splitlines(keepends=True):
+        assert line.endswith(b"\n")
+
+
+def test_reader_does_not_touch_a_torn_file(tmp_path):
+    path = tmp_path / "RUNS.jsonl"
+    path.write_bytes(b'{"schema":"runs/1","kind":"half')
+    before = path.read_bytes()
+    store = RunStore(path)
+    assert store.records() == []
+    assert store.skipped == 1
+    assert path.read_bytes() == before  # repair happens on append only
+
+
+def test_gc_after_concurrent_writes_is_consistent(tmp_path):
+    path = tmp_path / "RUNS.jsonl"
+    procs = [
+        multiprocessing.Process(target=_writer_proc, args=(str(path), w, 10))
+        for w in range(3)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+
+    store = RunStore(path)
+    kept, dropped = store.gc(keep_per_kind=5)
+    assert kept == 5 and dropped == 25
+    assert len(store.records()) == 5
+    backup = path.with_name(path.name + ".1")
+    assert len(RunStore(backup).records()) == 30

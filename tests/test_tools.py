@@ -42,6 +42,7 @@ def test_check_overhead_smoke():
             "--n", "16",
             "--repeats", "2",
             "--tolerance", "5.0",
+            "--no-record",
         ],
         capture_output=True,
         text=True,
@@ -64,6 +65,7 @@ def test_check_chaos_smoke():
             "--repeats", "2",
             "--tolerance", "5.0",
             "--budget", "240",
+            "--no-record",
         ],
         capture_output=True,
         text=True,
@@ -87,6 +89,7 @@ def test_check_batch_smoke():
             "--n", "16",
             "--repeats", "1",
             "--min-speedup", "1.2",
+            "--no-record",
         ],
         capture_output=True,
         text=True,
@@ -110,6 +113,7 @@ def test_check_serve_smoke():
             "--unique", "8",
             "--n", "12",
             "--concurrency", "8",
+            "--no-record",
         ],
         capture_output=True,
         text=True,
@@ -118,6 +122,25 @@ def test_check_serve_smoke():
     )
     assert result.returncode == 0, result.stdout + result.stderr
     assert "OK:" in result.stdout and "dedup_ratio=" in result.stdout
+
+
+def test_check_runs_smoke():
+    # Full round trip of the run-record gate in its own temp store: seed
+    # from the committed baseline, record, re-gate against the rolling
+    # median, torn-line repair, gc and trend render.
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(ROOT / "tools" / "check_runs.py"),
+            "--no-record",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "OK:" in result.stdout
 
 
 def test_check_all_discovers_every_gate():

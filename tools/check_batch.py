@@ -22,7 +22,9 @@ Usage::
 
 Exit status 0 when all bounds hold, 1 on violation (2 on bad arguments).
 ``--workers 1`` (the default) keeps the pool serial so the measurement is
-about batching and caching, not fork timing noise.
+about batching and caching, not fork timing noise. The dedup ratio and
+speedup self-record as one ``check_batch`` row in the run-record
+database (``RUNS.jsonl``; disable with ``--no-record``).
 """
 
 from __future__ import annotations
@@ -64,6 +66,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--workers", type=int, default=1, help="pool workers (1 = serial)"
+    )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip self-recording the result as a check_batch run row",
+    )
+    parser.add_argument(
+        "--runs-file",
+        default=None,
+        metavar="FILE",
+        help="run-record store (default: RUNS.jsonl at the repo root)",
     )
     args = parser.parse_args(argv)
     if args.unique < 1 or args.requests < args.unique:
@@ -169,6 +182,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     for f in failures:
         print(f"  - {f}")
+
+    from repro.runs import record_run
+
+    record_run(
+        "check_batch",
+        config={
+            "requests": args.requests,
+            "unique": args.unique,
+            "n": args.n,
+            "workers": args.workers,
+            "min_speedup": args.min_speedup,
+        },
+        metrics={
+            "dedup_ratio": report.stats.dedup_ratio,
+            "batch_speedup": speedup,
+            "serial_seconds": serial_s,
+            "batch_seconds": batch_s,
+            "passed": float(not failures),
+        },
+        wall_s=sum(serial_times) + sum(batch_times),
+        runs_file=args.runs_file,
+        enabled=not args.no_record,
+    )
     return 1 if failures else 0
 
 

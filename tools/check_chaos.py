@@ -70,6 +70,17 @@ def main(argv: list[str] | None = None) -> int:
         default=300.0,
         help="wall-clock seconds the whole suite must finish within",
     )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip self-recording the result as a check_chaos run row",
+    )
+    parser.add_argument(
+        "--runs-file",
+        default=None,
+        metavar="FILE",
+        help="run-record store (default: RUNS.jsonl at the repo root)",
+    )
     args = parser.parse_args(argv)
     if args.n < 4 or args.repeats < 1 or args.tolerance < 0:
         parser.error("n must be >= 4, repeats >= 1, tolerance >= 0")
@@ -211,6 +222,26 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"{verdict}: {len(failures)} failure(s), total "
         f"{format_seconds(elapsed)}"
+    )
+
+    from repro.runs import record_run
+
+    record_run(
+        "check_chaos",
+        config={
+            "n": args.n,
+            "repeats": args.repeats,
+            "tolerance": args.tolerance,
+            "budget": args.budget,
+        },
+        metrics={
+            "supervision_overhead_frac": overhead,
+            "failures": float(len(failures)),
+            "passed": float(not failures),
+        },
+        wall_s=elapsed,
+        runs_file=args.runs_file,
+        enabled=not args.no_record,
     )
     return 0 if not failures else 1
 

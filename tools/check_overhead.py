@@ -14,7 +14,9 @@ Usage::
 
 Exit status 0 when within tolerance, 1 when over (2 on bad arguments).
 Minimum-of-repeats is used on both sides, which suppresses scheduler
-noise; raise ``--repeats`` on a loaded machine.
+noise; raise ``--repeats`` on a loaded machine. The measured overhead
+self-records as one ``check_overhead`` row in the run-record database
+(``RUNS.jsonl``; disable with ``--no-record``).
 """
 
 from __future__ import annotations
@@ -50,6 +52,17 @@ def main(argv: list[str] | None = None) -> int:
         default=0.10,
         help="max allowed fractional slowdown of the traced run",
     )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip self-recording the result as a check_overhead run row",
+    )
+    parser.add_argument(
+        "--runs-file",
+        default=None,
+        metavar="FILE",
+        help="run-record store (default: RUNS.jsonl at the repo root)",
+    )
     args = parser.parse_args(argv)
     if args.n < 1 or args.repeats < 1 or args.tolerance < 0:
         parser.error("n/repeats must be >= 1 and tolerance >= 0")
@@ -66,6 +79,7 @@ def main(argv: list[str] | None = None) -> int:
 
     seqs = mutated_family(args.n, seed=7)
     scheme = default_scheme_for(DNA)
+    t_start = time.perf_counter()
 
     fd, trace_path = tempfile.mkstemp(suffix=".jsonl", prefix="obs-overhead-")
     os.close(fd)
@@ -107,6 +121,29 @@ def main(argv: list[str] | None = None) -> int:
         f"{status}: n={args.n} untraced={format_seconds(base_s)} "
         f"traced={format_seconds(traced_s)} overhead={overhead:+.1%} "
         f"(tolerance {args.tolerance:.0%})"
+    )
+
+    # Self-record after the measurement loop, so the recorder's own cost
+    # (one git call + one O_APPEND write) can never skew the numbers it
+    # is recording.
+    from repro.runs import record_run
+
+    record_run(
+        "check_overhead",
+        config={
+            "n": args.n,
+            "repeats": args.repeats,
+            "tolerance": args.tolerance,
+        },
+        metrics={
+            "overhead_frac": overhead,
+            "untraced_seconds": base_s,
+            "traced_seconds": traced_s,
+            "passed": float(overhead <= args.tolerance),
+        },
+        wall_s=time.perf_counter() - t_start,
+        runs_file=args.runs_file,
+        enabled=not args.no_record,
     )
     return 0 if overhead <= args.tolerance else 1
 

@@ -10,7 +10,17 @@ kernel has lost its edge:
   repeated-small-plane (Hirschberg-style) workload and no regression
   (≥ 1.0x) on the single large sweep;
 * the **measured speedups** of the current checkout must not regress
-  more than ``--tolerance`` (default 20%) below the baseline's.
+  more than ``--tolerance`` (default 20%) below the reference point.
+
+The reference point is the committed baseline by default. With
+``--trajectory`` it becomes the **rolling median of the last
+``--window`` same-machine-fingerprint ``bench_kernel`` rows** in the
+run-record database (``RUNS.jsonl``; see ``docs/observability.md``) —
+regressions are then judged against this machine's recent history
+rather than one lucky snapshot. While the trajectory is thin (fewer
+than ``--min-rows`` rows for this fingerprint) the gate falls back to
+the committed baseline, and on a fresh checkout the baseline is first
+migrated into the store as the seed row.
 
 Speedup ratios (new kernel vs the frozen in-process reference kernel,
 timed back to back) are the primary gate because they are
@@ -22,11 +32,16 @@ Usage::
 
     PYTHONPATH=src python tools/check_perf.py [--repeats 3]
         [--tolerance 0.20] [--absolute] [--update]
+        [--trajectory] [--window 5] [--min-rows 3]
+        [--update-trajectory] [--runs-file FILE] [--no-record]
 
 ``--update`` rewrites ``BENCH_kernel.json`` from the current run after
-the gate passes (refresh the baseline when the kernel gets faster).
-Exit status 0 when within tolerance, 1 on regression (2 on bad
-arguments or a missing/invalid baseline).
+the gate passes (refresh the baseline when the kernel gets faster);
+``--update-trajectory`` appends the current measurement as a
+``bench_kernel`` trajectory row after the gate passes. Every invocation
+additionally self-records one ``check_perf`` gate-outcome row (disable
+with ``--no-record``). Exit status 0 when within tolerance, 1 on
+regression (2 on bad arguments or a missing/invalid baseline).
 """
 
 from __future__ import annotations
@@ -35,6 +50,7 @@ import argparse
 import json
 import pathlib
 import sys
+import time
 
 
 def _ensure_importable() -> None:
@@ -50,6 +66,14 @@ _ensure_importable()
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
 from benchmarks import bench_kernel  # noqa: E402
+from repro.runs import (  # noqa: E402
+    RunStore,
+    fingerprint_id,
+    kernel_metrics,
+    record_run,
+    seed_from_baseline,
+    trajectory_median,
+)
 
 #: The PR's acceptance floor, enforced on the committed baseline.
 SMALL_SPEEDUP_FLOOR = 1.5
@@ -86,7 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance",
         type=float,
         default=0.20,
-        help="max allowed fractional speedup regression vs baseline",
+        help="max allowed fractional speedup regression vs the reference",
     )
     parser.add_argument(
         "--absolute",
@@ -99,9 +123,49 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="rewrite the baseline from this run if the gate passes",
     )
+    parser.add_argument(
+        "--trajectory",
+        action="store_true",
+        help="gate against the rolling median of recorded "
+        "same-fingerprint bench_kernel runs instead of the committed "
+        "baseline (falls back to the baseline while the trajectory is "
+        "thinner than --min-rows)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="trajectory rows the rolling median is taken over",
+    )
+    parser.add_argument(
+        "--min-rows",
+        type=int,
+        default=3,
+        help="same-fingerprint rows required before the trajectory "
+        "replaces the committed baseline",
+    )
+    parser.add_argument(
+        "--update-trajectory",
+        action="store_true",
+        help="append this run as a bench_kernel trajectory row if the "
+        "gate passes",
+    )
+    parser.add_argument(
+        "--runs-file",
+        default=None,
+        metavar="FILE",
+        help="run-record store (default: RUNS.jsonl at the repo root)",
+    )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip self-recording the gate outcome as a check_perf row",
+    )
     args = parser.parse_args(argv)
     if args.tolerance < 0 or (args.repeats is not None and args.repeats < 1):
         parser.error("tolerance must be >= 0 and repeats >= 1")
+    if args.window < 1 or args.min_rows < 1:
+        parser.error("window and min-rows must be >= 1")
 
     try:
         baseline = load_baseline()
@@ -123,30 +187,84 @@ def main(argv: list[str] | None = None) -> int:
             f"the reference kernel"
         )
 
+    store = RunStore(args.runs_file)
+    fp = fingerprint_id()
+    if args.trajectory:
+        # A fresh checkout has no rows yet: migrate the committed
+        # baseline as the seed so the trend view is never empty (it
+        # carries the sentinel "baseline" fingerprint, so the gate below
+        # still falls back to the committed file until real
+        # same-machine rows accumulate).
+        seed_from_baseline(store, bench_kernel.baseline_path())
+
     config = dict(baseline["config"])
     if args.repeats is not None:
         config["repeats"] = args.repeats
+    t0 = time.perf_counter()
     doc = bench_kernel.run(config)
+    wall = time.perf_counter() - t0
     print(bench_kernel.summarise(doc))
 
     scale = 1.0 - args.tolerance
-    for name, floor_note in (("small_repeated", "small"), ("large_sweep", "large")):
+    for name, metric, label in (
+        ("small_repeated", "small_speedup", "small"),
+        ("large_sweep", "large_speedup", "large"),
+    ):
         now = doc[name]["speedup"]
-        base = baseline[name]["speedup"]
-        if now < base * scale:
+        ref = baseline[name]["speedup"]
+        source = "baseline"
+        if args.trajectory:
+            median, values = trajectory_median(
+                store,
+                metric,
+                fp=fp,
+                window=args.window,
+                min_rows=args.min_rows,
+            )
+            if median is not None:
+                ref = median
+                source = (
+                    f"trajectory median of {len(values)} run(s) "
+                    f"[fp {fp[:8]}]"
+                )
+            else:
+                source = (
+                    f"baseline (trajectory has {len(values)} "
+                    f"same-fingerprint row(s) < {args.min_rows})"
+                )
+        print(f"{label} reference: {ref:.2f}x from {source}")
+        if now < ref * scale:
             failures.append(
-                f"{floor_note} speedup {now:.2f}x regressed more than "
-                f"{args.tolerance:.0%} below baseline {base:.2f}x"
+                f"{label} speedup {now:.2f}x regressed more than "
+                f"{args.tolerance:.0%} below {source} {ref:.2f}x"
             )
         if args.absolute:
             now_abs = doc[name]["new_cells_per_s"]
             base_abs = baseline[name]["new_cells_per_s"]
             if now_abs < base_abs * scale:
                 failures.append(
-                    f"{floor_note} throughput {now_abs:,.0f} cells/s "
+                    f"{label} throughput {now_abs:,.0f} cells/s "
                     f"regressed more than {args.tolerance:.0%} below "
                     f"baseline {base_abs:,.0f}"
                 )
+
+    passed = not failures
+    record_run(
+        "check_perf",
+        config={
+            "trajectory": args.trajectory,
+            "tolerance": args.tolerance,
+            "window": args.window,
+            "min_rows": args.min_rows,
+            "absolute": args.absolute,
+            "bench_config": doc["config"],
+        },
+        metrics={**kernel_metrics(doc), "passed": float(passed)},
+        wall_s=wall,
+        runs_file=args.runs_file,
+        enabled=not args.no_record,
+        git_dir=bench_kernel.baseline_path().parent,
+    )
 
     if failures:
         for f in failures:
@@ -163,6 +281,21 @@ def main(argv: list[str] | None = None) -> int:
         path = bench_kernel.baseline_path()
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         print(f"baseline updated: {path.name}")
+    if args.update_trajectory:
+        record = record_run(
+            "bench_kernel",
+            config=doc["config"],
+            metrics=kernel_metrics(doc),
+            wall_s=wall,
+            runs_file=args.runs_file,
+            git_dir=bench_kernel.baseline_path().parent,
+        )
+        if record is not None:
+            rows = len(store.records(kind="bench_kernel", fp=fp))
+            print(
+                f"trajectory updated: {rows} same-fingerprint row(s) "
+                f"in {store.path.name}"
+            )
     return 0
 
 

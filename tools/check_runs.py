@@ -1,0 +1,253 @@
+#!/usr/bin/env python
+"""Guard the run-record subsystem's acceptance contract end to end.
+
+Round-trips the whole ``repro.runs`` pipeline in a throwaway store:
+
+1. **Seed** — the committed ``BENCH_kernel.json`` migrates into an
+   empty store as the first trajectory row (sentinel ``baseline``
+   fingerprint) and the migration is idempotent.
+2. **Record** — two same-fingerprint ``bench_kernel`` rows append with
+   git provenance and an environment-clean fingerprint; a row poisoned
+   with an environment-variable value is *rejected* before reaching
+   disk.
+3. **Re-gate** — the rolling-median trajectory gate passes a steady
+   measurement and fails a 50% regression, and falls back to the
+   committed baseline while the trajectory is thinner than
+   ``--min-rows``.
+4. **Durability** — a torn final line (killed writer) is skipped on
+   reload and repaired by the next append; unknown-schema rows are
+   skipped without poisoning their neighbours; ``gc`` keeps the newest
+   rows per kind and rotates the old file to ``.1``.
+5. **Trend render** — ``repro report --trends`` and ``repro runs list``
+   run green over the store and the trend table carries a sparkline
+   and a delta for the recorded metrics.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_runs.py [--no-record]
+        [--runs-file FILE]
+
+The gate itself self-records one ``check_runs`` row into the *real*
+store (``--runs-file``/``--no-record`` control that; the throwaway
+store above lives in a temp directory). Exit status 0 when every check
+holds, 1 on violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+from contextlib import redirect_stdout
+
+
+def _ensure_importable() -> None:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        sys.path.insert(0, str(src))
+
+
+_ensure_importable()
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.runs import (  # noqa: E402
+    BASELINE_FP,
+    EnvLeakError,
+    RunStore,
+    default_baseline_path,
+    fingerprint_id,
+    kernel_metrics,
+    new_record,
+    record_run,
+    render_trends,
+    seed_from_baseline,
+    trajectory_median,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="assert the run-record store round-trips: "
+        "seed -> record -> re-gate -> trend render"
+    )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip self-recording the result as a check_runs row",
+    )
+    parser.add_argument(
+        "--runs-file",
+        default=None,
+        metavar="FILE",
+        help="store for the self-record row (default: RUNS.jsonl at the "
+        "repo root); the round-trip itself always uses a temp store",
+    )
+    args = parser.parse_args(argv)
+
+    t_start = time.perf_counter()
+    failures: list[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(f"  {'ok  ' if ok else 'FAIL'} {what}")
+        if not ok:
+            failures.append(what)
+
+    baseline_path = default_baseline_path()
+    try:
+        baseline_doc = json.loads(baseline_path.read_text())
+        base_metrics = kernel_metrics(baseline_doc)
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"FAIL: cannot load {baseline_path.name}: {exc}")
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="check-runs-") as tmp:
+        store = RunStore(pathlib.Path(tmp) / "RUNS.jsonl")
+
+        # ---- 1. seed ------------------------------------------------
+        seeded = seed_from_baseline(store, baseline_path)
+        check(
+            seeded is not None and seeded.fp == BASELINE_FP,
+            "baseline migrates into an empty store as the seed row",
+        )
+        check(
+            seed_from_baseline(store, baseline_path) is None
+            and len(store.records(kind="bench_kernel")) == 1,
+            "seeding is idempotent",
+        )
+
+        # ---- 2. record ----------------------------------------------
+        fp = fingerprint_id()
+        for jitter in (0.99, 1.01):
+            rec = new_record(
+                "bench_kernel",
+                config=baseline_doc["config"],
+                metrics={k: v * jitter for k, v in base_metrics.items()},
+                wall_s=0.5,
+            )
+            store.append(rec)
+        rows = store.records(kind="bench_kernel", fp=fp)
+        check(
+            len(rows) == 2 and all(r.git_rev for r in rows),
+            "two same-fingerprint rows recorded with git provenance",
+        )
+
+        canary = "canary-environment-value-0123456789"
+        os.environ["REPRO_RUNS_CANARY"] = canary
+        try:
+            poisoned = new_record(
+                "bench_kernel", metrics={"x": 1.0}, notes={"leak": canary}
+            )
+            try:
+                store.append(poisoned)
+                check(False, "environment-tainted row is rejected")
+            except EnvLeakError:
+                check(True, "environment-tainted row is rejected")
+            clean = new_record("bench_kernel", metrics={"x": 1.0})
+            check(
+                canary not in json.dumps(clean.to_dict()),
+                "fingerprint and provenance stay environment-free",
+            )
+        finally:
+            del os.environ["REPRO_RUNS_CANARY"]
+
+        # ---- 3. re-gate ---------------------------------------------
+        median, values = trajectory_median(
+            store, "small_speedup", fp=fp, window=5, min_rows=2
+        )
+        steady = base_metrics["small_speedup"]
+        check(
+            median is not None and steady >= median * 0.8,
+            "steady measurement passes the rolling-median gate",
+        )
+        check(
+            median is not None and steady * 0.5 < median * 0.8,
+            "a 50% regression fails the rolling-median gate",
+        )
+        thin_median, thin_values = trajectory_median(
+            store, "small_speedup", fp=fp, window=5, min_rows=3
+        )
+        check(
+            thin_median is None and len(thin_values) == 2,
+            "thin trajectory signals fallback to the committed baseline",
+        )
+
+        # ---- 4. durability ------------------------------------------
+        with open(store.path, "ab") as fh:
+            fh.write(b'{"schema":"runs/999","kind":"future-row"}\n')
+            fh.write(b'{"schema":"runs/1","kind":"torn')  # killed writer
+        before = len(store.records())
+        skipped = store.skipped
+        check(
+            skipped == 2 and before == 3,
+            "unknown-schema and torn lines are skipped on read",
+        )
+        store.append(new_record("bench_kernel", metrics={"x": 2.0}))
+        parseable = [
+            ln
+            for ln in store.path.read_bytes().splitlines(keepends=True)
+            if ln.endswith(b"\n")
+        ]
+        check(
+            len(store.records()) == before + 1
+            and all(b"\n" not in ln[:-1] for ln in parseable),
+            "append after a torn line repairs the tail",
+        )
+        trends = render_trends(store)  # pre-gc: full kernel series
+        kept, dropped = store.gc(keep_per_kind=2)
+        check(
+            kept == 2
+            and store.path.with_name(store.path.name + ".1").exists(),
+            "gc keeps the newest rows per kind and rotates the old file",
+        )
+
+        # ---- 5. trend render ----------------------------------------
+        check(
+            "bench_kernel trends" in trends
+            and any(c in trends for c in "▁▂▃▄▅▆▇█")
+            and "%" in trends,
+            "render_trends shows sparkline and delta",
+        )
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            rc_report = cli_main(
+                ["report", "--trends", "--runs-file", str(store.path)]
+            )
+            rc_list = cli_main(
+                ["runs", "list", "--runs-file", str(store.path)]
+            )
+        check(
+            rc_report == 0 and rc_list == 0
+            and "trends" in buf.getvalue()
+            and "run records" in buf.getvalue(),
+            "repro report --trends and repro runs list run green",
+        )
+
+    elapsed = time.perf_counter() - t_start
+    verdict = "OK" if not failures else "FAIL"
+    print(f"{verdict}: {len(failures)} failure(s) in {elapsed:.2f}s")
+    for f in failures:
+        print(f"  - {f}")
+
+    record_run(
+        "check_runs",
+        config={},
+        metrics={
+            "failures": float(len(failures)),
+            "passed": float(not failures),
+        },
+        wall_s=elapsed,
+        runs_file=args.runs_file,
+        enabled=not args.no_record,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

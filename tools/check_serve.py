@@ -147,6 +147,17 @@ def main(argv: list[str] | None = None) -> int:
         default=0.8,
         help="required server-side dedup ratio on the duplicate-heavy mix",
     )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip self-recording the result as a check_serve run row",
+    )
+    parser.add_argument(
+        "--runs-file",
+        default=None,
+        metavar="FILE",
+        help="run-record store (default: RUNS.jsonl at the repo root)",
+    )
     args = parser.parse_args(argv)
     if args.unique < 1 or args.requests < args.unique:
         parser.error("need requests >= unique >= 1")
@@ -154,6 +165,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("concurrency and n must be >= 1")
 
     _ensure_importable()
+    t_start = time.perf_counter()
     from repro.core.api import align3
     from repro.core.scoring import default_scheme_for
     from repro.seqio.alphabet import DNA
@@ -328,6 +340,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     for f in failures:
         print(f"  - {f}")
+
+    from repro.runs import record_run
+
+    record_run(
+        "check_serve",
+        config={
+            "requests": args.requests,
+            "unique": args.unique,
+            "n": args.n,
+            "concurrency": args.concurrency,
+            "min_dedup": args.min_dedup,
+        },
+        metrics={
+            "dedup_ratio": dedup,
+            "drained_completed": float(completed),
+            "drain_refused": float(refused),
+            "passed": float(not failures),
+        },
+        wall_s=time.perf_counter() - t_start,
+        runs_file=args.runs_file,
+        enabled=not args.no_record,
+    )
     return 1 if failures else 0
 
 
