@@ -30,6 +30,12 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_serve.py --loop open \\
         --rate 200 --duration 10 --mix unique
     PYTHONPATH=src python benchmarks/bench_serve.py --port 8673  # existing
+    PYTHONPATH=src python benchmarks/bench_serve.py --replicas 3  # sharded
+
+``--replicas N`` spawns N serve processes behind a ``repro router``
+and drives the router port instead — the scale-out view. Aggregate
+throughput only scales when the machine has cores to back the extra
+worker pools.
 """
 
 from __future__ import annotations
@@ -61,26 +67,56 @@ def percentile(sorted_vals: list[float], q: float) -> float:
     return sorted_vals[k]
 
 
-def spawn_server(extra: list[str]) -> tuple[subprocess.Popen, int]:
+def spawn(cmd: list[str], banner: str) -> tuple[subprocess.Popen, int]:
+    """Start a repro subcommand and scrape its bound port off stderr."""
     src = pathlib.Path(__file__).resolve().parent.parent / "src"
     env = dict(os.environ)
     env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0"] + extra,
+        [sys.executable, "-m", "repro"] + cmd,
         env=env,
         stderr=subprocess.PIPE,
         text=True,
     )
     assert proc.stderr is not None
     for line in proc.stderr:
-        m = re.match(r"# serving on [\d.]+:(\d+)", line)
+        m = re.match(rf"# {banner} [\d.]+:(\d+)", line)
         if m:
             port = int(m.group(1))
             threading.Thread(
                 target=lambda: [None for _ in proc.stderr], daemon=True
             ).start()
             return proc, port
-    raise RuntimeError(f"server failed to start (rc={proc.poll()})")
+    raise RuntimeError(f"{cmd[0]} failed to start (rc={proc.poll()})")
+
+
+def spawn_server(extra: list[str]) -> tuple[subprocess.Popen, int]:
+    return spawn(["serve", "--port", "0"] + extra, "serving on")
+
+
+def spawn_tier(
+    replicas: int, workers: int
+) -> tuple[list[subprocess.Popen], int]:
+    """Spawn ``replicas`` serve processes behind a router; return the
+    router's port. Each replica gets its own worker pool, so aggregate
+    compute scales with (cores permitting) the replica count."""
+    procs: list[subprocess.Popen] = []
+    ports: list[int] = []
+    try:
+        for _ in range(replicas):
+            proc, port = spawn_server(["--workers", str(workers)])
+            procs.append(proc)
+            ports.append(port)
+        router, rport = spawn(
+            ["router", *(f"127.0.0.1:{p}" for p in ports), "--port", "0"],
+            "routing on",
+        )
+        procs.append(router)
+    except BaseException:
+        for proc in procs:
+            proc.kill()
+        raise
+    return procs, rport
 
 
 def summarise(rec: "Recorder", wall: float) -> dict[str, float]:
@@ -241,6 +277,13 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=2, help="spawned server's pool size"
     )
     parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="spawn N serve replicas behind a repro router and drive the "
+        "router instead of a single server (ignored with --port)",
+    )
+    parser.add_argument(
         "--no-record",
         action="store_true",
         help="skip appending this run to the run-record store",
@@ -255,6 +298,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.requests < 1 or args.unique < 1 or args.concurrency < 1:
         parser.error("requests/unique/concurrency must be >= 1")
+    if args.replicas < 1:
+        parser.error("replicas must be >= 1")
 
     _ensure_importable()
     from repro.seqio.generate import mutated_family
@@ -265,10 +310,14 @@ def main(argv: list[str] | None = None) -> int:
     ]
     payloads = [triples[i % n_unique] for i in range(args.requests)]
 
-    proc = None
+    procs: list[subprocess.Popen] = []
     port = args.port
     if port is None:
-        proc, port = spawn_server(["--workers", str(args.workers)])
+        if args.replicas > 1:
+            procs, port = spawn_tier(args.replicas, args.workers)
+        else:
+            proc, port = spawn_server(["--workers", str(args.workers)])
+            procs = [proc]
     rec = Recorder()
     try:
         if args.loop == "closed":
@@ -280,8 +329,11 @@ def main(argv: list[str] | None = None) -> int:
                 args.host, port, payloads, args.rate, args.concurrency, rec
             )
     finally:
-        if proc is not None:
+        # Router (last in the list) first, so replicas never see it
+        # retry against half-dead backends while they drain.
+        for proc in reversed(procs):
             proc.send_signal(signal.SIGTERM)
+        for proc in procs:
             try:
                 proc.wait(timeout=30)
             except subprocess.TimeoutExpired:
@@ -292,6 +344,7 @@ def main(argv: list[str] | None = None) -> int:
         f"# loop={args.loop} mix={args.mix} requests={args.requests} "
         f"unique={n_unique} n={args.n} concurrency={args.concurrency}"
         + (f" rate={args.rate:g}/s" if args.loop == "open" else "")
+        + (f" replicas={args.replicas}" if args.replicas > 1 else "")
     )
     print(
         f"# wall={wall:.3f}s throughput={summary['throughput_rps']:.1f} "
@@ -325,6 +378,7 @@ def main(argv: list[str] | None = None) -> int:
         "n": args.n,
         "concurrency": args.concurrency,
         "workers": args.workers,
+        "replicas": args.replicas,
     }
     if args.loop == "open":
         config["rate"] = args.rate

@@ -1,0 +1,177 @@
+"""Client for the shared cache service (``repro cache-server``).
+
+One :class:`RemoteCacheClient` is the glue that turns a
+:class:`~repro.cache.store.ResultCache` into a three-tier store: after
+a local memory/disk miss the cache asks the service
+(``GET /v1/cache/<key>``), and every put is mirrored there
+(``PUT /v1/cache/<key>``), so N serve replicas share one working set —
+a replica restart loses only its LRU, and a key computed on one shard
+is a cheap hit everywhere.
+
+Failure posture matters more than speed here: the remote tier sits on
+the hot serving path, so the client keeps its timeouts short and trips
+a circuit breaker after ``breaker_threshold`` consecutive transport
+errors — while the breaker is open every call returns a miss
+immediately instead of stalling the compute thread behind a dead
+service. The breaker half-opens after ``breaker_cooldown_s`` and one
+successful exchange closes it. All methods are best-effort and never
+raise; the serving tier degrades to local-only caching.
+
+Thread-safe: one lock guards the single keep-alive connection and the
+breaker state (the batch layer calls from one compute thread; tests
+and tools may share a client across a few threads).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from typing import Any
+
+
+class RemoteCacheClient:
+    """Best-effort HTTP client for one cache service."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout_s: float = 1.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 5.0,
+    ):
+        if breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown_s = float(breaker_cooldown_s)
+        self._lock = threading.Lock()
+        self._conn: http.client.HTTPConnection | None = None
+        self._consecutive_errors = 0
+        self._open_until = 0.0  # monotonic; breaker open while in future
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+        self.breaker_trips = 0
+
+    @classmethod
+    def from_url(cls, url: str, **kwargs: Any) -> "RemoteCacheClient":
+        """Build from a ``host:port`` (or ``http://host:port``) string."""
+        raw = url.strip()
+        if raw.startswith("http://"):
+            raw = raw[len("http://"):]
+        raw = raw.rstrip("/")
+        host, sep, port = raw.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ValueError(
+                f"cache url must be host:port, got {url!r}"
+            )
+        return cls(host or "127.0.0.1", int(port), **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._conn
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def _breaker_open(self) -> bool:
+        return time.monotonic() < self._open_until
+
+    def _note_error(self) -> None:
+        self.errors += 1
+        self._consecutive_errors += 1
+        if self._consecutive_errors >= self.breaker_threshold:
+            self._open_until = time.monotonic() + self.breaker_cooldown_s
+            self._consecutive_errors = 0
+            self.breaker_trips += 1
+
+    def _note_success(self) -> None:
+        self._consecutive_errors = 0
+        self._open_until = 0.0
+
+    def _exchange(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> tuple[int, bytes] | None:
+        """One request/response, with a single reconnect on a stale
+        keep-alive connection. None on transport failure (noted)."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload, separators=(",", ":")).encode()
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                resp = conn.getresponse()
+                raw = resp.read()
+                self._note_success()
+                return resp.status, raw
+            except (http.client.HTTPException, OSError):
+                self._conn = None
+                if attempt == 1:
+                    self._note_error()
+                    return None
+        return None  # pragma: no cover — loop always returns
+
+    # ------------------------------------------------------------------
+
+    def get_payload(self, key: str) -> dict | None:
+        """The encoded alignment payload for ``key``, or None on a miss,
+        any error, or an open breaker."""
+        with self._lock:
+            if self._breaker_open():
+                return None
+            out = self._exchange("GET", f"/v1/cache/{key}")
+            if out is None:
+                self.misses += 1
+                return None
+            status, raw = out
+            if status != 200:
+                self.misses += 1
+                return None
+            try:
+                payload = json.loads(raw)["alignment"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                self.misses += 1
+                return None
+            if not isinstance(payload, dict):
+                self.misses += 1
+                return None
+            self.hits += 1
+            return payload
+
+    def put_payload(self, key: str, payload: dict) -> bool:
+        """Mirror one encoded payload to the service; False on failure."""
+        with self._lock:
+            if self._breaker_open():
+                return False
+            out = self._exchange(
+                "PUT", f"/v1/cache/{key}", {"alignment": payload}
+            )
+            return out is not None and out[0] in (200, 204)
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "errors": self.errors,
+            "breaker_trips": self.breaker_trips,
+            "breaker_open": float(self._breaker_open()),
+        }

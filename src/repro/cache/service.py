@@ -1,0 +1,164 @@
+"""Shared cache service: the disk tier promoted to a network service.
+
+``repro cache-server`` runs one :class:`CacheServer` in front of a
+:class:`~repro.cache.store.ResultCache` (typically with a persistent
+``cache_dir``), and every serve replica started with ``--cache-url``
+treats it as a third cache tier. The payoff is shard-independence: a
+result computed on replica A is one round trip away for replica B, and
+a replica restarted during a rolling deploy refills its LRU from here
+instead of recomputing O(n^3) cubes.
+
+Protocol (same HTTP/1.1 JSON framing as the rest of the stack):
+
+* ``GET /v1/cache/<key>`` → 200 ``{"key", "alignment"}`` | 404
+* ``PUT /v1/cache/<key>`` with ``{"alignment": {...}}`` → 200
+  (payloads are validated by decoding before insertion; corrupt ones
+  get a 400 and never touch the store)
+* ``GET /healthz`` → 200 (or 503 while draining)
+* ``GET /metrics`` → cache counters + request counts
+
+The service is intentionally dumb — no invalidation, no TTLs —
+because keys are content-addressed digests of the full request: a key
+can only ever map to one value, so "last write wins" and "serve
+whatever you have" are both correct.
+"""
+
+from __future__ import annotations
+
+import string
+import sys
+import time
+from typing import Any
+
+from repro.cache.store import ResultCache
+from repro.serve import protocol
+from repro.serve.httpd import JsonHttpServer, run_blocking
+
+_KEY_CHARS = set(string.hexdigits)
+#: sha256 hexdigest length — the only key shape the store emits.
+_KEY_LEN = 64
+
+_CACHE_PREFIX = "/v1/cache/"
+
+
+def _valid_key(key: str) -> bool:
+    return len(key) == _KEY_LEN and all(c in _KEY_CHARS for c in key)
+
+
+class CacheServer(JsonHttpServer):
+    """Asyncio HTTP front end over one :class:`ResultCache`."""
+
+    banner = "cache-serving on"
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: str | None = None,
+        cache_entries: int = 65536,
+        keepalive_timeout_s: float = 30.0,
+        drain_timeout_s: float = 10.0,
+        drain_grace_s: float = 0.0,
+        cache: ResultCache | None = None,
+    ):
+        super().__init__(
+            host=host,
+            port=port,
+            keepalive_timeout_s=keepalive_timeout_s,
+            drain_timeout_s=drain_timeout_s,
+            drain_grace_s=drain_grace_s,
+        )
+        self.cache = cache if cache is not None else ResultCache(
+            max_entries=cache_entries, cache_dir=cache_dir
+        )
+        self.requests = {"get": 0, "put": 0, "hit": 0}
+
+    async def _dispatch(
+        self, request: protocol.HttpRequest
+    ) -> tuple[int, Any, list[tuple[str, str]]]:
+        path, method = request.path, request.method
+        if path == "/healthz":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return self._healthz()
+        if path == "/metrics":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return 200, self._metrics_payload(), []
+        if path.startswith(_CACHE_PREFIX):
+            key = path[len(_CACHE_PREFIX):]
+            if not _valid_key(key):
+                return 400, protocol.error_payload(
+                    "bad_key", "cache keys are 64-char hex digests"
+                ), []
+            if method == "GET":
+                return self._get(key)
+            if method == "PUT":
+                return self._put(key, request)
+            return self._method_not_allowed("GET, PUT")
+        return 404, protocol.error_payload(
+            "not_found", f"no route for {path}"
+        ), []
+
+    # ------------------------------------------------------------------
+
+    def _get(self, key: str) -> tuple[int, Any, list[tuple[str, str]]]:
+        self.requests["get"] += 1
+        payload = self.cache.get_payload(key)
+        if payload is None:
+            return 404, protocol.error_payload(
+                "cache_miss", "key not present"
+            ), []
+        self.requests["hit"] += 1
+        return 200, {"key": key, "alignment": payload}, []
+
+    def _put(
+        self, key: str, request: protocol.HttpRequest
+    ) -> tuple[int, Any, list[tuple[str, str]]]:
+        self.requests["put"] += 1
+        body = request.json()
+        if not isinstance(body, dict) or not isinstance(
+            body.get("alignment"), dict
+        ):
+            raise protocol.BadRequest(
+                'body must be {"alignment": {...}}'
+            )
+        try:
+            self.cache.put_payload(key, body["alignment"])
+        except (ValueError, KeyError, TypeError) as exc:
+            return 400, protocol.error_payload(
+                "bad_payload", f"alignment failed validation: {exc}"
+            ), []
+        # 200 with a body, not 204: the framing layer always writes a
+        # JSON body, and http.client ignores bodies on 204 — the stale
+        # bytes would desync the next keep-alive exchange.
+        return 200, {"stored": key}, []
+
+    def _healthz(self) -> tuple[int, Any, list[tuple[str, str]]]:
+        status = 503 if self.draining else 200
+        return status, {
+            "status": "draining" if self.draining else "ok",
+            "role": "cache",
+            "time": time.time(),
+            "uptime_s": self.uptime_s(),
+            "entries": len(self.cache),
+        }, []
+
+    def _metrics_payload(self) -> dict:
+        return {
+            "role": "cache",
+            "uptime_s": self.uptime_s(),
+            "entries": len(self.cache),
+            "requests": dict(self.requests),
+            "cache": self.cache.stats.snapshot(),
+        }
+
+
+def run_cache_server(**kwargs: Any) -> int:
+    """Blocking entry point used by ``repro cache-server``."""
+    try:
+        return run_blocking(lambda: CacheServer(**kwargs))
+    except OSError as exc:
+        print(f"# fatal: {exc}", file=sys.stderr, flush=True)
+        return 1

@@ -116,13 +116,14 @@ class CacheStats:
 
     memory_hits: int = 0
     disk_hits: int = 0
+    remote_hits: int = 0
     misses: int = 0
     puts: int = 0
     evictions: int = 0
 
     @property
     def hits(self) -> int:
-        return self.memory_hits + self.disk_hits
+        return self.memory_hits + self.disk_hits + self.remote_hits
 
     @property
     def lookups(self) -> int:
@@ -136,6 +137,7 @@ class CacheStats:
         return {
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
+            "remote_hits": self.remote_hits,
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
@@ -154,19 +156,33 @@ class ResultCache:
     cache_dir:
         Optional directory for the persistent JSONL tier (created if
         missing). When None the cache is memory-only.
+    remote:
+        Optional :class:`repro.cache.remote.RemoteCacheClient` (or any
+        object with ``get_payload``/``put_payload``): a *shared* third
+        tier queried after a local miss and populated on every put, so
+        replicas of the serve tier see each other's results. Remote IO
+        is best-effort and happens outside the lock — a dead cache
+        service degrades to local-only serving, never an error.
 
-    Thread-safe: a single lock guards both tiers — every operation is a
-    dict move plus at most one line of file IO, so contention is
+    Thread-safe: a single lock guards the local tiers — every operation
+    is a dict move plus at most one line of file IO, so contention is
     negligible next to an O(n^3) miss.
     """
 
     _DISK_FILE = "results.jsonl"
 
-    def __init__(self, max_entries: int = 1024, cache_dir: Any = None):
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        cache_dir: Any = None,
+        *,
+        remote: Any = None,
+    ):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
         self.cache_dir = None if cache_dir is None else os.fspath(cache_dir)
+        self.remote = remote
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._memory: OrderedDict[str, dict] = OrderedDict()
@@ -268,9 +284,11 @@ class ResultCache:
     def get(self, key: str, *, record: bool = True) -> Alignment3 | None:
         """The cached alignment for ``key``, or None. Decodes fresh.
 
-        ``record=False`` skips the hit/miss accounting — used for
-        secondary-key probes (permutation lookups) that would otherwise
-        double-count a single logical request.
+        Probes memory, then disk, then (outside the lock) the remote
+        tier; a remote hit is promoted into the memory tier so repeats
+        stay local. ``record=False`` skips the hit/miss accounting —
+        used for secondary-key probes (permutation lookups) that would
+        otherwise double-count a single logical request.
         """
         with self._lock:
             payload = self._memory.get(key)
@@ -287,14 +305,82 @@ class ResultCache:
                     self.stats.disk_hits += 1
                     _obs.record_cache("disk_hit")
                 return decode_alignment(payload, key=key)
+        if self.remote is not None:
+            payload = self._remote_get(key)
+            if payload is not None:
+                try:
+                    aln = decode_alignment(payload, key=key)
+                except (ValueError, KeyError, TypeError):
+                    pass  # corrupt remote entry: treat as a miss
+                else:
+                    with self._lock:
+                        self._insert_memory(key, payload)
+                        if record:
+                            self.stats.remote_hits += 1
+                    if record:
+                        _obs.record_cache("remote_hit")
+                    return aln
+        if record:
+            with self._lock:
+                self.stats.misses += 1
+            _obs.record_cache("miss")
+        return None
+
+    def put(self, key: str, aln: Alignment3) -> None:
+        """Store ``aln`` under ``key`` in every tier (remote best-effort)."""
+        payload = encode_alignment(aln)
+        with self._lock:
+            self._insert_memory(key, payload)
+            self._disk_put(key, payload)
+            self.stats.puts += 1
+        if self.remote is not None:
+            self._remote_put(key, payload)
+
+    def _remote_get(self, key: str) -> dict | None:
+        try:
+            return self.remote.get_payload(key)
+        except Exception:  # noqa: BLE001 — remote tier is best-effort
+            return None
+
+    def _remote_put(self, key: str, payload: dict) -> None:
+        try:
+            self.remote.put_payload(key, payload)
+        except Exception:  # noqa: BLE001 — remote tier is best-effort
+            pass
+
+    # -- payload-level API (the cache *service* side) -------------------
+
+    def get_payload(self, key: str, *, record: bool = True) -> dict | None:
+        """The raw encoded payload for ``key`` from the local tiers only
+        (the cache service is itself the remote tier, so it must never
+        recurse into one)."""
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                if record:
+                    self.stats.memory_hits += 1
+                    _obs.record_cache("memory_hit")
+                return payload
+            payload = self._disk_get(key)
+            if payload is not None:
+                self._insert_memory(key, payload)
+                if record:
+                    self.stats.disk_hits += 1
+                    _obs.record_cache("disk_hit")
+                return payload
             if record:
                 self.stats.misses += 1
                 _obs.record_cache("miss")
             return None
 
-    def put(self, key: str, aln: Alignment3) -> None:
-        """Store ``aln`` under ``key`` in both tiers."""
-        payload = encode_alignment(aln)
+    def put_payload(self, key: str, payload: dict) -> None:
+        """Store an already-encoded payload in the local tiers.
+
+        Validates by decoding first, so a corrupt or foreign payload is
+        rejected (``ValueError``) instead of poisoning the store.
+        """
+        decode_alignment(payload, key=key)
         with self._lock:
             self._insert_memory(key, payload)
             self._disk_put(key, payload)

@@ -10,6 +10,11 @@ Commands
 ``serve``     run the long-lived alignment service: asyncio HTTP/1.1
               JSON API with admission control, micro-batching and
               graceful drain (``docs/serving.md``)
+``router``    run the sharding front tier: consistent-hash routing of
+              cache keys over N ``serve`` replicas with health-driven
+              failover (``docs/serving.md``)
+``cache-server``  run the shared result-cache service that replicas
+              started with ``--cache-url`` query on local misses
 ``score``     print the optimal SP score only (O(n^2) memory)
 ``count``     count (and optionally enumerate) co-optimal alignments
 ``generate``  emit a synthetic mutated family as FASTA
@@ -217,7 +222,113 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="in-memory cache capacity",
     )
+    p_serve.add_argument(
+        "--cache-url",
+        default=None,
+        metavar="HOST:PORT",
+        help="shared cache service (repro cache-server) queried on "
+        "local misses and populated on puts",
+    )
+    p_serve.add_argument(
+        "--instance",
+        default=None,
+        metavar="NAME",
+        help="replica name echoed in /healthz and /metrics",
+    )
+    p_serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="after SIGTERM, keep the listener open (healthz already "
+        "503) this long so a polling router reroutes first",
+    )
     _obs_args(p_serve)
+
+    p_router = sub.add_parser(
+        "router",
+        help="run the sharding front tier over N serve replicas",
+    )
+    p_router.add_argument(
+        "replicas",
+        nargs="+",
+        metavar="HOST:PORT",
+        help="backend serve replicas, in ring order",
+    )
+    p_router.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_router.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (default 8674; 0 binds an ephemeral port)",
+    )
+    p_router.add_argument(
+        "--health-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="/healthz poll period per replica",
+    )
+    p_router.add_argument(
+        "--soft-threshold",
+        type=int,
+        default=None,
+        help="consecutive soft failures (timeout/5xx) before ejection",
+    )
+    p_router.add_argument(
+        "--eject-cooldown",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="initial ejection cooldown (doubles on half-open failure)",
+    )
+    p_router.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=None,
+        help="failover budget per forwarded slice",
+    )
+    p_router.add_argument(
+        "--response-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-exchange response budget (should exceed the replica "
+        "deadline)",
+    )
+    p_router.add_argument(
+        "--drain-grace",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="listener grace after SIGTERM (see repro serve)",
+    )
+    _obs_args(p_router)
+
+    p_cached = sub.add_parser(
+        "cache-server",
+        help="run the shared result-cache service replicas query",
+    )
+    p_cached.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_cached.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: ephemeral, printed to stderr)",
+    )
+    p_cached.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent JSONL tier directory (memory-only when unset)",
+    )
+    p_cached.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="in-memory cache capacity",
+    )
+    _obs_args(p_cached)
 
     p_score = sub.add_parser("score", help="optimal SP score only")
     p_score.add_argument("fasta")
@@ -620,6 +731,9 @@ def _cmd_serve(args) -> int:
         "batch_max_requests": args.batch_max,
         "default_deadline_s": args.deadline,
         "drain_timeout_s": args.drain_timeout,
+        "cache_url": args.cache_url,
+        "instance": args.instance,
+        "drain_grace_s": args.drain_grace,
     }
     if args.batch_age_ms is not None:
         overrides["batch_max_age_s"] = args.batch_age_ms / 1000.0
@@ -633,6 +747,50 @@ def _cmd_serve(args) -> int:
         return 2
     with _obs_session(args):
         return run_server(config)
+
+
+def _cmd_router(args) -> int:
+    from repro.router import RouterConfig, run_router
+
+    overrides = {
+        "host": args.host,
+        "port": args.port,
+        "health_interval_s": args.health_interval,
+        "soft_threshold": args.soft_threshold,
+        "eject_cooldown_s": args.eject_cooldown,
+        "retry_attempts": args.retry_attempts,
+        "response_timeout_s": args.response_timeout,
+        "drain_grace_s": args.drain_grace,
+    }
+    config = RouterConfig(
+        replicas=tuple(args.replicas),
+        **{k: v for k, v in overrides.items() if v is not None},
+    )
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with _obs_session(args):
+        return run_router(config)
+
+
+def _cmd_cache_server(args) -> int:
+    from repro.cache.service import run_cache_server
+
+    kwargs = {
+        "host": args.host,
+        "port": args.port,
+        "cache_dir": args.cache_dir,
+    }
+    if args.max_entries is not None:
+        kwargs["cache_entries"] = args.max_entries
+    try:
+        with _obs_session(args):
+            return run_cache_server(**kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_score(args) -> int:
@@ -841,6 +999,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "align": _cmd_align,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
+        "router": _cmd_router,
+        "cache-server": _cmd_cache_server,
         "score": _cmd_score,
         "count": _cmd_count,
         "generate": _cmd_generate,

@@ -38,8 +38,11 @@ from repro.resilience.errors import (
     ProtocolError,
     WorkerFailure,
 )
+from repro.resilience.retry import BackoffPolicy, comm_deadline
 
 __all__ = [
+    "BackoffPolicy",
+    "comm_deadline",
     "DegradationWarning",
     "DegradedRun",
     "FailureRecord",

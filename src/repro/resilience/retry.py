@@ -32,11 +32,74 @@ DEFAULT_DEADLINE = 60.0
 
 
 def comm_deadline(environ=None) -> float:
+    """The receive deadline: ``REPRO_COMM_TIMEOUT`` when set and numeric
+    (floored at 0.1s), else :data:`DEFAULT_DEADLINE`.
+
+    A malformed value falls back with a warning rather than raising —
+    this is read deep inside worker receive loops, where a typo'd
+    environment would otherwise surface as a crash mid-alignment
+    instead of at startup.
+    """
     import os
+    import sys
 
     env = environ if environ is not None else os.environ
     raw = env.get(ENV_DEADLINE, "").strip()
-    return max(0.1, float(raw)) if raw else DEFAULT_DEADLINE
+    if not raw:
+        return DEFAULT_DEADLINE
+    try:
+        return max(0.1, float(raw))
+    except ValueError:
+        print(
+            f"# warning: ignoring non-numeric {ENV_DEADLINE}={raw!r}; "
+            f"using default {DEFAULT_DEADLINE:.0f}s",
+            file=sys.stderr,
+            flush=True,
+        )
+        return DEFAULT_DEADLINE
+
+
+class BackoffPolicy:
+    """Deterministic bounded exponential backoff schedule.
+
+    One policy value describes a whole retry budget — ``attempts`` tries
+    with delays ``base * factor**k`` capped at ``cap`` between them —
+    so callers (the router's failover path, tests, tools) can share and
+    inspect the schedule instead of hard-coding sleeps. Deterministic
+    (no jitter) because the fleet here is a handful of local replicas,
+    and reproducible schedules make the chaos gates assertable.
+    """
+
+    def __init__(
+        self,
+        *,
+        attempts: int = 3,
+        base_delay_s: float = 0.05,
+        factor: float = 2.0,
+        cap_s: float = 1.0,
+    ):
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        if base_delay_s < 0 or cap_s < 0 or factor < 1.0:
+            raise ValueError(
+                "base_delay_s/cap_s must be >= 0 and factor >= 1"
+            )
+        self.attempts = int(attempts)
+        self.base_delay_s = float(base_delay_s)
+        self.factor = float(factor)
+        self.cap_s = float(cap_s)
+
+    def delay_s(self, attempt: int) -> float:
+        """Delay *after* 0-indexed ``attempt`` (before the next try)."""
+        return min(self.base_delay_s * self.factor**attempt, self.cap_s)
+
+    def delays(self) -> list[float]:
+        """The inter-attempt delays for a full budget (length
+        ``attempts - 1`` — there is no wait after the final try)."""
+        return [self.delay_s(k) for k in range(self.attempts - 1)]
+
+    def total_delay_s(self) -> float:
+        return sum(self.delays())
 
 
 def queue_get_with_retry(

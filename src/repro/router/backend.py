@@ -1,0 +1,97 @@
+"""Async replica client: one typed exchange per call.
+
+The router opens a fresh connection per forwarded exchange. At this
+tier's scale (a handful of localhost replicas) a connect is tens of
+microseconds against milliseconds-to-seconds of O(n^3) compute, and
+per-exchange connections keep failure attribution exact: a refused
+connect can only mean *this* replica is gone, never a stale pooled
+socket — which is precisely the signal
+:class:`repro.router.health.ReplicaHealth` treats as hard evidence.
+
+Every transport problem becomes a :class:`ReplicaError` whose ``kind``
+matches the health taxonomy (``connect`` / ``timeout`` /
+``bad_response``); HTTP-level statuses (including 5xx) are returned
+normally for the routing layer to interpret, since a 429 or a
+draining 503 is information, not a transport failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any
+
+from repro.serve import protocol
+
+
+class ReplicaError(Exception):
+    """A forwarded exchange failed at the transport level."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+
+
+async def exchange(
+    host: str,
+    port: int,
+    method: str,
+    target: str,
+    payload: Any | None = None,
+    *,
+    connect_timeout_s: float = 1.0,
+    response_timeout_s: float = 60.0,
+) -> protocol.HttpResponse:
+    """Send one request to ``host:port`` and read the response.
+
+    Raises :class:`ReplicaError` (kinds ``connect`` / ``timeout`` /
+    ``bad_response``) on transport problems; any parsed HTTP response
+    — whatever its status — is returned to the caller.
+    """
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(
+                host, port, limit=protocol.MAX_HEADER_BYTES
+            ),
+            timeout=connect_timeout_s,
+        )
+    except asyncio.TimeoutError:
+        raise ReplicaError(
+            "connect", f"connect to {host}:{port} timed out"
+        ) from None
+    except OSError as exc:
+        raise ReplicaError(
+            "connect", f"connect to {host}:{port} failed: {exc}"
+        ) from None
+
+    try:
+        writer.write(
+            protocol.render_request(
+                method, target, payload, host=f"{host}:{port}"
+            )
+        )
+        await writer.drain()
+        return await asyncio.wait_for(
+            protocol.read_response(reader), timeout=response_timeout_s
+        )
+    except asyncio.TimeoutError:
+        raise ReplicaError(
+            "timeout",
+            f"{method} {target} on {host}:{port} exceeded "
+            f"{response_timeout_s:g}s",
+        ) from None
+    except protocol.BadResponse as exc:
+        raise ReplicaError(
+            "bad_response", f"{host}:{port} sent garbage: {exc}"
+        ) from None
+    except (ConnectionError, OSError) as exc:
+        # The connection opened, then dropped mid-exchange: transport
+        # evidence, but not proof the process is gone (soft kind).
+        raise ReplicaError(
+            "bad_response",
+            f"{host}:{port} dropped the connection: {exc}",
+        ) from None
+    finally:
+        with contextlib.suppress(Exception):
+            writer.close()
+            await writer.wait_closed()

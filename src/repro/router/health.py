@@ -1,0 +1,171 @@
+"""Per-replica health for the router's failover decisions.
+
+Every replica carries one :class:`ReplicaHealth` driven from two
+sources: the router's periodic ``/healthz`` poll and the outcome of
+every forwarded exchange. Failures are *typed* (the same philosophy as
+:class:`repro.resilience.errors.WorkerFailure`): a refused connection
+means the process is gone and ejects immediately, while a timeout or a
+5xx might be one bad request, so those must accumulate to
+``soft_threshold`` consecutively before ejection.
+
+State machine::
+
+    HEALTHY --hard failure / soft x threshold--> EJECTED
+    EJECTED --cooldown elapsed--> HALF_OPEN
+    HALF_OPEN --probe success--> HEALTHY (cooldown resets)
+    HALF_OPEN --probe failure--> EJECTED (cooldown doubles, capped)
+
+While EJECTED the replica receives no traffic at all; while HALF_OPEN
+it receives only the poll loop's ``/healthz`` probe — data-path
+requests keep flowing to proven-healthy replicas until the probe
+passes, so a flapping process cannot eat real requests while it
+stabilises. Two conditions route traffic away *without* being
+failures: a 429 sets a ``Retry-After`` holdoff (the replica is healthy
+but full), and a draining replica (503 + ``"status": "draining"``) is
+deliberately shutting down — counting either toward ejection would
+punish correct behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: Failure kinds. ``connect`` is *hard* — the socket was refused or
+#: reset, the process is gone; everything else is soft evidence.
+FAILURE_KINDS = ("connect", "timeout", "http_5xx", "bad_response")
+HARD_KINDS = frozenset({"connect"})
+
+STATE_HEALTHY = "healthy"
+STATE_EJECTED = "ejected"
+STATE_HALF_OPEN = "half_open"
+
+
+class ReplicaHealth:
+    """Health state for one backend replica."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        *,
+        soft_threshold: int = 3,
+        eject_cooldown_s: float = 1.0,
+        max_cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if soft_threshold < 1:
+            raise ValueError(
+                f"soft_threshold must be >= 1, got {soft_threshold}"
+            )
+        if eject_cooldown_s <= 0 or max_cooldown_s < eject_cooldown_s:
+            raise ValueError(
+                "need 0 < eject_cooldown_s <= max_cooldown_s, got "
+                f"{eject_cooldown_s}/{max_cooldown_s}"
+            )
+        self.name = name
+        self.host = host
+        self.port = int(port)
+        self.soft_threshold = int(soft_threshold)
+        self.base_cooldown_s = float(eject_cooldown_s)
+        self.max_cooldown_s = float(max_cooldown_s)
+        self._clock = clock
+
+        self.state = STATE_HEALTHY
+        self.draining = False
+        self.soft_failures = 0
+        self.ejections = 0
+        self.last_failure: str | None = None
+        self.cooldown_s = self.base_cooldown_s
+        self._reopen_at = 0.0
+        self._holdoff_until = 0.0
+
+    # ------------------------------------------------------------------
+    # Evidence
+    # ------------------------------------------------------------------
+
+    def note_success(self) -> None:
+        """A successful exchange (or probe): fully rehabilitated."""
+        self.state = STATE_HEALTHY
+        self.draining = False
+        self.soft_failures = 0
+        self.last_failure = None
+        self.cooldown_s = self.base_cooldown_s
+
+    def note_failure(self, kind: str) -> None:
+        """One failed exchange of ``kind`` (see :data:`FAILURE_KINDS`)."""
+        if kind not in FAILURE_KINDS:
+            raise ValueError(f"unknown failure kind {kind!r}")
+        self.last_failure = kind
+        if self.state == STATE_HALF_OPEN:
+            self._eject(escalate=True)
+            return
+        if kind in HARD_KINDS:
+            self._eject(escalate=False)
+            return
+        self.soft_failures += 1
+        if self.soft_failures >= self.soft_threshold:
+            self._eject(escalate=False)
+
+    def note_draining(self, draining: bool) -> None:
+        """The replica reported drain state on ``/healthz`` (or a 503
+        draining response). Not a failure — it is shutting down on
+        purpose and will still finish in-flight work."""
+        self.draining = draining
+
+    def note_backpressure(self, retry_after_s: float | None) -> None:
+        """The replica shed with 429: healthy but full. Hold new
+        traffic off it for the advertised window."""
+        window = retry_after_s if retry_after_s and retry_after_s > 0 else 0.5
+        self._holdoff_until = max(
+            self._holdoff_until, self._clock() + window
+        )
+
+    def _eject(self, *, escalate: bool) -> None:
+        if escalate:
+            self.cooldown_s = min(self.cooldown_s * 2, self.max_cooldown_s)
+        self.state = STATE_EJECTED
+        self.ejections += 1
+        self.soft_failures = 0
+        self._reopen_at = self._clock() + self.cooldown_s
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance EJECTED → HALF_OPEN once the cooldown elapses.
+        Called by the poll loop before deciding whether to probe."""
+        if self.state == STATE_EJECTED and self._clock() >= self._reopen_at:
+            self.state = STATE_HALF_OPEN
+
+    def probe_due(self) -> bool:
+        """True when the poll loop should hit ``/healthz`` here: always
+        for live replicas, and for ejected ones once HALF_OPEN."""
+        self.tick()
+        return self.state != STATE_EJECTED
+
+    def routable(self) -> bool:
+        """True when data-path requests may be sent here: proven
+        healthy, not draining, not inside a backpressure holdoff."""
+        self.tick()
+        return (
+            self.state == STATE_HEALTHY
+            and not self.draining
+            and self._clock() >= self._holdoff_until
+        )
+
+    def snapshot(self) -> dict:
+        self.tick()
+        return {
+            "name": self.name,
+            "address": f"{self.host}:{self.port}",
+            "state": self.state,
+            "draining": self.draining,
+            "routable": self.routable(),
+            "soft_failures": self.soft_failures,
+            "ejections": self.ejections,
+            "last_failure": self.last_failure,
+            "cooldown_s": self.cooldown_s,
+        }

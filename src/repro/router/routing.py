@@ -1,0 +1,112 @@
+"""Key derivation and scatter planning for the router.
+
+Affinity only works if the router and the replicas compute the *same*
+key for a request, so :func:`routing_keys` goes through the exact
+pipeline the batch scheduler uses — ``BatchScheduler._normalise`` then
+:func:`repro.core.api.resolve_scheme` then
+:func:`repro.cache.request_key` — rather than a lookalike hash. A
+drift here would not be a correctness bug (results are
+content-addressed either way) but would silently destroy cache
+locality, which is the router's whole point.
+
+:func:`plan_scatter` splits a multi-request ``POST /v1/align`` body by
+ring owner: each group keeps the original item dicts (so caller ids
+and per-item options survive verbatim) plus the positions they came
+from, letting the merge step reassemble responses in request order no
+matter which replica answered which slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.batch.scheduler import AlignmentRequest
+from repro.cache import request_key
+from repro.core.api import resolve_scheme
+from repro.router.ring import HashRing
+from repro.serve import protocol
+from repro.serve.app import parse_align_items
+
+
+def routing_keys(requests: list[AlignmentRequest]) -> list[str]:
+    """The content-addressed cache key of each (normalised) request —
+    bit-identical to what the replica's scheduler will derive."""
+    keys = []
+    for req in requests:
+        scheme = resolve_scheme(req.seqs, req.scheme)
+        keys.append(request_key(req.seqs, scheme, req.mode, req.method))
+    return keys
+
+
+def parse_items(obj: Any) -> list[dict]:
+    """The raw item dicts of one ``POST /v1/align`` body, in order
+    (single-object bodies become a one-item list). Framing errors raise
+    :class:`protocol.BadRequest`; per-item validation is left to
+    ``parse_align_payload``, which the router runs first."""
+    if not isinstance(obj, dict):
+        raise protocol.BadRequest(
+            f"body must be a JSON object, got {type(obj).__name__}"
+        )
+    if "requests" in obj:
+        items = obj["requests"]
+        if not isinstance(items, list) or not items:
+            raise protocol.BadRequest("'requests' must be a non-empty list")
+        return items
+    return [obj]
+
+
+@dataclass
+class ScatterGroup:
+    """One replica's slice of a scattered body."""
+
+    owner: str
+    key: str  # routing key of the group's first request
+    indices: list[int] = field(default_factory=list)
+    items: list[dict] = field(default_factory=list)
+
+    def body(self, *, deadline_s: float) -> dict:
+        return {"requests": self.items, "deadline_s": deadline_s}
+
+
+def plan_scatter(
+    ring: HashRing,
+    items: list[dict],
+    keys: list[str],
+    *,
+    routable: set[str],
+) -> list[ScatterGroup]:
+    """Group ``items`` by ring owner, in first-touch order.
+
+    Owners are chosen from each key's preference list restricted to
+    ``routable`` members; when none of a key's preferences are
+    routable the *nominal* owner is used (the forward path will then
+    fail fast and report 503). An empty ring raises ``LookupError``.
+    """
+    if len(items) != len(keys):
+        raise ValueError(
+            f"{len(items)} items vs {len(keys)} keys"
+        )
+    groups: dict[str, ScatterGroup] = {}
+    order: list[str] = []
+    for i, (item, key) in enumerate(zip(items, keys)):
+        owner = None
+        for member in ring.preference(key):
+            if member in routable:
+                owner = member
+                break
+        if owner is None:
+            owner = ring.owner(key)
+        group = groups.get(owner)
+        if group is None:
+            group = groups[owner] = ScatterGroup(owner=owner, key=key)
+            order.append(owner)
+        group.indices.append(i)
+        group.items.append(item)
+    return [groups[name] for name in order]
+
+
+def normalise_items(items: list[dict]) -> list[AlignmentRequest]:
+    """Validate and normalise raw item dicts exactly as the serve tier
+    does (same normalisation → same keys, same error text)."""
+    return parse_align_items(items)

@@ -27,9 +27,7 @@ process exits 0. See ``docs/serving.md``.
 from __future__ import annotations
 
 import asyncio
-import contextlib
 import itertools
-import signal
 import sys
 import time
 from collections import OrderedDict
@@ -50,6 +48,7 @@ from repro.serve import protocol
 from repro.serve.admission import AdmissionController, estimate_cells
 from repro.serve.batcher import DeadlineExceeded, MicroBatcher
 from repro.serve.config import ServeConfig
+from repro.serve.httpd import JsonHttpServer, run_blocking
 
 
 def parse_align_payload(
@@ -85,6 +84,16 @@ def parse_align_payload(
             f"'deadline_s' must be in (0, 3600], got {deadline_s:g}"
         )
 
+    return parse_align_items(items), want_async, deadline_s
+
+
+def parse_align_items(items: list) -> list[AlignmentRequest]:
+    """Validate and normalise the raw item dicts of an align body.
+
+    Shared with the router (:mod:`repro.router.routing`), which must
+    derive the *same* normalised request — and therefore the same
+    cache key — as the replica that will serve it.
+    """
     requests: list[AlignmentRequest] = []
     for i, item in enumerate(items):
         if not isinstance(item, dict):
@@ -116,7 +125,7 @@ def parse_align_payload(
         except (ValueError, TypeError) as exc:
             raise protocol.BadRequest(f"request {i}: {exc}") from None
         requests.append(req)
-    return requests, want_async, deadline_s
+    return requests
 
 
 def result_payload(res: RequestResult) -> dict:
@@ -157,9 +166,11 @@ class JobRecord:
 
 
 class JobTable:
-    """Bounded async-job registry (oldest *finished* jobs evicted first,
-    then oldest overall — a flood of async submissions cannot grow
-    memory without bound)."""
+    """Bounded async-job registry: only *finished* jobs are evicted
+    (oldest first). A still-running job's record is never dropped — an
+    evicted in-flight id would orphan the job for its poller — so when
+    every record is in flight the table grows past ``capacity`` (with a
+    one-line warning) until jobs finish and eviction can catch up."""
 
     def __init__(self, capacity: int = 1024):
         if capacity < 1:
@@ -167,6 +178,7 @@ class JobTable:
         self.capacity = int(capacity)
         self._jobs: "OrderedDict[str, JobRecord]" = OrderedDict()
         self._counter = itertools.count(1)
+        self._overflow_warned = False
 
     def register(self, n_requests: int) -> tuple[str, JobRecord]:
         jid = f"job-{next(self._counter)}"
@@ -187,16 +199,31 @@ class JobTable:
                 if rec.status != "queued":
                     victim = jid
                     break
-            if victim is None:  # all queued: drop the oldest anyway
-                victim = next(iter(self._jobs))
+            if victim is None:
+                # Every record is in flight: growing past capacity is
+                # the lesser evil (admission control bounds how fast
+                # this can happen). Warn once per overflow episode.
+                if not self._overflow_warned:
+                    print(
+                        f"# warning: job table over capacity "
+                        f"({len(self._jobs)} > {self.capacity}) with all "
+                        f"jobs in flight; growing until some finish",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                    self._overflow_warned = True
+                return
             del self._jobs[victim]
+        self._overflow_warned = False
 
     def __len__(self) -> int:
         return len(self._jobs)
 
 
-class AlignServer:
+class AlignServer(JsonHttpServer):
     """One serving instance: socket, admission, batcher, job table."""
+
+    banner = "serving on"
 
     def __init__(
         self,
@@ -206,10 +233,27 @@ class AlignServer:
         scheduler: BatchScheduler | None = None,
     ):
         self.config = (config or ServeConfig()).validate()
-        self.cache = cache if cache is not None else ResultCache(
-            max_entries=self.config.cache_entries,
-            cache_dir=self.config.cache_dir,
+        super().__init__(
+            host=self.config.host,
+            port=self.config.port,
+            max_body_bytes=self.config.max_body_bytes,
+            keepalive_timeout_s=self.config.keepalive_timeout_s,
+            drain_timeout_s=self.config.drain_timeout_s,
+            drain_grace_s=self.config.drain_grace_s,
         )
+        if cache is not None:
+            self.cache = cache
+        else:
+            remote = None
+            if self.config.cache_url:
+                from repro.cache.remote import RemoteCacheClient
+
+                remote = RemoteCacheClient.from_url(self.config.cache_url)
+            self.cache = ResultCache(
+                max_entries=self.config.cache_entries,
+                cache_dir=self.config.cache_dir,
+                remote=remote,
+            )
         self.scheduler = scheduler or BatchScheduler(
             cache=self.cache,
             workers=self.config.workers,
@@ -226,174 +270,44 @@ class AlignServer:
             max_age_s=self.config.batch_max_age_s,
         )
         self.jobs = JobTable(self.config.job_capacity)
-        self.draining = False
-        self.host: str | None = None
-        self.port: int | None = None
-        self._server: asyncio.Server | None = None
         self._batch_task: asyncio.Task | None = None
-        self._conn_tasks: set[asyncio.Task] = set()
-        self._drain_requested: asyncio.Event | None = None
-        self._loop: asyncio.AbstractEventLoop | None = None
-        self._started_at = 0.0
 
     # ------------------------------------------------------------------
-    # Lifecycle
+    # Lifecycle hooks (JsonHttpServer owns the socket/drain machinery)
     # ------------------------------------------------------------------
 
-    async def start(self) -> tuple[str, int]:
-        """Bind the socket and start the collector; returns (host, port)."""
+    async def _on_start(self) -> None:
         # /metrics must always have a registry to snapshot; respect a
         # registry the caller (e.g. --metrics) already enabled.
         if not _metrics.enabled:
             _metrics.enable()
-        self._loop = asyncio.get_running_loop()
-        self._drain_requested = asyncio.Event()
         self._batch_task = asyncio.create_task(
             self.batcher.run(), name="repro-serve-batcher"
         )
-        self._server = await asyncio.start_server(
-            self._on_connection,
-            host=self.config.host,
-            port=self.config.port,
-            limit=protocol.MAX_HEADER_BYTES,
-        )
-        addr = self._server.sockets[0].getsockname()
-        self.host, self.port = addr[0], addr[1]
-        self._started_at = time.time()
-        return self.host, self.port
 
-    def request_drain(self) -> None:
-        """Ask the serve loop to drain and exit. Safe to call from a
-        signal handler or another thread, and idempotent — a repeat
-        signal after the loop already drained and closed is a no-op."""
-        if self._loop is not None and self._drain_requested is not None:
-            try:
-                self._loop.call_soon_threadsafe(self._drain_requested.set)
-            except RuntimeError:
-                pass  # loop already closed: the drain it asked for is done
-
-    async def serve_until_drained(self) -> None:
-        """Serve until :meth:`request_drain`, then drain gracefully."""
-        assert self._drain_requested is not None, "call start() first"
-        await self._drain_requested.wait()
-        await self.drain()
-
-    async def drain(self) -> None:
-        """Stop accepting, flush the queue, finish in-flight responses,
-        release the pool. Idempotent."""
-        if self.draining:
-            return
-        self.draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+    async def _on_listener_closed(self) -> None:
         self.batcher.drain()
         if self._batch_task is not None:
             await self._batch_task
-        # In-flight handlers now hold their results; give them until the
-        # drain timeout to write responses and hang up.
-        deadline = time.monotonic() + self.config.drain_timeout_s
-        while self._conn_tasks and time.monotonic() < deadline:
-            pending = {t for t in self._conn_tasks if not t.done()}
-            if not pending:
-                break
-            await asyncio.wait(
-                pending, timeout=max(0.05, deadline - time.monotonic())
-            )
-        for task in list(self._conn_tasks):
-            if not task.done():
-                task.cancel()
+
+    async def _on_drained(self) -> None:
         self.scheduler.close()
 
-    # ------------------------------------------------------------------
-    # Connection handling
-    # ------------------------------------------------------------------
-
-    async def _on_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        task = asyncio.current_task()
-        if task is not None:
-            self._conn_tasks.add(task)
-            task.add_done_callback(self._conn_tasks.discard)
-        try:
-            await self._serve_connection(reader, writer)
-        except (ConnectionError, asyncio.CancelledError):
-            pass
-        finally:
-            with contextlib.suppress(Exception):
-                writer.close()
-                await writer.wait_closed()
-
-    async def _serve_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        while True:
-            try:
-                request = await asyncio.wait_for(
-                    protocol.read_request(
-                        reader, max_body_bytes=self.config.max_body_bytes
-                    ),
-                    timeout=self.config.keepalive_timeout_s,
-                )
-            except asyncio.TimeoutError:
-                return  # idle keep-alive connection
-            except protocol.PayloadTooLarge as exc:
-                writer.write(protocol.render_response(
-                    413,
-                    protocol.error_payload("payload_too_large", str(exc)),
-                    keep_alive=False,
-                ))
-                await writer.drain()
-                return
-            except protocol.BadRequest as exc:
-                writer.write(protocol.render_response(
-                    400,
-                    protocol.error_payload("bad_request", str(exc)),
-                    keep_alive=False,
-                ))
-                await writer.drain()
-                return
-            if request is None:
-                return
-            keep_alive = not request.wants_close and not self.draining
-            body = await self._respond(request, keep_alive)
-            writer.write(body)
-            await writer.drain()
-            if not keep_alive:
-                return
-
-    async def _respond(
-        self, request: protocol.HttpRequest, keep_alive: bool
-    ) -> bytes:
-        t0 = time.perf_counter()
-        extra: list[tuple[str, str]] = []
-        try:
-            status, payload, extra = await self._dispatch(request)
-        except protocol.BadRequest as exc:
-            status, payload = 400, protocol.error_payload(
-                "bad_request", str(exc)
-            )
-        except DeadlineExceeded as exc:
-            status, payload = 504, protocol.error_payload(
+    def _map_exception(self, exc: Exception) -> tuple[int, Any] | None:
+        if isinstance(exc, DeadlineExceeded):
+            return 504, protocol.error_payload(
                 "deadline_exceeded", str(exc)
             )
-        except WorkerFailure as exc:
-            status, payload = 503, protocol.error_payload(
+        if isinstance(exc, WorkerFailure):
+            return 503, protocol.error_payload(
                 "worker_failure", exc.describe()
             )
-        except Exception as exc:  # never let a handler kill the loop
-            status, payload = 500, protocol.error_payload(
-                "internal", f"{type(exc).__name__}: {exc}"
-            )
-        _obs.record_serve_request(
-            route=request.path,
-            status=status,
-            seconds=time.perf_counter() - t0,
-        )
-        return protocol.render_response(
-            status, payload, keep_alive=keep_alive, extra_headers=extra
-        )
+        return None
+
+    def _record_request(
+        self, *, route: str, status: int, seconds: float
+    ) -> None:
+        _obs.record_serve_request(route=route, status=status, seconds=seconds)
 
     # ------------------------------------------------------------------
     # Routes
@@ -423,20 +337,13 @@ class AlignServer:
             "not_found", f"no route for {request.method} {path}"
         ), []
 
-    @staticmethod
-    def _method_not_allowed(
-        allowed: str,
-    ) -> tuple[int, Any, list[tuple[str, str]]]:
-        return 405, protocol.error_payload(
-            "method_not_allowed", f"use {allowed}"
-        ), [("Allow", allowed)]
-
     def _healthz(self) -> tuple[int, Any, list[tuple[str, str]]]:
         status = 503 if self.draining else 200
         return status, {
             "status": "draining" if self.draining else "ok",
             "version": __version__,
-            "uptime_s": round(time.time() - self._started_at, 3),
+            "instance": self.config.instance,
+            "uptime_s": self.uptime_s(),
             "queue_depth": self.admission.queued_requests,
             "inflight_cells": self.admission.inflight_cells,
             "workers": self.config.workers,
@@ -450,7 +357,8 @@ class AlignServer:
             ),
             "admission": self.admission.snapshot(),
             "serve": {
-                "uptime_s": round(time.time() - self._started_at, 3),
+                "instance": self.config.instance,
+                "uptime_s": self.uptime_s(),
                 "draining": self.draining,
                 "batches_run": self.batcher.batches_run,
                 "requests_served": self.batcher.requests_served,
@@ -547,22 +455,6 @@ class AlignServer:
             rec.error = {"type": kind, "message": str(exc)}
 
 
-async def _amain(config: ServeConfig) -> int:
-    server = AlignServer(config)
-    host, port = await server.start()
-    print(f"# serving on {host}:{port}", file=sys.stderr, flush=True)
-    loop = asyncio.get_running_loop()
-    for sig in (signal.SIGTERM, signal.SIGINT):
-        with contextlib.suppress(NotImplementedError, ValueError):
-            loop.add_signal_handler(sig, server.request_drain)
-    await server.serve_until_drained()
-    print("# drained cleanly", file=sys.stderr, flush=True)
-    return 0
-
-
 def run_server(config: ServeConfig | None = None) -> int:
     """Blocking entry point for ``repro serve``; returns the exit code."""
-    try:
-        return asyncio.run(_amain(config or ServeConfig()))
-    except KeyboardInterrupt:  # signal handler not installable (rare)
-        return 0
+    return run_blocking(lambda: AlignServer(config or ServeConfig()))

@@ -25,7 +25,7 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.batch.scheduler import (
@@ -226,6 +226,13 @@ class MicroBatcher:
         offset = 0
         for job in live:
             slice_ = report.results[offset : offset + len(job.requests)]
+            # Rebase indices to the job's own request list: the
+            # scheduler numbers results across the whole coalesced
+            # batch, but each client sees only its own job, and the
+            # response contract says "index" matches *their* order.
+            slice_ = [
+                replace(r, index=r.index - offset) for r in slice_
+            ]
             offset += len(job.requests)
             computed_cells += sum(
                 estimate_cells(req.seqs) if r.source == "computed" else 0

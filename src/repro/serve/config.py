@@ -43,12 +43,19 @@ class ServeConfig:
     #: printed to stderr and exposed on the server object).
     port: int = DEFAULT_PORT
 
+    #: Optional replica name, echoed in ``/healthz``/``/metrics`` so a
+    #: router (or an operator) can tell instances apart.
+    instance: str | None = None
+
     #: Worker processes for the scheduler's persistent WavefrontPool.
     workers: int = 2
     #: Memory-tier capacity of the shared result cache.
     cache_entries: int = 4096
     #: Optional persistent cache directory (survives restarts).
     cache_dir: str | None = None
+    #: Optional shared cache service (``host:port``) queried on local
+    #: misses and populated on puts — the tier replicas share.
+    cache_url: str | None = None
     #: Cube-size ceiling for pool execution (larger jobs fall back to
     #: ``align3`` and its degradation ladder).
     max_pool_cells: int = DEFAULT_MAX_POOL_CELLS
@@ -66,6 +73,10 @@ class ServeConfig:
     default_deadline_s: float = 30.0
     keepalive_timeout_s: float = 5.0
     drain_timeout_s: float = 30.0
+    #: After a drain request, keep the listener open (already answering
+    #: ``/healthz`` with 503) this long, so a health-polling router
+    #: reroutes before connects start failing (rolling restarts).
+    drain_grace_s: float = 0.0
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
 
     #: Async-job table capacity (oldest finished jobs are evicted).
@@ -90,4 +101,8 @@ class ServeConfig:
         ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be > 0, got {getattr(self, name)}")
+        if self.drain_grace_s < 0:
+            raise ValueError(
+                f"drain_grace_s must be >= 0, got {self.drain_grace_s}"
+            )
         return self

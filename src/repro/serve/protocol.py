@@ -41,6 +41,7 @@ REASONS = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     501: "Not Implemented",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
@@ -162,6 +163,110 @@ async def read_request(
         method=method, target=target, version=version, headers=headers,
         body=body,
     )
+
+
+@dataclass
+class HttpResponse:
+    """One parsed response: status, headers, raw body."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def retry_after_s(self) -> float | None:
+        raw = self.headers.get("retry-after")
+        try:
+            return float(raw) if raw is not None else None
+        except ValueError:
+            return None
+
+    def json(self) -> Any:
+        """The body decoded as JSON, or :class:`BadResponse`."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise BadResponse(f"body is not valid JSON: {exc}") from None
+
+
+class BadResponse(ValueError):
+    """A peer's response violates HTTP framing or the JSON contract.
+
+    Raised by :func:`read_response` (the router's view of a replica);
+    the router maps it onto the ``bad_response`` failure kind rather
+    than letting a corrupt upstream take the client connection down.
+    """
+
+
+async def read_response(reader: asyncio.StreamReader) -> HttpResponse:
+    """Read one HTTP/1.1 response off ``reader`` (the client side of
+    :func:`render_response` — status line, headers, ``Content-Length``
+    body). Raises :class:`BadResponse` on malformed or truncated input.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError:
+        raise BadResponse("connection closed before response head") from None
+    except asyncio.LimitOverrunError:
+        raise BadResponse("response head exceeds the header limit") from None
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise BadResponse(f"malformed status line: {lines[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise BadResponse(f"malformed status line: {lines[0]!r}") from None
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise BadResponse(f"malformed header line: {line!r}")
+        name, value = line.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise BadResponse(f"bad Content-Length: {raw_length!r}") from None
+        if length < 0:
+            raise BadResponse(f"bad Content-Length: {raw_length!r}")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise BadResponse("connection closed mid-body") from None
+    return HttpResponse(status=status, headers=headers, body=body)
+
+
+def render_request(
+    method: str,
+    target: str,
+    payload: Any | None = None,
+    *,
+    host: str = "router",
+) -> bytes:
+    """Serialise one JSON request (the client side of :func:`read_request`)."""
+    body = b""
+    if payload is not None:
+        body = json.dumps(payload, separators=(",", ":")).encode()
+    lines = [
+        f"{method} {target} HTTP/1.1",
+        f"Host: {host}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: keep-alive",
+    ]
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
 
 
 def render_response(

@@ -26,6 +26,8 @@ from repro.resilience.errors import (
     WorkerFailure,
 )
 from repro.resilience.retry import (
+    DEFAULT_DEADLINE,
+    comm_deadline,
     corrupt_payload,
     payload_checksum,
     queue_get_with_retry,
@@ -123,6 +125,20 @@ class TestRetryHelpers:
 
         with pytest.raises(WorkerFailure, match="peer died"):
             queue_get_with_retry(q, deadline=30.0, liveness=dead_peer)
+
+    def test_comm_deadline_reads_env_with_floor(self):
+        assert comm_deadline({}) == DEFAULT_DEADLINE
+        assert comm_deadline({"REPRO_COMM_TIMEOUT": "12.5"}) == 12.5
+        assert comm_deadline({"REPRO_COMM_TIMEOUT": "0.001"}) == 0.1
+
+    def test_comm_deadline_falls_back_on_garbage(self, capsys):
+        # A typo'd environment must not crash a worker mid-alignment:
+        # warn on stderr and use the default.
+        assert comm_deadline(
+            {"REPRO_COMM_TIMEOUT": "sixty"}
+        ) == DEFAULT_DEADLINE
+        err = capsys.readouterr().err
+        assert "warning" in err and "sixty" in err
 
 
 @pytest.mark.chaos

@@ -1,0 +1,224 @@
+"""Replica-kill chaos: SIGKILL one backend mid-load and require the
+client-visible stream to stay perfect.
+
+The router's whole robustness claim is that content-addressed results
+make failover invisible: a retried slice can only come back
+bit-identical, so a killed replica must cost zero failed requests and
+zero wrong answers. These tests run real ``repro serve`` subprocesses
+(so SIGKILL is a genuine process death, not a mock) behind an
+in-process RouterServer, then assert:
+
+* every response is a 200 with rows/score bit-identical to a direct
+  in-process ``align3`` of the same triple — no 5xx, ever;
+* the killed replica is ejected (hard ``connect`` evidence) and, after
+  a restart on the same port, readmitted through the half-open probe;
+* async job ids stay globally unique across replicas (the router's
+  ``<replica>.<jid>`` namespacing).
+
+Marked ``chaos`` + ``serve``: real sockets, real process kills.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.api import align3
+from repro.core.scoring import default_scheme_for
+from repro.seqio.alphabet import DNA
+from repro.seqio.generate import mutated_family
+from repro.serve import ServeClient
+
+from tests.test_router import RouterThread
+
+pytestmark = [pytest.mark.chaos, pytest.mark.serve]
+
+
+class ReplicaProc:
+    """A ``repro serve`` child process the test may SIGKILL."""
+
+    def __init__(self, *extra: str, port: int = 0):
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", str(port),
+             "--workers", "1", *extra],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.port = self._await_port()
+        threading.Thread(target=self._drain_stderr, daemon=True).start()
+
+    def _await_port(self, timeout: float = 30.0) -> int:
+        deadline = time.monotonic() + timeout
+        assert self.proc.stderr is not None
+        while time.monotonic() < deadline:
+            line = self.proc.stderr.readline()
+            if not line:
+                raise RuntimeError(
+                    f"replica exited before binding (rc={self.proc.poll()})"
+                )
+            m = re.match(r"# serving on [\d.]+:(\d+)", line)
+            if m:
+                return int(m.group(1))
+        raise RuntimeError("timed out waiting for the serving banner")
+
+    def _drain_stderr(self) -> None:
+        assert self.proc.stderr is not None
+        for _line in self.proc.stderr:
+            pass
+
+    def kill_hard(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGKILL)
+            self.proc.wait(timeout=10)
+
+    def terminate(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+
+
+def _replica_states(client: ServeClient) -> dict[str, dict]:
+    health = client.healthz()
+    return {r["name"]: r for r in health.body["replicas"]}
+
+
+def _await(predicate, timeout: float, interval: float = 0.05) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def test_replica_kill_mid_load_zero_failed_requests():
+    uniques = [tuple(mutated_family(12, seed=500 + i)) for i in range(6)]
+    scheme = default_scheme_for(DNA)
+    want = {u: align3(*u, scheme) for u in uniques}
+
+    replicas = [ReplicaProc() for _ in range(3)]
+    try:
+        with RouterThread(
+            [r.port for r in replicas],
+            health_interval_s=0.1,
+            eject_cooldown_s=0.4,
+            connect_timeout_s=0.5,
+        ) as rt:
+            n_requests = 72
+            payloads = [uniques[i % len(uniques)] for i in range(n_requests)]
+            responses: list = [None] * n_requests
+            it = iter(enumerate(payloads))
+            lock = threading.Lock()
+
+            def worker() -> None:
+                with ServeClient("127.0.0.1", rt.port, timeout=90.0) as c:
+                    while True:
+                        with lock:
+                            try:
+                                i, triple = next(it)
+                            except StopIteration:
+                                return
+                        responses[i] = c.align(seqs=list(triple))
+
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for t in threads:
+                t.start()
+            # Kill one replica while the load is genuinely in flight.
+            time.sleep(0.15)
+            victim = replicas[0]
+            victim.kill_hard()
+            killed_at = time.monotonic()
+            for t in threads:
+                t.join(timeout=120)
+            assert not any(t.is_alive() for t in threads)
+
+            # Bit-identity, zero failures: every request got a 200 with
+            # exactly the rows/score align3 computes in-process.
+            statuses = [r.status for r in responses]
+            assert statuses == [200] * n_requests, (
+                f"non-200 under replica kill: "
+                f"{sorted(set(statuses) - {200})}"
+            )
+            for i, resp in enumerate(responses):
+                expect = want[payloads[i]]
+                got = resp.body["results"][0]
+                assert tuple(got["rows"]) == expect.rows
+                assert float(got["score"]) == expect.score
+
+            # The victim must be ejected within one health interval of
+            # the poll loop seeing the death (generous wall bound).
+            with ServeClient("127.0.0.1", rt.port) as c:
+                assert _await(
+                    lambda: not _replica_states(c)["r0"]["routable"],
+                    timeout=2.0,
+                )
+                assert time.monotonic() - killed_at < 5.0
+                states = _replica_states(c)
+                # Hard connect evidence if the kill landed between
+                # exchanges; soft bad_response evidence if it landed
+                # mid-exchange (dropped in-flight connections).
+                assert states["r0"]["last_failure"] in (
+                    "connect", "bad_response"
+                )
+                assert states["r1"]["routable"]
+                assert states["r2"]["routable"]
+
+                # Restart on the *same* port: the half-open probe must
+                # readmit the replica without operator action.
+                replicas[0] = ReplicaProc(port=victim.port)
+                assert _await(
+                    lambda: _replica_states(c)["r0"]["state"] == "healthy",
+                    timeout=10.0,
+                ), "killed replica never readmitted after restart"
+
+                # And it takes traffic again: full-batch scatter works.
+                resp = c.align(
+                    requests=[{"seqs": list(u)} for u in uniques]
+                )
+                assert resp.status == 200
+                assert resp.body["count"] == len(uniques)
+    finally:
+        for r in replicas:
+            r.terminate()
+
+
+def test_async_job_ids_unique_across_replicas():
+    uniques = [tuple(mutated_family(10, seed=700 + i)) for i in range(8)]
+    replicas = [ReplicaProc() for _ in range(2)]
+    try:
+        with RouterThread([r.port for r in replicas]) as rt, ServeClient(
+            "127.0.0.1", rt.port
+        ) as client:
+            jids = []
+            for u in uniques:
+                resp = client.align(seqs=list(u), want_async=True)
+                assert resp.status == 202
+                jids.append(resp.body["job"])
+            assert len(set(jids)) == len(jids), f"duplicate job ids: {jids}"
+            # Both replicas issued jobs (ring spread over 8 keys) and
+            # every id polls back to the replica that owns it.
+            assert len({j.split(".", 1)[0] for j in jids}) == 2
+            for jid in jids:
+                assert _await(
+                    lambda: client.job(jid).body.get("status") == "done",
+                    timeout=30.0,
+                ), f"job {jid} never finished"
+    finally:
+        for r in replicas:
+            r.terminate()

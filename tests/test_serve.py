@@ -237,11 +237,68 @@ class TestConfig:
             {"batch_max_age_s": -0.1},
             {"default_deadline_s": 0},
             {"drain_timeout_s": -1},
+            {"drain_grace_s": -0.5},
         ],
     )
     def test_bad_knobs_rejected(self, kwargs):
         with pytest.raises(ValueError):
             ServeConfig(**kwargs).validate()
+
+    def test_router_facing_knobs_validate(self):
+        ServeConfig(
+            instance="r0",
+            cache_url="127.0.0.1:9999",
+            drain_grace_s=0.5,
+        ).validate()
+
+
+# ----------------------------------------------------------------------
+# job table
+# ----------------------------------------------------------------------
+
+
+class TestJobTable:
+    def test_only_finished_jobs_are_evicted(self, capsys):
+        from repro.serve.app import JobTable
+
+        table = JobTable(capacity=2)
+        jid1, rec1 = table.register(1)
+        jid2, rec2 = table.register(1)
+        jid3, rec3 = table.register(1)
+        # All three queued: nothing evictable, table grows past
+        # capacity with a warning rather than orphaning a live job.
+        assert len(table) == 3
+        assert table.get(jid1) is rec1
+        assert "over capacity" in capsys.readouterr().err
+
+        rec1.status = "done"
+        jid4, _rec4 = table.register(1)
+        # The finished job went; every in-flight record survived.
+        assert table.get(jid1) is None
+        assert table.get(jid2) is rec2
+        assert table.get(jid3) is rec3
+        assert table.get(jid4) is not None
+        assert len(table) == 3
+
+    def test_warning_fires_once_per_overflow_episode(self, capsys):
+        from repro.serve.app import JobTable
+
+        table = JobTable(capacity=1)
+        _jid1, rec1 = table.register(1)
+        table.register(1)
+        table.register(1)
+        assert capsys.readouterr().err.count("over capacity") == 1
+        rec1.status = "failed"
+        table.register(1)  # evicts rec1; still the same episode
+        table.register(1)
+        # readouterr() drained the buffer above: no *new* warnings.
+        assert capsys.readouterr().err.count("over capacity") == 0
+
+    def test_bad_capacity_rejected(self):
+        from repro.serve.app import JobTable
+
+        with pytest.raises(ValueError):
+            JobTable(capacity=0)
 
 
 # ----------------------------------------------------------------------
@@ -415,6 +472,31 @@ class TestAlignServer:
             assert 429 in statuses
             assert all(s in (200, 429) for s in statuses)
             assert all(ra is not None and ra >= 1 for ra in retry_afters)
+
+    def test_coalesced_jobs_get_job_relative_indices(self):
+        # Two clients landing in one micro-batch: each response must
+        # number its results from 0 (the scheduler's batch-global
+        # indices are an implementation detail the wire never shows).
+        uniq = [tuple(mutated_family(10, seed=150 + i)) for i in range(4)]
+        with ServerThread(
+            batch_max_requests=16, batch_max_age_s=0.25
+        ) as srv:
+            responses = [None] * 4
+
+            def hit(i: int) -> None:
+                with ServeClient("127.0.0.1", srv.port) as c:
+                    responses[i] = c.align(seqs=list(uniq[i]))
+
+            threads = [
+                threading.Thread(target=hit, args=(i,)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert all(r.status == 200 for r in responses)
+            for r in responses:
+                assert [res["index"] for res in r.body["results"]] == [0]
 
     def test_async_job_lifecycle(self):
         with ServerThread() as srv, ServeClient(

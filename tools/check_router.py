@@ -1,0 +1,441 @@
+#!/usr/bin/env python
+"""Guard the sharded serve tier's failover and scale-out bounds.
+
+Spawns the full topology from ``docs/serving.md`` — one ``repro
+cache-server``, N ``repro serve`` replicas wired to it, and a ``repro
+router`` in front — and asserts the robustness contract in three
+phases:
+
+1. **Replica kill, zero failed requests** — a duplicate-heavy load runs
+   through the router while one replica is SIGKILLed mid-flight. Every
+   response must be a 200 bit-identical to a direct in-process
+   ``align3`` (content-addressed results make the failover retry
+   idempotent); any 5xx is a violation.
+2. **Ejection + readmission** — the killed replica must become
+   unroutable within roughly one health interval (poll period + connect
+   timeout + slack), and after a restart on the *same* port the
+   half-open probe must readmit it without operator action.
+3. **Throughput scaling** — a unique (compute-bound) mix is driven
+   through a 1-replica tier and an N-replica tier. On a machine with at
+   least N cores the aggregate throughput must scale by
+   ``--min-scaling`` (default 2.0 at 3 replicas). On smaller boxes the
+   replicas time-share the same cores, so the gate degrades to a
+   "sharding does not wreck throughput" floor (default 0.6) and prints
+   a note saying so — this keeps the gate meaningful in 1-core CI.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_router.py [--replicas 3]
+        [--requests 72] [--unique 6] [--n 12] [--concurrency 8]
+
+Exit status 0 when all bounds hold, 1 on violation (2 on bad
+arguments). Needs only the standard library plus ``repro`` itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+
+def _ensure_importable() -> None:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        sys.path.insert(0, str(src))
+
+
+class Proc:
+    """A repro subcommand child on an ephemeral port, banner-scraped."""
+
+    def __init__(self, cmd: list[str], banner: str):
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro"] + cmd,
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.port = self._await_port(banner)
+        threading.Thread(target=self._drain_stderr, daemon=True).start()
+
+    def _await_port(self, banner: str, timeout: float = 30.0) -> int:
+        deadline = time.monotonic() + timeout
+        assert self.proc.stderr is not None
+        while time.monotonic() < deadline:
+            line = self.proc.stderr.readline()
+            if not line:
+                raise RuntimeError(
+                    f"child exited before binding (rc={self.proc.poll()})"
+                )
+            m = re.match(rf"# {banner} [\d.]+:(\d+)", line)
+            if m:
+                return int(m.group(1))
+        raise RuntimeError(f"timed out waiting for the '{banner}' banner")
+
+    def _drain_stderr(self) -> None:
+        assert self.proc.stderr is not None
+        for _line in self.proc.stderr:
+            pass
+
+    def kill_hard(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGKILL)
+            self.proc.wait(timeout=10)
+
+    def terminate(self, timeout: float = 30.0) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+
+
+def spawn_replica(cache_port: int | None, *, port: int = 0) -> Proc:
+    cmd = ["serve", "--port", str(port), "--workers", "1"]
+    if cache_port is not None:
+        cmd += ["--cache-url", f"127.0.0.1:{cache_port}"]
+    return Proc(cmd, "serving on")
+
+
+def spawn_router(replica_ports: list[int], *extra: str) -> Proc:
+    cmd = (
+        ["router"]
+        + [f"127.0.0.1:{p}" for p in replica_ports]
+        + ["--port", "0", *extra]
+    )
+    return Proc(cmd, "routing on")
+
+
+def _fire(
+    port: int, payloads: list, concurrency: int, timeout: float = 90.0
+) -> tuple[list, float]:
+    """Closed-loop: send ``payloads`` from ``concurrency`` threads.
+    Returns (responses in payload order — None where the connection
+    itself failed — , wall seconds)."""
+    from repro.serve import ServeClient
+
+    out: list = [None] * len(payloads)
+    it = iter(enumerate(payloads))
+    lock = threading.Lock()
+
+    def worker() -> None:
+        with ServeClient("127.0.0.1", port, timeout=timeout) as client:
+            while True:
+                with lock:
+                    try:
+                        i, seqs = next(it)
+                    except StopIteration:
+                        return
+                try:
+                    out[i] = client.align(seqs=list(seqs))
+                except OSError:
+                    out[i] = None
+
+    threads = [threading.Thread(target=worker) for _ in range(concurrency)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return out, time.perf_counter() - t0
+
+
+def _replica_states(client) -> dict[str, dict]:
+    return {r["name"]: r for r in client.healthz().body["replicas"]}
+
+
+def _await(predicate, timeout: float, interval: float = 0.05) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="assert router failover, readmission and scaling bounds"
+    )
+    parser.add_argument("--replicas", type=int, default=3)
+    parser.add_argument("--requests", type=int, default=72)
+    parser.add_argument(
+        "--unique", type=int, default=6, help="distinct triples in the mix"
+    )
+    parser.add_argument(
+        "--n", type=int, default=12, help="sequence length per triple"
+    )
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument(
+        "--scaling-requests",
+        type=int,
+        default=24,
+        help="unique compute-bound requests per scaling measurement",
+    )
+    parser.add_argument(
+        "--min-scaling",
+        type=float,
+        default=2.0,
+        help="required N-replica/1-replica throughput ratio when the "
+        "machine has >= N cores",
+    )
+    parser.add_argument(
+        "--min-scaling-fallback",
+        type=float,
+        default=0.6,
+        help="throughput-ratio floor on machines with fewer cores than "
+        "replicas (sharding must not wreck throughput)",
+    )
+    parser.add_argument(
+        "--max-eject-s",
+        type=float,
+        default=2.0,
+        help="wall bound for the killed replica to become unroutable "
+        "(one health interval + connect timeout + slack)",
+    )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip self-recording the result as a check_router run row",
+    )
+    parser.add_argument(
+        "--runs-file",
+        default=None,
+        metavar="FILE",
+        help="run-record store (default: RUNS.jsonl at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    if args.replicas < 2:
+        parser.error("need at least 2 replicas to fail over between")
+    if args.unique < 1 or args.requests < args.unique:
+        parser.error("need requests >= unique >= 1")
+    if args.concurrency < 1 or args.n < 1 or args.scaling_requests < 1:
+        parser.error("concurrency/n/scaling-requests must be >= 1")
+
+    _ensure_importable()
+    t_start = time.perf_counter()
+    from repro.core.api import align3
+    from repro.core.scoring import default_scheme_for
+    from repro.seqio.alphabet import DNA
+    from repro.seqio.generate import mutated_family
+    from repro.serve import ServeClient
+
+    failures: list[str] = []
+    scheme = default_scheme_for(DNA)
+    triples = [
+        tuple(mutated_family(args.n, seed=4000 + i))
+        for i in range(args.unique)
+    ]
+    expected = {t: align3(*t, scheme) for t in triples}
+
+    # ---- phases 1+2: kill a replica mid-load, then readmit it -------
+    eject_s = float("nan")
+    readmit_s = float("nan")
+    bad_statuses = 0
+    mismatches = 0
+    cache = Proc(["cache-server", "--port", "0"], "cache-serving on")
+    replicas = [
+        spawn_replica(cache.port) for _ in range(args.replicas)
+    ]
+    router = spawn_router(
+        [r.port for r in replicas],
+        "--health-interval", "0.1",
+        "--eject-cooldown", "0.4",
+    )
+    try:
+        payloads = [
+            triples[i % args.unique] for i in range(args.requests)
+        ]
+        killed_at = [0.0]
+        victim = replicas[0]
+
+        def assassin() -> None:
+            time.sleep(0.15)  # let the load be genuinely in flight
+            victim.kill_hard()
+            killed_at[0] = time.monotonic()
+
+        killer = threading.Thread(target=assassin)
+        killer.start()
+        responses, _wall = _fire(router.port, payloads, args.concurrency)
+        killer.join()
+
+        for i, r in enumerate(responses):
+            if r is None or r.status != 200:
+                bad_statuses += 1
+                continue
+            res = r.body["results"][0]
+            want = expected[payloads[i]]
+            if (
+                tuple(res["rows"]) != want.rows
+                or float(res["score"]) != want.score
+            ):
+                mismatches += 1
+        if bad_statuses:
+            failures.append(
+                f"phase1: {bad_statuses}/{args.requests} requests did not "
+                "return 200 under replica kill"
+            )
+        if mismatches:
+            failures.append(
+                f"phase1: {mismatches} responses differ from direct align3"
+            )
+
+        with ServeClient("127.0.0.1", router.port) as c:
+            if _await(
+                lambda: not _replica_states(c)["r0"]["routable"],
+                timeout=max(args.max_eject_s, 5.0),
+            ):
+                eject_s = time.monotonic() - killed_at[0]
+            else:
+                failures.append(
+                    "phase2: killed replica never became unroutable"
+                )
+            if eject_s == eject_s and eject_s > args.max_eject_s:
+                failures.append(
+                    f"phase2: ejection took {eject_s:.2f}s "
+                    f"> {args.max_eject_s:.2f}s"
+                )
+
+            # Shared cache sanity: the duplicate mix crossed replicas,
+            # so at least one triple must have landed in the service.
+            with ServeClient("127.0.0.1", cache.port) as cc:
+                entries = cc.healthz().body.get("entries", 0)
+            if entries < 1:
+                failures.append(
+                    "phase1: shared cache service holds no entries after "
+                    "a duplicate-heavy run"
+                )
+
+            # Restart on the same port: half-open probe must readmit.
+            restarted_at = time.monotonic()
+            replicas[0] = spawn_replica(cache.port, port=victim.port)
+            if _await(
+                lambda: _replica_states(c)["r0"]["state"] == "healthy",
+                timeout=15.0,
+            ):
+                readmit_s = time.monotonic() - restarted_at
+            else:
+                failures.append(
+                    "phase2: restarted replica never readmitted"
+                )
+            resp = c.align(
+                requests=[{"seqs": list(t)} for t in triples]
+            )
+            if resp.status != 200 or resp.body.get("count") != len(triples):
+                failures.append(
+                    "phase2: full scatter batch failed after readmission"
+                )
+    finally:
+        router.terminate()
+        for r in replicas:
+            r.terminate()
+        cache.terminate()
+
+    # ---- phase 3: aggregate throughput, 1 replica vs N --------------
+    # Unique mix: every triple computes, so throughput is bounded by
+    # worker-pool compute and should scale with replica count — when the
+    # machine has the cores. CI boxes often don't; see --min-scaling-
+    # fallback above.
+    cores = os.cpu_count() or 1
+    scaling_payloads = [
+        tuple(mutated_family(args.n, seed=6000 + i))
+        for i in range(args.scaling_requests)
+    ]
+
+    def tier_throughput(n_replicas: int) -> float:
+        reps = [spawn_replica(None) for _ in range(n_replicas)]
+        rtr = spawn_router([r.port for r in reps])
+        try:
+            responses, wall = _fire(
+                rtr.port, scaling_payloads, args.concurrency
+            )
+            ok = sum(
+                1 for r in responses if r is not None and r.status == 200
+            )
+            if ok != len(scaling_payloads):
+                failures.append(
+                    f"phase3: {len(scaling_payloads) - ok} requests failed "
+                    f"at {n_replicas} replica(s)"
+                )
+            return len(scaling_payloads) / wall if wall > 0 else 0.0
+        finally:
+            rtr.terminate()
+            for r in reps:
+                r.terminate()
+
+    single_rps = tier_throughput(1)
+    multi_rps = tier_throughput(args.replicas)
+    scaling = multi_rps / single_rps if single_rps > 0 else 0.0
+    if cores >= args.replicas:
+        required = args.min_scaling
+    else:
+        required = args.min_scaling_fallback
+        print(
+            f"# phase3: only {cores} core(s) for {args.replicas} replicas "
+            f"— replicas time-share the CPU, so the {args.min_scaling:.1f}x "
+            f"scaling gate degrades to a {required:.1f}x floor"
+        )
+    if scaling < required:
+        failures.append(
+            f"phase3: {args.replicas}-replica throughput scaled "
+            f"{scaling:.2f}x over 1 replica (required {required:.2f}x; "
+            f"{single_rps:.1f} -> {multi_rps:.1f} req/s)"
+        )
+
+    status = "FAIL" if failures else "OK"
+    print(
+        f"{status}: replicas={args.replicas} requests={args.requests} "
+        f"eject={eject_s:.2f}s readmit={readmit_s:.2f}s "
+        f"scaling={scaling:.2f}x (required {required:.2f}x, "
+        f"{cores} core(s))"
+    )
+    for f in failures:
+        print(f"  - {f}")
+
+    from repro.runs import record_run
+
+    record_run(
+        "check_router",
+        config={
+            "replicas": args.replicas,
+            "requests": args.requests,
+            "unique": args.unique,
+            "n": args.n,
+            "concurrency": args.concurrency,
+            "scaling_requests": args.scaling_requests,
+            "min_scaling": args.min_scaling,
+            "min_scaling_fallback": args.min_scaling_fallback,
+            "cores": cores,
+        },
+        metrics={
+            "bad_statuses": float(bad_statuses),
+            "mismatches": float(mismatches),
+            "eject_s": eject_s,
+            "readmit_s": readmit_s,
+            "single_rps": single_rps,
+            "multi_rps": multi_rps,
+            "scaling_x": scaling,
+            "passed": float(not failures),
+        },
+        wall_s=time.perf_counter() - t_start,
+        runs_file=args.runs_file,
+        enabled=not args.no_record,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
