@@ -14,6 +14,11 @@ workloads that bracket the engine's regimes:
   must simply not regress here.
 * **hirschberg_e2e** — end-to-end linear-space alignment wall time and
   cell throughput, recorded for the perf trajectory.
+* **high_similarity** — a ≥0.9-identity triple (the production-typical
+  regime): one unpruned score-only wavefront vs the *end-to-end*
+  Carrillo–Lipman tube path — banded lower bound, tube build and
+  pruned sweep all inside the timed side — asserting bit-identical
+  scores. This is the ≥5x acceptance number for the pruned engine.
 
 ``python benchmarks/bench_kernel.py`` prints a summary and (with
 ``--write``) saves ``BENCH_kernel.json`` at the repo root — the baseline
@@ -96,6 +101,7 @@ DEFAULT_CONFIG = {
     "large_n": 110,
     "hirschberg_n": 90,
     "hirschberg_base_cells": 20_000,
+    "high_sim_n": 240,
     "repeats": 5,
     "seed": 20240805,
 }
@@ -232,6 +238,56 @@ def _measure_hirschberg(config, scheme):
     }
 
 
+def _measure_high_similarity(config, scheme):
+    """Similar-triple regime: unpruned wavefront vs end-to-end pruning.
+
+    The pruned side pays for everything a cold ``method='pruned'``
+    request pays — the banded lower-bound sweep, three pairwise
+    through-matrices, the tube build — and still has to come
+    out ≥5x ahead for the adaptive selector's routing to make sense.
+    Scores must match bit for bit (pruning keeps every optimal path).
+    """
+    from repro.core.bounds import carrillo_lipman_tube
+    from repro.seqio.generate import MutationModel
+
+    n = config["high_sim_n"]
+    seqs = mutated_family(
+        n,
+        model=MutationModel(
+            substitution=0.02, insertion=0.005, deletion=0.005
+        ),
+        seed=config["seed"] + 3003,
+    )
+
+    def run_ref():
+        return wavefront_sweep(*seqs, scheme, score_only=True).score
+
+    stats_holder = {}
+
+    def run_new():
+        tube, stats = carrillo_lipman_tube(*seqs, scheme)
+        stats_holder["stats"] = stats
+        return wavefront_sweep(
+            *seqs, scheme, tube=tube, score_only=True
+        ).score
+
+    t_ref, t_new, score_ref, score_new = _ab_min(
+        run_ref, run_new, config["repeats"]
+    )
+    assert score_ref == score_new, "pruned/wavefront score mismatch"
+    stats = stats_holder["stats"]
+    return {
+        "n": n,
+        "cube_cells": stats.total_cells,
+        "kept_cells": stats.kept_cells,
+        "kept_fraction": stats.kept_fraction,
+        "ref_seconds": t_ref,
+        "new_seconds": t_new,
+        "speedup": t_ref / t_new,
+        "score": score_ref,
+    }
+
+
 def run(config: dict | None = None) -> dict:
     """Run the full benchmark; returns the result document."""
     cfg = dict(DEFAULT_CONFIG)
@@ -246,6 +302,7 @@ def run(config: dict | None = None) -> dict:
         "small_repeated": _measure_small_repeated(cfg, scheme),
         "large_sweep": _measure_large_sweep(cfg, scheme),
         "hirschberg_e2e": _measure_hirschberg(cfg, scheme),
+        "high_similarity": _measure_high_similarity(cfg, scheme),
     }
 
 
@@ -259,18 +316,26 @@ def summarise(doc: dict) -> str:
         doc["large_sweep"],
         doc["hirschberg_e2e"],
     )
-    return "\n".join(
-        [
-            f"small repeated : {sm['new_cells_per_s']:,.0f} cells/s "
-            f"(ref {sm['ref_cells_per_s']:,.0f}) "
-            f"speedup {sm['speedup']:.2f}x",
-            f"large sweep    : {lg['new_cells_per_s']:,.0f} cells/s "
-            f"(ref {lg['ref_cells_per_s']:,.0f}) "
-            f"speedup {lg['speedup']:.2f}x",
-            f"hirschberg e2e : n={hb['n']} in {hb['seconds']:.3f} s "
-            f"({hb['cube_cells_per_s']:,.0f} cube cells/s)",
-        ]
-    )
+    lines = [
+        f"small repeated : {sm['new_cells_per_s']:,.0f} cells/s "
+        f"(ref {sm['ref_cells_per_s']:,.0f}) "
+        f"speedup {sm['speedup']:.2f}x",
+        f"large sweep    : {lg['new_cells_per_s']:,.0f} cells/s "
+        f"(ref {lg['ref_cells_per_s']:,.0f}) "
+        f"speedup {lg['speedup']:.2f}x",
+        f"hirschberg e2e : n={hb['n']} in {hb['seconds']:.3f} s "
+        f"({hb['cube_cells_per_s']:,.0f} cube cells/s)",
+    ]
+    hs = doc.get("high_similarity")
+    if hs:
+        lines.append(
+            f"high similarity: n={hs['n']} pruned "
+            f"{hs['new_seconds'] * 1000:.1f} ms vs full "
+            f"{hs['ref_seconds'] * 1000:.1f} ms — "
+            f"speedup {hs['speedup']:.2f}x "
+            f"(kept {hs['kept_fraction']:.2%} of the cube)"
+        )
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:

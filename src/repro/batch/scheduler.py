@@ -5,9 +5,11 @@ scheduler accepts a whole batch of :class:`AlignmentRequest`\\ s and
 serves it in stages, cheapest first:
 
 1. **Exact dedup** — requests are grouped by their content digest
-   (:func:`repro.cache.request_key`); each distinct request is looked up
-   in the :class:`~repro.cache.ResultCache` once, and duplicates share
-   the answer.
+   (:func:`repro.cache.request_key`, keyed on the *resolved* method's
+   equivalence class, so ``auto`` and ``wavefront`` requests for the
+   same triple form one group); each distinct request is looked up in
+   the :class:`~repro.cache.ResultCache` once (with a migration probe
+   of the legacy raw-method key), and duplicates share the answer.
 2. **Permutation reuse** — remaining groups are probed by the
    order-insensitive secondary key. A hit (from the cache, or from
    another group of this batch) is mapped onto the request's sequence
@@ -16,11 +18,13 @@ serves it in stages, cheapest first:
    from a cold compute (marked ``meta["permuted_from"]``).
 3. **Grouped compute** — true misses are grouped by cube shape and run
    largest-first over one long-lived :class:`WavefrontPool` sized to the
-   batch (pool-eligible jobs: global mode, linear scheme, wavefront-class
-   method), so worker spawn is paid once per pool lifetime instead of
-   once per request. Everything else — affine schemes, explicit serial
-   engines, local/semiglobal modes — dispatches to the matching engine
-   per request. Results are cached under both keys for the next batch.
+   batch (pool-eligible jobs: global mode, linear scheme, *resolved*
+   wavefront-class method), so worker spawn is paid once per pool
+   lifetime instead of once per request. Everything else — affine
+   schemes, explicit serial engines, local/semiglobal modes, and
+   requests the similarity cost model routes to ``pruned``/``banded``/
+   ``hirschberg`` — dispatches to the matching engine per request.
+   Results are cached under both keys for the next batch.
 
 The pool outlives ``run()``: a :class:`BatchScheduler` reuses its workers
 across batches (growing capacity on demand) until :meth:`close`.
@@ -35,18 +39,34 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.cache import ResultCache, derive_for_order, permutation_key, permute_rows, request_key
+from repro.cache import (
+    ResultCache,
+    derive_for_order,
+    method_key_class,
+    permutation_key,
+    permute_rows,
+    request_key,
+)
 from repro.cache.key import MODES, canonical_order
-from repro.core.api import AVAILABLE_METHODS, align3, resolve_scheme
+from repro.core.api import (
+    AVAILABLE_METHODS,
+    AUTO_POLICIES,
+    align3,
+    resolve_scheme,
+    select_method,
+)
 from repro.core.scoring import ScoringScheme
 from repro.core.types import Alignment3
 from repro.obs import hooks as _obs
 from repro.obs import trace as _trace
 from repro.util.validation import check_sequences
 
-#: Methods whose output the shared wavefront kernel reproduces
-#: bit-identically, making them safe to serve from the pool.
-POOL_METHODS = ("auto", "wavefront", "shared", "threads")
+#: *Resolved* methods the long-lived pool serves (its workers run the
+#: shared wavefront kernel, which reproduces these bit-identically).
+#: ``auto`` is resolved before this check, so a request the cost model
+#: routes to ``pruned``/``banded``/``hirschberg`` dispatches to
+#: ``align3`` instead of losing its pruning to the pool.
+POOL_METHODS = ("wavefront", "shared", "threads")
 
 #: Namespace prefix for order-insensitive secondary cache entries, kept
 #: disjoint from exact digests so a permutation-derived alignment can
@@ -161,6 +181,10 @@ class BatchScheduler:
     max_pool_cells:
         Cube-size ceiling for pool execution; larger jobs fall back to
         :func:`align3`, whose degradation ladder knows about memory.
+    auto_policy:
+        Forwarded to :func:`repro.core.api.select_method` when resolving
+        ``method="auto"`` requests: ``"similarity"`` (default) or the
+        legacy ``"cells"`` split.
 
     Use as a context manager, or call :meth:`close` to release the pool::
 
@@ -173,12 +197,19 @@ class BatchScheduler:
         cache: ResultCache | None = None,
         workers: int = 2,
         max_pool_cells: int = DEFAULT_MAX_POOL_CELLS,
+        auto_policy: str = "similarity",
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if auto_policy not in AUTO_POLICIES:
+            raise ValueError(
+                f"unknown auto_policy {auto_policy!r}; "
+                f"available: {AUTO_POLICIES}"
+            )
         self.cache = cache
         self.workers = int(workers)
         self.max_pool_cells = int(max_pool_cells)
+        self.auto_policy = auto_policy
         self._pool = None  # lazily created WavefrontPool
         self._pool_capacity = (0, 0, 0)
 
@@ -250,10 +281,36 @@ class BatchScheduler:
             )
         return req
 
-    def _pool_eligible(self, req: AlignmentRequest, scheme: ScoringScheme) -> bool:
+    def _resolve(
+        self, req: AlignmentRequest, scheme: ScoringScheme
+    ) -> tuple[str, str]:
+        """``(resolved engine, cache-key method component)`` for a request.
+
+        Mirrors ``align3``'s resolution order: the key must be derived
+        from the method that will actually run, not the request string —
+        keying on the raw string stored the same bit-identical alignment
+        under ``auto`` and its resolved engine twice (the cache-aliasing
+        bug this PR fixes). Non-global modes have a single engine each,
+        so their raw ``auto`` keys are already canonical.
+        """
+        if req.mode != "global":
+            return req.method, req.method
+        method = req.method
+        if method == "auto":
+            if scheme.is_affine:
+                method = "affine"
+            else:
+                method, _sel = select_method(
+                    *req.seqs, scheme, policy=self.auto_policy
+                )
+        return method, method_key_class(method)
+
+    def _pool_eligible(
+        self, req: AlignmentRequest, scheme: ScoringScheme, resolved: str
+    ) -> bool:
         if req.mode != "global" or scheme.is_affine:
             return False
-        if req.method not in POOL_METHODS:
+        if resolved not in POOL_METHODS:
             return False
         n1, n2, n3 = (len(s) for s in req.seqs)
         if min(n1, n2, n3) == 0:
@@ -273,17 +330,22 @@ class BatchScheduler:
             aln = align3_semiglobal(*req.seqs, scheme)
         else:
             aln = align3(
-                *req.seqs, scheme, method=req.method, workers=self.workers
+                *req.seqs,
+                scheme,
+                method=req.method,
+                workers=self.workers,
+                auto_policy=self.auto_policy,
             )
         aln.meta.setdefault("mode", req.mode)
         aln.meta.setdefault("scheme", scheme.name)
         return aln
 
     def _compute_pooled(
-        self, pool, req: AlignmentRequest, scheme: ScoringScheme
+        self, pool, req: AlignmentRequest, scheme: ScoringScheme,
+        resolved: str,
     ) -> Alignment3:
         aln = pool.align3(*req.seqs, scheme)
-        aln.meta["method"] = req.method
+        aln.meta["method"] = resolved
         aln.meta["mode"] = req.mode
         aln.meta["scheme"] = scheme.name
         return aln
@@ -307,11 +369,17 @@ class BatchScheduler:
         t_batch = time.perf_counter()
         reqs = [self._normalise(r) for r in requests]
         schemes = [resolve_scheme(r.seqs, r.scheme) for r in reqs]
+        resolved = [
+            self._resolve(req, scheme)
+            for req, scheme in zip(reqs, schemes)
+        ]
         stats = BatchStats(requests=len(reqs))
         results: list[RequestResult | None] = [None] * len(reqs)
 
         with _trace.span("batch", requests=len(reqs)):
-            self._run_stages(reqs, schemes, results, stats, emit=on_result)
+            self._run_stages(
+                reqs, schemes, resolved, results, stats, emit=on_result
+            )
 
         stats.wall_s = time.perf_counter() - t_batch
         final = [r for r in results if r is not None]
@@ -356,24 +424,39 @@ class BatchScheduler:
         self,
         reqs: list[AlignmentRequest],
         schemes: list[ScoringScheme],
+        resolved: list[tuple[str, str]],
         results: list[RequestResult | None],
         stats: BatchStats,
         emit: "Callable[[RequestResult], None] | None" = None,
     ) -> None:
         # Stage 1: group identical requests; probe the cache once each.
+        # Keys carry the resolved method's equivalence class, so an
+        # ``auto`` request and the ``wavefront`` it resolves to are one
+        # group here instead of two computes.
         groups: dict[str, list[int]] = {}
         for i, (req, scheme) in enumerate(zip(reqs, schemes)):
-            key = request_key(req.seqs, scheme, req.mode, req.method)
+            key = request_key(req.seqs, scheme, req.mode, resolved[i][1])
             groups.setdefault(key, []).append(i)
 
         pending: list[tuple[str, list[int]]] = []
         for key, idxs in groups.items():
+            req, scheme = reqs[idxs[0]], schemes[idxs[0]]
+            key_method = resolved[idxs[0]][1]
             t0 = time.perf_counter()
             hit = None
             source = "memory_hit"
             if self.cache is not None:
                 pre_disk = self.cache.stats.disk_hits
                 hit = self.cache.get(key)
+                if hit is None and req.method != key_method:
+                    # Migration probe: older releases keyed on the raw
+                    # method string; re-home a hit under the class key.
+                    legacy = request_key(
+                        req.seqs, scheme, req.mode, req.method
+                    )
+                    hit = self.cache.get(legacy)
+                    if hit is not None:
+                        self.cache.put(key, hit)
                 if self.cache.stats.disk_hits > pre_disk:
                     source = "disk_hit"
             dt = time.perf_counter() - t0
@@ -392,7 +475,7 @@ class BatchScheduler:
         for key, idxs in pending:
             req, scheme = reqs[idxs[0]], schemes[idxs[0]]
             pkey = PERM_PREFIX + permutation_key(
-                req.seqs, scheme, req.mode, req.method
+                req.seqs, scheme, req.mode, resolved[idxs[0]][1]
             )
             t0 = time.perf_counter()
             canon = (
@@ -421,7 +504,7 @@ class BatchScheduler:
         direct: list[tuple[str, list[int]]] = []
         for key, idxs in to_compute:
             req, scheme = reqs[idxs[0]], schemes[idxs[0]]
-            if self._pool_eligible(req, scheme):
+            if self._pool_eligible(req, scheme, resolved[idxs[0]][0]):
                 dims = tuple(len(s) for s in req.seqs)
                 by_shape.setdefault(dims, []).append((key, idxs))
             else:
@@ -447,12 +530,14 @@ class BatchScheduler:
             for key, idxs in by_shape[dims]:
                 req, scheme = reqs[idxs[0]], schemes[idxs[0]]
                 t0 = time.perf_counter()
-                aln = self._compute_pooled(pool, req, scheme)
+                aln = self._compute_pooled(
+                    pool, req, scheme, resolved[idxs[0]][0]
+                )
                 dt = time.perf_counter() - t0
                 stats.pool_jobs += 1
                 self._finish_compute(
-                    results, reqs, schemes, perm_groups, key, idxs, aln, dt,
-                    stats, emit=emit,
+                    results, reqs, schemes, resolved, perm_groups, key,
+                    idxs, aln, dt, stats, emit=emit,
                 )
 
         for key, idxs in direct:
@@ -461,8 +546,8 @@ class BatchScheduler:
             aln = self._compute_direct(req, scheme)
             dt = time.perf_counter() - t0
             self._finish_compute(
-                results, reqs, schemes, perm_groups, key, idxs, aln, dt,
-                stats, emit=emit,
+                results, reqs, schemes, resolved, perm_groups, key, idxs,
+                aln, dt, stats, emit=emit,
             )
 
     _last_setup_s: float = 0.0
@@ -476,6 +561,7 @@ class BatchScheduler:
         results: list[RequestResult | None],
         reqs: list[AlignmentRequest],
         schemes: list[ScoringScheme],
+        resolved: list[tuple[str, str]],
         perm_groups: dict[str, list[tuple[str, list[int]]]],
         key: str,
         idxs: list[int],
@@ -488,7 +574,7 @@ class BatchScheduler:
         stats.computed += 1
         canonical, perm = canonical_order(req.seqs)
         pkey = PERM_PREFIX + permutation_key(
-            req.seqs, scheme, req.mode, req.method
+            req.seqs, scheme, req.mode, resolved[idxs[0]][1]
         )
         if self.cache is not None:
             self.cache.put(key, aln)
@@ -554,6 +640,7 @@ def run_batch(
     cache: ResultCache | None = None,
     workers: int = 2,
     max_pool_cells: int = DEFAULT_MAX_POOL_CELLS,
+    auto_policy: str = "similarity",
 ) -> BatchReport:
     """One-shot convenience: build a scheduler, run one batch, close it.
 
@@ -562,6 +649,9 @@ def run_batch(
     per call.
     """
     with BatchScheduler(
-        cache=cache, workers=workers, max_pool_cells=max_pool_cells
+        cache=cache,
+        workers=workers,
+        max_pool_cells=max_pool_cells,
+        auto_policy=auto_policy,
     ) as sched:
         return sched.run(requests)

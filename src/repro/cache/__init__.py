@@ -9,11 +9,13 @@ to deduplicate whole request batches. See ``docs/batching.md``.
 """
 
 from repro.cache.key import (
+    EXACT_METHODS,
     MODES,
     VOLATILE_META_KEYS,
     canonical_order,
     comparable_meta,
     derive_for_order,
+    method_key_class,
     permutation_key,
     permute_rows,
     request_key,
@@ -28,6 +30,7 @@ from repro.cache.store import (
 )
 
 __all__ = [
+    "EXACT_METHODS",
     "MODES",
     "VOLATILE_META_KEYS",
     "CacheStats",
@@ -38,6 +41,7 @@ __all__ = [
     "derive_for_order",
     "encode_alignment",
     "jsonable",
+    "method_key_class",
     "permutation_key",
     "permute_rows",
     "request_key",

@@ -9,9 +9,19 @@ an engine would be handed the same inputs. The digest therefore covers
   and wildcard, the raw ``float64`` bytes of the substitution matrix, and
   both gap parameters (the ``name`` is presentation only and excluded);
 * the alignment ``mode`` (``global``/``local``/``semiglobal``); and
-* the requested ``method`` string, *as requested* — ``auto`` resolves from
-  the dims and scheme, both already in the key, so ``auto`` keys are
-  deterministic too.
+* the **equivalence class** of the *resolved* method
+  (:func:`method_key_class`), not the raw request string. Every exact
+  linear-gap engine (``dp3d``, ``wavefront``, ``hirschberg``, ``pruned``,
+  ``banded``, ``shared``, ``threads``) reproduces the reference argmax
+  tie-breaks and returns bit-identical rows and scores, so their results
+  are interchangeable and share the single class ``"exact"``. Keying on
+  the raw string was a bug: ``align3(method="auto")`` hashed ``"auto"``
+  *before* resolution, so the same triple computed as ``auto`` and as
+  ``wavefront`` was solved and stored twice — and a run degraded from
+  ``wavefront`` to ``hirschberg`` was stored under the un-degraded key.
+  Callers must resolve ``auto`` (and any degradation) first, then key on
+  ``method_key_class(resolved)``; ``align3`` still probes the legacy raw
+  key on a miss so caches persisted by older releases stay warm.
 
 Permutation equivalence
 -----------------------
@@ -36,6 +46,27 @@ from repro.core.types import Alignment3
 
 #: Alignment modes a key may carry (mirrors the CLI ``--mode`` choices).
 MODES = ("global", "local", "semiglobal")
+
+#: Engines that provably return bit-identical rows *and* scores for the
+#: linear gap model (they all reproduce the reference tie-breaks, and
+#: pruning/banding keep every cell of every optimal path). Their cached
+#: results are interchangeable.
+EXACT_METHODS = frozenset(
+    {"dp3d", "wavefront", "hirschberg", "pruned", "banded", "shared", "threads"}
+)
+
+
+def method_key_class(method: str) -> str:
+    """Cache-key equivalence class of a *resolved* method.
+
+    All bit-identical exact engines collapse to ``"exact"``; anything
+    else (``affine``, future approximate engines) keys as itself.
+    ``auto`` must be resolved before calling this — passing it through
+    would recreate the aliasing bug this class exists to fix.
+    """
+    if method == "auto":
+        raise ValueError("resolve method='auto' before deriving a cache key")
+    return "exact" if method in EXACT_METHODS else method
 
 
 def scheme_fingerprint(scheme: ScoringScheme) -> bytes:

@@ -67,7 +67,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--method",
         default="auto",
         help="engine for 3 sequences (auto/dp3d/wavefront/hirschberg/"
-        "pruned/banded/affine/shared/threads)",
+        "pruned/banded/affine/shared/threads); 'auto' picks via the "
+        "--auto-policy cost model",
+    )
+    p_align.add_argument(
+        "--auto-policy",
+        choices=("similarity", "cells"),
+        default="similarity",
+        help="how --method auto picks an engine: 'similarity' estimates "
+        "pairwise identity and routes similar triples to the pruned "
+        "engine; 'cells' is the legacy cube-size-only split",
     )
     p_align.add_argument(
         "--mode",
@@ -130,6 +139,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=2, help="pool worker count"
     )
     p_batch.add_argument(
+        "--auto-policy",
+        choices=("similarity", "cells"),
+        default="similarity",
+        help="engine-selection policy for method 'auto' (see 'align')",
+    )
+    p_batch.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
@@ -165,6 +180,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--workers", type=int, default=2, help="worker pool size"
+    )
+    p_serve.add_argument(
+        "--auto-policy",
+        choices=("similarity", "cells"),
+        default="similarity",
+        help="engine-selection policy for method 'auto' (see 'align')",
     )
     p_serve.add_argument(
         "--queue-depth",
@@ -601,6 +622,7 @@ def _cmd_align(args) -> int:
                     method=args.method,
                     workers=args.workers,
                     allow_degrade=not args.no_degrade,
+                    auto_policy=args.auto_policy,
                 )
                 if "degraded_from" in aln.meta:
                     print(
@@ -701,7 +723,9 @@ def _cmd_batch(args) -> int:
             )
 
     with _obs_session(args):
-        with BatchScheduler(cache=cache, workers=args.workers) as sched:
+        with BatchScheduler(
+            cache=cache, workers=args.workers, auto_policy=args.auto_policy
+        ) as sched:
             report = sched.run_stream(requests, emit)
 
     s = report.stats
@@ -734,6 +758,7 @@ def _cmd_serve(args) -> int:
         "cache_url": args.cache_url,
         "instance": args.instance,
         "drain_grace_s": args.drain_grace,
+        "auto_policy": args.auto_policy,
     }
     if args.batch_age_ms is not None:
         overrides["batch_max_age_s"] = args.batch_age_ms / 1000.0

@@ -5,12 +5,20 @@
 ===============  =============================================================
 method           engine
 ===============  =============================================================
-``auto``         affine scheme -> ``affine``; small cube -> ``wavefront``;
-                 large cube -> ``hirschberg``
+``auto``         affine scheme -> ``affine``; otherwise a cost model
+                 (:func:`select_method`) estimates pairwise identity from
+                 k-mer sketches and picks ``wavefront`` (small cubes or
+                 diverged triples), ``pruned`` (similar triples, where the
+                 Carrillo–Lipman tube pays for itself), ``banded``
+                 (near-identical, length-matched triples) or
+                 ``hirschberg`` (cubes whose move cube exceeds
+                 :data:`AUTO_HIRSCHBERG_CELLS`). ``auto_policy="cells"``
+                 restores the legacy cells-only split.
 ``dp3d``         scalar reference full-matrix DP
 ``wavefront``    vectorised full-matrix plane sweep
 ``hirschberg``   linear-space divide and conquer
-``pruned``       Carrillo–Lipman-pruned wavefront
+``pruned``       Carrillo–Lipman tube-pruned wavefront (O(n^2) bound
+                 memory; pruned cells are never touched)
 ``banded``       certified band doubling around the main diagonal
 ``affine``       7-state affine-gap DP (requires ``scheme.gap_open != 0``)
 ``shared``       multiprocess shared-memory wavefront
@@ -19,6 +27,14 @@ method           engine
 
 (``tests/test_api.py`` asserts every :data:`AVAILABLE_METHODS` entry
 appears in this table, so it cannot drift from the dispatcher again.)
+
+Every method above except ``affine`` solves the same linear-gap DP and
+returns bit-identical rows and scores (the engines reproduce the
+reference argmax tie-breaks exactly; pruning keeps every cell of every
+optimal path). The result cache exploits this: keys carry the
+*equivalence class* of the resolved method
+(:func:`repro.cache.method_key_class`), so a request served as ``auto``,
+``wavefront`` or ``pruned`` shares one cache entry.
 """
 
 from __future__ import annotations
@@ -39,8 +55,28 @@ from repro.util.validation import check_sequences
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache uses core)
     from repro.cache import ResultCache
 
-#: Cube size above which ``auto`` prefers the linear-space engine.
+#: Cube size above which ``auto`` prefers the linear-space engine (the
+#: full-matrix engines' move cube no longer fits the auto budget).
 AUTO_HIRSCHBERG_CELLS = 8_000_000
+
+#: Cube size below which ``auto`` never bothers pruning: the tube build
+#: costs three pairwise DPs plus two heuristic alignments, which a plain
+#: wavefront over a small cube beats outright.
+AUTO_PRUNE_MIN_CELLS = 250_000
+
+#: Minimum estimated min-pairwise identity before ``auto`` picks the
+#: pruned engine. Below this the Carrillo–Lipman bound keeps most of the
+#: cube and the bound build is pure overhead.
+AUTO_PRUNE_MIN_IDENTITY = 0.7
+
+#: Above this identity — with near-equal lengths — the optimum hugs the
+#: scaled diagonal so tightly that the banded engine certifies with its
+#: initial thin band, skipping the heuristic lower-bound alignments the
+#: pruned engine needs.
+AUTO_BANDED_MIN_IDENTITY = 0.96
+
+#: Supported ``auto_policy`` values for :func:`align3`.
+AUTO_POLICIES = ("similarity", "cells")
 
 AVAILABLE_METHODS = (
     "auto",
@@ -53,6 +89,97 @@ AVAILABLE_METHODS = (
     "shared",
     "threads",
 )
+
+
+def estimate_identity(sa: str, sb: str, k: int = 8) -> float:
+    """Cheap indel-robust identity estimate in ``[0, 1]``.
+
+    Compares the k-mer sets of the two sequences and converts their
+    Jaccard similarity ``j`` to an identity estimate via the Mash
+    distance ``1 + ln(2j / (1 + j)) / k``. Runs in O(n) time and memory
+    — three orders of magnitude cheaper than any alignment — which is
+    what lets :func:`select_method` consult it on every request.
+    Sequences shorter than ``k`` fall back to positional identity over
+    the common prefix length.
+    """
+    import math
+
+    if min(len(sa), len(sb)) < k:
+        if not sa or not sb:
+            return 1.0 if sa == sb else 0.0
+        n = min(len(sa), len(sb))
+        same = sum(1 for x, y in zip(sa, sb) if x == y)
+        return same / n
+    kmers_a = {sa[i : i + k] for i in range(len(sa) - k + 1)}
+    kmers_b = {sb[i : i + k] for i in range(len(sb) - k + 1)}
+    inter = len(kmers_a & kmers_b)
+    union = len(kmers_a | kmers_b)
+    if not inter:
+        return 0.0
+    j = inter / union
+    return max(0.0, min(1.0, 1.0 + math.log(2.0 * j / (1.0 + j)) / k))
+
+
+def select_method(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme,
+    policy: str = "similarity",
+) -> tuple[str, dict]:
+    """Resolve ``method="auto"`` to a concrete linear-gap engine.
+
+    The ``similarity`` policy estimates the minimum pairwise identity of
+    the triple (:func:`estimate_identity`) and picks the engine whose
+    cost model wins for that regime; the ``cells`` policy is the legacy
+    cube-size-only split (wavefront below
+    :data:`AUTO_HIRSCHBERG_CELLS`, hirschberg above). Affine schemes are
+    resolved by the caller before this runs.
+
+    Returns ``(method, selection)`` where ``selection`` records the
+    inputs of the decision for ``meta["auto"]``.
+    """
+    if policy not in AUTO_POLICIES:
+        raise ValueError(
+            f"unknown auto_policy {policy!r}; available: {AUTO_POLICIES}"
+        )
+    n1, n2, n3 = len(sa), len(sb), len(sc)
+    cells = (n1 + 1) * (n2 + 1) * (n3 + 1)
+    selection: dict = {"policy": policy, "cells": cells}
+    if policy == "cells":
+        method = "wavefront" if cells <= AUTO_HIRSCHBERG_CELLS else "hirschberg"
+        selection["reason"] = (
+            f"cells {'<=' if method == 'wavefront' else '>'} "
+            f"{AUTO_HIRSCHBERG_CELLS}"
+        )
+        return method, selection
+
+    if cells <= AUTO_PRUNE_MIN_CELLS:
+        selection["reason"] = f"small cube (<= {AUTO_PRUNE_MIN_CELLS} cells)"
+        return "wavefront", selection
+    identity = min(
+        estimate_identity(sa, sb),
+        estimate_identity(sa, sc),
+        estimate_identity(sb, sc),
+    )
+    selection["identity"] = round(identity, 4)
+    if cells > AUTO_HIRSCHBERG_CELLS:
+        # The traceback move cube is dense for every full-matrix engine
+        # (pruning spares work, not the cube), so past the budget only
+        # the linear-space engine is safe regardless of similarity.
+        selection["reason"] = f"cells > {AUTO_HIRSCHBERG_CELLS}"
+        return "hirschberg", selection
+    spread = abs(n1 - n2) + abs(n1 - n3) + abs(n2 - n3)
+    if identity >= AUTO_BANDED_MIN_IDENTITY and spread <= max(n1, n2, n3) // 8:
+        selection["reason"] = (
+            f"identity >= {AUTO_BANDED_MIN_IDENTITY} and near-equal lengths"
+        )
+        return "banded", selection
+    if identity >= AUTO_PRUNE_MIN_IDENTITY:
+        selection["reason"] = f"identity >= {AUTO_PRUNE_MIN_IDENTITY}"
+        return "pruned", selection
+    selection["reason"] = f"identity < {AUTO_PRUNE_MIN_IDENTITY}"
+    return "wavefront", selection
 
 
 def resolve_scheme(
@@ -83,6 +210,7 @@ def align3(
     workers: int = 2,
     allow_degrade: bool = True,
     cache: "ResultCache | None" = None,
+    auto_policy: str = "similarity",
 ) -> Alignment3:
     """Optimal three-sequence alignment.
 
@@ -109,7 +237,17 @@ def align3(
         is looked up by its content digest before any engine runs; a hit
         returns the stored alignment (bit-identical rows/score, meta
         modulo timing, ``meta["cache"]["hit"] = True``) and a miss stores
-        the computed result. See ``docs/batching.md``.
+        the computed result. Keys are built from the *resolved* method's
+        equivalence class (:func:`repro.cache.method_key_class`) — all
+        exact linear-gap engines share one entry, so ``auto`` and
+        ``wavefront`` requests for the same triple no longer compute and
+        store the same alignment twice. Entries written by older
+        releases (keyed on the raw method string) are found by a
+        fallback probe and re-homed under the class key.
+    auto_policy:
+        How ``method="auto"`` picks an engine: ``"similarity"``
+        (default) uses the identity cost model of :func:`select_method`;
+        ``"cells"`` restores the legacy cube-size-only split.
 
     Returns
     -------
@@ -129,24 +267,26 @@ def align3(
         raise ValueError(
             f"unknown method {method!r}; available: {AVAILABLE_METHODS}"
         )
+    if auto_policy not in AUTO_POLICIES:
+        raise ValueError(
+            f"unknown auto_policy {auto_policy!r}; available: {AUTO_POLICIES}"
+        )
     scheme = resolve_scheme((sa, sb, sc), scheme)
 
-    cache_key = None
-    if cache is not None:
-        from repro.cache import request_key
-
-        cache_key = request_key((sa, sb, sc), scheme, "global", method)
-        hit = cache.get(cache_key)
-        if hit is not None:
-            hit.meta["cache"] = {"hit": True, "key": cache_key}
-            return hit
-
+    # Resolve ``auto`` *before* touching the cache: the pre-1.x code keyed
+    # on the raw method string, so ``auto`` and the engine it resolved to
+    # stored the same bit-identical alignment under two different keys
+    # (and a degraded run was stored under the un-degraded key). Keys now
+    # carry the resolved method's equivalence class instead.
+    requested = method
+    selection = None
     if method == "auto":
         if scheme.is_affine:
             method = "affine"
         else:
-            cells = (len(sa) + 1) * (len(sb) + 1) * (len(sc) + 1)
-            method = "wavefront" if cells <= AUTO_HIRSCHBERG_CELLS else "hirschberg"
+            method, selection = select_method(
+                sa, sb, sc, scheme, policy=auto_policy
+            )
     if scheme.is_affine and method != "affine":
         raise ValueError(
             f"method {method!r} implements the linear gap model but the "
@@ -158,16 +298,36 @@ def align3(
         plan = _degrade.plan_method(
             method, (len(sa), len(sb), len(sc))
         )
-        if plan.degraded:
-            if not allow_degrade:
-                raise DegradedRun(plan.describe(), plan)
-            warnings.warn(
-                DegradationWarning(plan.describe()), stacklevel=2
-            )
-            _obs.record_degrade(
-                plan.requested, plan.method, plan.estimate, plan.budget
-            )
-            method = plan.method
+
+    cache_key = None
+    if cache is not None:
+        from repro.cache import method_key_class, request_key
+
+        key_method = method_key_class(method)
+        cache_key = request_key((sa, sb, sc), scheme, "global", key_method)
+        hit = cache.get(cache_key)
+        if hit is None and requested != key_method:
+            # Migration-safe probe: entries written by older releases are
+            # keyed on the raw requested method string. Re-home a hit
+            # under the class key so the legacy key ages out naturally.
+            legacy_key = request_key((sa, sb, sc), scheme, "global", requested)
+            hit = cache.get(legacy_key)
+            if hit is not None:
+                cache.put(cache_key, hit)
+        if hit is not None:
+            hit.meta["cache"] = {"hit": True, "key": cache_key}
+            return hit
+
+    if plan is not None and plan.degraded:
+        if not allow_degrade:
+            raise DegradedRun(plan.describe(), plan)
+        warnings.warn(
+            DegradationWarning(plan.describe()), stacklevel=2
+        )
+        _obs.record_degrade(
+            plan.requested, plan.method, plan.estimate, plan.budget
+        )
+        method = plan.method
 
     t0 = time.perf_counter()
     with _trace.span("align3", method=method):
@@ -184,15 +344,25 @@ def align3(
 
             aln = align3_hirschberg(sa, sb, sc, scheme)
         elif method == "pruned":
-            from repro.core.bounds import carrillo_lipman_mask
+            from repro.core.bounds import carrillo_lipman_tube
             from repro.core.wavefront import align3_wavefront
 
-            mask, stats = carrillo_lipman_mask(sa, sb, sc, scheme)
-            aln = align3_wavefront(sa, sb, sc, scheme, mask=mask)
+            tube, stats = carrillo_lipman_tube(sa, sb, sc, scheme)
+            aln = align3_wavefront(sa, sb, sc, scheme, tube=tube)
+            aln.meta["engine"] = "pruned"
             aln.meta["pruning"] = {
                 "kept_fraction": stats.kept_fraction,
+                "pruned_fraction": stats.pruned_fraction,
                 "lower_bound": stats.lower_bound,
+                "upper_bound_at_origin": stats.upper_bound_at_origin,
+                "tube_bytes": tube.nbytes,
             }
+            _obs.record_pruning(
+                "pruned",
+                kept_fraction=stats.kept_fraction,
+                lower_bound=stats.lower_bound,
+                upper_bound=stats.upper_bound_at_origin,
+            )
         elif method == "banded":
             from repro.core.band import align3_banded
 
@@ -214,6 +384,8 @@ def align3(
     aln.meta["method"] = method
     aln.meta["wall_time_s"] = time.perf_counter() - t0
     aln.meta["scheme"] = scheme.name
+    if selection is not None:
+        aln.meta["auto"] = selection
     if plan is not None and plan.degraded:
         aln.meta["degraded_from"] = plan.requested
         aln.meta["degrade_steps"] = [

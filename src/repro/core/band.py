@@ -23,39 +23,59 @@ from typing import Any
 import numpy as np
 
 from repro.core.scoring import ScoringScheme
+from repro.core.tube import PruningTube
 from repro.core.types import Alignment3
 from repro.core.wavefront import align3_wavefront
 from repro.pairwise.matrices2d import through_matrix
 from repro.util.validation import check_positive, check_sequences
 
 
+def band_tube(n1: int, n2: int, n3: int, band: int) -> PruningTube:
+    """The scaled-diagonal band as an O(n^2) :class:`PruningTube`.
+
+    A cell ``(i, j, k)`` is kept when ``|j - i*n2/n1| <= band`` and
+    ``|k - i*n3/n1| <= band`` (with degenerate axes always kept). Both
+    conditions are interval-shaped — the ``j`` test is ``k``-independent
+    (it empties whole rows) and the ``k`` test is one interval per
+    ``i`` — so the tube represents the band *exactly*, cell for cell,
+    in two ``(n1+1, n2+1)`` integer planes instead of a boolean cube.
+    The origin and terminal corners lie exactly on the scaled diagonal,
+    so they are always inside.
+    """
+    check_positive("band", band)
+    I = np.arange(n1 + 1)[:, None]
+    J = np.arange(n2 + 1)[None, :]
+    shape = (n1 + 1, n2 + 1)
+    if n1:
+        ok_j = np.abs(J - I * (n2 / n1)) <= band  # (n1+1, n2+1)
+        centre = I * (n3 / n1)
+        klo_row = np.ceil(centre - band).astype(np.intp)  # (n1+1, 1)
+        khi_row = np.floor(centre + band).astype(np.intp)
+        klo = np.where(ok_j, np.broadcast_to(klo_row, shape), 0)
+        khi = np.where(ok_j, np.broadcast_to(khi_row, shape), -1)
+    elif n2:
+        # Degenerate first axis: band the (j, k) diagonal instead.
+        centre = J * (n3 / n2)
+        klo = np.broadcast_to(np.ceil(centre - band).astype(np.intp), shape)
+        khi = np.broadcast_to(np.floor(centre + band).astype(np.intp), shape)
+    else:
+        klo = np.zeros(shape, dtype=np.intp)
+        khi = np.full(shape, n3, dtype=np.intp)
+    tube = PruningTube(klo=np.array(klo), khi=np.array(khi), n3=n3)
+    tube.keep_cell(0, 0, 0)
+    tube.keep_cell(n1, n2, n3)
+    return tube
+
+
 def band_mask(
     n1: int, n2: int, n3: int, band: int
 ) -> np.ndarray:
-    """Boolean keep-mask of the scaled-diagonal band.
+    """Dense boolean keep-mask of the scaled-diagonal band.
 
-    A cell ``(i, j, k)`` is kept when ``|j - i*n2/n1| <= band`` and
-    ``|k - i*n3/n1| <= band`` (with degenerate axes always kept). The
-    origin and terminal corners lie exactly on the scaled diagonal, so
-    they are always inside.
+    Kept for tests and diagnostics; the engine itself runs on the
+    memory-light :func:`band_tube` (cell-for-cell identical region).
     """
-    check_positive("band", band)
-    I = np.arange(n1 + 1)[:, None, None]
-    J = np.arange(n2 + 1)[None, :, None]
-    K = np.arange(n3 + 1)[None, None, :]
-    if n1:
-        ok_j = np.abs(J - I * (n2 / n1)) <= band
-        ok_k = np.abs(K - I * (n3 / n1)) <= band
-        mask = np.broadcast_to(ok_j & ok_k, (n1 + 1, n2 + 1, n3 + 1)).copy()
-    elif n2:
-        # Degenerate first axis: band the (j, k) diagonal instead.
-        ok_jk = np.abs(K - J * (n3 / n2)) <= band
-        mask = np.broadcast_to(ok_jk, (n1 + 1, n2 + 1, n3 + 1)).copy()
-    else:
-        mask = np.ones((n1 + 1, n2 + 1, n3 + 1), dtype=bool)
-    mask[0, 0, 0] = True
-    mask[n1, n2, n3] = True
-    return mask
+    return band_tube(n1, n2, n3, band).dense_mask()
 
 
 def _max_outside_upper_bound(
@@ -63,16 +83,22 @@ def _max_outside_upper_bound(
     sb: str,
     sc: str,
     scheme: ScoringScheme,
-    mask: np.ndarray,
+    tube: PruningTube,
     t_ab: np.ndarray,
     t_ac: np.ndarray,
     t_bc: np.ndarray,
 ) -> float:
-    """Max of the Carrillo–Lipman bound over cells outside ``mask``."""
-    n1 = len(sa)
+    """Max of the Carrillo–Lipman bound over cells outside ``tube``.
+
+    Works slab-by-slab along ``i`` with an O(n) boolean row rebuilt from
+    the interval ends, so the certificate stays O(n^2) memory like the
+    tube itself.
+    """
+    n1, n3 = len(sa), len(sc)
+    ks = np.arange(n3 + 1)[None, :]
     worst = -np.inf
     for i in range(n1 + 1):
-        outside = ~mask[i]
+        outside = (ks < tube.klo[i][:, None]) | (ks > tube.khi[i][:, None])
         if not outside.any():
             continue
         u = t_ab[i][:, None] + t_ac[i][None, :] + t_bc
@@ -128,23 +154,22 @@ def align3_banded(
     certified = False
     while True:
         iterations += 1
-        mask = band_mask(n1, n2, n3, band)
+        tube = band_tube(n1, n2, n3, band)
         try:
-            aln = align3_wavefront(sa, sb, sc, scheme, mask=mask)
+            aln = align3_wavefront(sa, sb, sc, scheme, tube=tube)
         except RuntimeError:
             # A too-thin band can disconnect origin from terminal when the
             # lengths are very uneven; widen and retry.
             band *= 2
             continue
-        covers_all = bool(mask.all())
-        if covers_all:
+        if tube.covers_cube:
             certified = True
             break
         if not certify:
             break
         assert t_ab is not None and t_ac is not None and t_bc is not None
         outside_max = _max_outside_upper_bound(
-            sa, sb, sc, scheme, mask, t_ab, t_ac, t_bc
+            sa, sb, sc, scheme, tube, t_ab, t_ac, t_bc
         )
         if aln.score >= outside_max - 1e-9:
             certified = True

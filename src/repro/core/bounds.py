@@ -18,6 +18,16 @@ an optimal path has ``U >= OPT >= L``, so the optimum always survives.
 The closer the three sequences, the tighter the pairwise bounds hug the
 3-way optimum and the larger the pruned fraction — the divergence sweep of
 experiment F5 measures exactly this.
+
+Two representations of the kept region are offered:
+:func:`carrillo_lipman_mask` materialises the dense boolean cube
+(O(n^3) memory — diagnostics and the reference kernel's tests), while
+:func:`carrillo_lipman_tube` stores the per-``(i, j)`` interval hull of
+the kept ``k`` values (:class:`~repro.core.tube.PruningTube`, O(n^2)
+memory) — the form the production ``pruned`` engine feeds straight into
+the wavefront kernel's clamp machinery so pruned cells are never
+touched. The hull can only *add* cells relative to the dense mask, so
+its safety guarantee is identical.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.scoring import ScoringScheme
+from repro.core.tube import PruningTube
 from repro.pairwise.matrices2d import through_matrix
 from repro.util.validation import check_sequences
 
@@ -67,6 +78,63 @@ def heuristic_lower_bound(
     return max(cs.score, pg.score)
 
 
+def banded_lower_bound(
+    sa: str, sb: str, sc: str, scheme: ScoringScheme, band: int = 4
+) -> float:
+    """A valid lower bound from one thin-band exact sweep.
+
+    The optimum over alignments confined to the scaled-diagonal band is
+    the score of a feasible alignment, so it never exceeds the global
+    optimum — and for similar sequences (where pruning matters) it
+    usually *equals* it, making the Carrillo–Lipman bound as tight as it
+    can get. Costs one O(b^2 n) score-only sweep, an order of magnitude
+    less than the heuristic alignments' Python-level column merging,
+    which on similar triples used to cost more than the full unpruned
+    sweep the bound exists to beat. A band too thin to connect the
+    corners (very uneven lengths) is doubled until it does; in the worst
+    case the band covers the cube and the "bound" is the exact optimum.
+    """
+    from repro.core.band import band_tube
+    from repro.core.dp3d import NEG
+    from repro.core.wavefront import wavefront_sweep
+
+    check_sequences((sa, sb, sc), count=3)
+    n1, n2, n3 = len(sa), len(sb), len(sc)
+    while True:
+        tube = band_tube(n1, n2, n3, band)
+        score = wavefront_sweep(
+            sa, sb, sc, scheme, tube=tube, score_only=True
+        ).score
+        if score > NEG / 2:
+            return float(score)
+        band *= 2  # corners disconnected inside the band; widen
+
+
+def _bound_inputs(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme,
+    lower_bound: float | None,
+    slack: float,
+    default_bound=heuristic_lower_bound,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float, float]:
+    """Shared validation + through-matrices + threshold for both builders."""
+    check_sequences((sa, sb, sc), count=3)
+    if scheme.is_affine:
+        raise ValueError(
+            "Carrillo–Lipman bounds are derived for the linear gap model"
+        )
+    if slack < 0:
+        raise ValueError(f"slack must be >= 0, got {slack}")
+    t_ab = through_matrix(sa, sb, scheme)  # (n1+1, n2+1)
+    t_ac = through_matrix(sa, sc, scheme)  # (n1+1, n3+1)
+    t_bc = through_matrix(sb, sc, scheme)  # (n2+1, n3+1)
+    if lower_bound is None:
+        lower_bound = default_bound(sa, sb, sc, scheme)
+    return t_ab, t_ac, t_bc, float(lower_bound), float(lower_bound) - slack
+
+
 def carrillo_lipman_mask(
     sa: str,
     sb: str,
@@ -93,22 +161,10 @@ def carrillo_lipman_mask(
         ``mask[i, j, k]`` is True for cells that must be evaluated; origin
         and terminal cells are always kept.
     """
-    check_sequences((sa, sb, sc), count=3)
-    if scheme.is_affine:
-        raise ValueError(
-            "Carrillo–Lipman bounds are derived for the linear gap model"
-        )
-    if slack < 0:
-        raise ValueError(f"slack must be >= 0, got {slack}")
+    t_ab, t_ac, t_bc, lower_bound, threshold = _bound_inputs(
+        sa, sb, sc, scheme, lower_bound, slack
+    )
     n1, n2, n3 = len(sa), len(sb), len(sc)
-
-    t_ab = through_matrix(sa, sb, scheme)  # (n1+1, n2+1)
-    t_ac = through_matrix(sa, sc, scheme)  # (n1+1, n3+1)
-    t_bc = through_matrix(sb, sc, scheme)  # (n2+1, n3+1)
-
-    if lower_bound is None:
-        lower_bound = heuristic_lower_bound(sa, sb, sc, scheme)
-    threshold = lower_bound - slack
 
     # Evaluate U slab-by-slab along i to avoid materialising the float cube.
     mask = np.empty((n1 + 1, n2 + 1, n3 + 1), dtype=bool)
@@ -128,6 +184,78 @@ def carrillo_lipman_mask(
         upper_bound_at_origin=u_origin,
     )
     return mask, stats
+
+
+def carrillo_lipman_tube(
+    sa: str,
+    sb: str,
+    sc: str,
+    scheme: ScoringScheme,
+    lower_bound: float | None = None,
+    slack: float = 0.0,
+) -> tuple[PruningTube, PruningStats]:
+    """Build the O(n^2) tube (per-``(i, j)`` ``k``-interval hull) of the
+    Carrillo–Lipman keep-region.
+
+    Same parameters and safety guarantee as :func:`carrillo_lipman_mask`
+    — the tube keeps a *superset* of the mask's cells (the interval hull
+    along ``k``), so every cell of an optimal path survives. Peak
+    auxiliary memory is the three O(n^2) through-matrices plus two
+    ``(n1+1, n2+1)`` integer planes; the dense cube is never built.
+
+    When no ``lower_bound`` is given it comes from
+    :func:`banded_lower_bound` rather than the heuristic alignments the
+    mask builder defaults to: one thin exact sweep is both cheaper and
+    (on the similar triples that prune well) tighter.
+
+    ``stats.kept_cells`` counts the tube's cells (what a pruned sweep
+    will actually evaluate), so it can exceed the dense mask's count
+    when the kept set along ``k`` has holes.
+    """
+    t_ab, t_ac, t_bc, lower_bound, threshold = _bound_inputs(
+        sa, sb, sc, scheme, lower_bound, slack,
+        default_bound=banded_lower_bound,
+    )
+    n1, n2, n3 = len(sa), len(sb), len(sc)
+
+    klo = np.zeros((n1 + 1, n2 + 1), dtype=np.intp)
+    khi = np.full((n1 + 1, n2 + 1), -1, dtype=np.intp)
+    # 2-D prefilter: U(i, j, k) <= t_ab[i, j] + max_k t_ac[i, .] +
+    # max_k t_bc[j, .], so rows failing this bound keep no k at all and
+    # never need their O(n3) interval scan. On the similar triples that
+    # prune well this kills all but a thin diagonal sheet of (i, j)
+    # rows, making the build O(n^2 + rows_kept * n3) instead of O(n^3).
+    cand = (
+        t_ab + t_ac.max(axis=1)[:, None] + t_bc.max(axis=1)[None, :]
+    ) >= threshold
+    ii, jj = np.nonzero(cand)
+    # Scan surviving rows a bounded batch at a time so the (rows, n3+1)
+    # bound evaluation stays O(n^2) memory even when nothing prunes.
+    batch = max(1, 16 * (n2 + 1))
+    for b0 in range(0, len(ii), batch):
+        bi = ii[b0 : b0 + batch]
+        bj = jj[b0 : b0 + batch]
+        keep = (t_ac[bi] + t_bc[bj]) >= (
+            threshold - t_ab[bi, bj]
+        )[:, None]  # (batch, n3+1)
+        any_k = keep.any(axis=1)
+        first = keep.argmax(axis=1)
+        last = n3 - keep[:, ::-1].argmax(axis=1)
+        klo[bi[any_k], bj[any_k]] = first[any_k]
+        khi[bi[any_k], bj[any_k]] = last[any_k]
+
+    tube = PruningTube(klo=klo, khi=khi, n3=n3)
+    tube.keep_cell(0, 0, 0)
+    tube.keep_cell(n1, n2, n3)
+
+    u_origin = float(t_ab[0, 0] + t_ac[0, 0] + t_bc[0, 0])
+    stats = PruningStats(
+        total_cells=tube.total_cells,
+        kept_cells=tube.kept_cells,
+        lower_bound=float(lower_bound),
+        upper_bound_at_origin=u_origin,
+    )
+    return tube, stats
 
 
 def pairwise_upper_bound(

@@ -1,0 +1,165 @@
+"""Per-row k-interval ("tube") pruning regions in O(n^2) memory.
+
+A dense boolean keep-mask over the DP cube costs ``(n1+1)(n2+1)(n3+1)``
+bytes — for the high-similarity requests that prune best, the mask is
+bigger than every buffer the pruned sweep actually needs. This module
+stores the kept region as one interval ``[klo, khi]`` of ``k`` per
+``(i, j)`` cell instead: two ``(n1+1, n2+1)`` integer planes, O(n^2)
+total, and per plane of the wavefront the validity test is two
+elementwise compares against sliced views — no cube gather at all.
+
+An interval per row is the *hull* of an arbitrary kept set along ``k``,
+so converting a mask to a tube can only add cells back, never drop one;
+pruning stays safe (the optimum's cells all survive) while the memory
+blowup disappears. The Carrillo–Lipman builder
+(:func:`repro.core.bounds.carrillo_lipman_tube`) constructs the hull
+directly from the bound slabs, and the banded engine's scaled-diagonal
+region (:func:`repro.core.band.band_tube`) is exactly interval-shaped,
+so for it the tube is lossless.
+
+Empty rows are encoded as ``khi < klo`` (canonically ``(0, -1)``); the
+kernel's ``klo <= k <= khi`` test then rejects every ``k`` without a
+special case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PruningTube:
+    """Keep-region of a 3-D DP cube as per-``(i, j)`` ``k`` intervals.
+
+    Attributes
+    ----------
+    klo, khi:
+        Integer arrays of shape ``(n1+1, n2+1)``; cell ``(i, j, k)`` is
+        kept iff ``klo[i, j] <= k <= khi[i, j]``. Rows with
+        ``khi < klo`` are fully pruned.
+    n3:
+        Third cube dimension; intervals are clamped to ``[0, n3]`` at
+        construction so the kernel's test subsumes cube validity.
+    """
+
+    klo: np.ndarray
+    khi: np.ndarray
+    n3: int
+
+    def __post_init__(self) -> None:
+        if self.klo.shape != self.khi.shape or self.klo.ndim != 2:
+            raise ValueError(
+                f"klo/khi must be matching 2-D arrays, got "
+                f"{self.klo.shape} and {self.khi.shape}"
+            )
+        if self.n3 < 0:
+            raise ValueError(f"n3 must be >= 0, got {self.n3}")
+        # Canonicalise: inside [0, n3], empty rows as (0, -1). The kernel
+        # relies on klo >= 0 and khi <= n3 to skip the cube-bounds check.
+        self.klo = np.clip(self.klo, 0, self.n3).astype(np.intp, copy=False)
+        self.khi = np.clip(self.khi, -1, self.n3).astype(np.intp, copy=False)
+        empty = self.khi < self.klo
+        if empty.any():
+            self.klo[empty] = 0
+            self.khi[empty] = -1
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """The ``(n1+1, n2+1, n3+1)`` cube shape this tube prunes."""
+        return (self.klo.shape[0], self.klo.shape[1], self.n3 + 1)
+
+    @property
+    def total_cells(self) -> int:
+        n1p, n2p, n3p = self.shape
+        return n1p * n2p * n3p
+
+    @property
+    def kept_cells(self) -> int:
+        """Cells the pruned sweep will actually evaluate."""
+        return int(np.maximum(self.khi - self.klo + 1, 0).sum())
+
+    @property
+    def kept_fraction(self) -> float:
+        total = self.total_cells
+        return self.kept_cells / total if total else 0.0
+
+    @property
+    def nbytes(self) -> int:
+        """Auxiliary memory of the representation itself (O(n^2))."""
+        return self.klo.nbytes + self.khi.nbytes
+
+    def keep_cell(self, i: int, j: int, k: int) -> None:
+        """Force one cell into the tube (grows its row's interval)."""
+        if self.khi[i, j] < self.klo[i, j]:  # row was empty
+            self.klo[i, j] = self.khi[i, j] = k
+        else:
+            self.klo[i, j] = min(self.klo[i, j], k)
+            self.khi[i, j] = max(self.khi[i, j], k)
+
+    def contains(self, i: int, j: int, k: int) -> bool:
+        return bool(self.klo[i, j] <= k <= self.khi[i, j])
+
+    @property
+    def covers_cube(self) -> bool:
+        """True when nothing is pruned (every interval is ``[0, n3]``)."""
+        return bool((self.klo == 0).all() and (self.khi == self.n3).all())
+
+    def plane_row_windows(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-plane live-row hulls for a wavefront sweep.
+
+        Returns ``(rlo, rhi)`` of length ``n1 + n2 + n3 + 1``: on plane
+        ``d`` every kept cell has ``rlo[d] <= i <= rhi[d]`` (planes with
+        no kept cells get ``rlo > rhi``). The sweep driver uses these to
+        hand the kernel a row range proportional to the tube's thickness
+        instead of the full plane, which removes the per-plane fixed
+        cost that otherwise floors thin-tube sweeps. Each hull is a
+        superset of the truly live rows (a row's plane interval
+        ``[i + j + klo, i + j + khi]`` is itself hulled over ``j``), so
+        extra rows only cost work — never correctness.
+        """
+        n1p, n2p = self.klo.shape
+        dmax = (n1p - 1) + (n2p - 1) + self.n3
+        nonempty = self.khi >= self.klo
+        i = np.arange(n1p)[:, None]
+        j = np.arange(n2p)[None, :]
+        # Per row i: the hull of planes touched by any kept cell.
+        dlo = np.where(nonempty, i + j + self.klo, dmax + 1).min(axis=1)
+        dhi = np.where(nonempty, i + j + self.khi, -1).max(axis=1)
+        ds = np.arange(dmax + 1)
+        live = (dlo[:, None] <= ds) & (ds <= dhi[:, None])  # (n1p, planes)
+        any_rows = live.any(axis=0)
+        rlo = np.where(any_rows, live.argmax(axis=0), 1)
+        rhi = np.where(any_rows, n1p - 1 - live[::-1].argmax(axis=0), 0)
+        return rlo.astype(np.intp), rhi.astype(np.intp)
+
+    def dense_mask(self) -> np.ndarray:
+        """Materialise the equivalent boolean cube (tests/diagnostics
+        only — using this in an engine defeats the representation)."""
+        ks = np.arange(self.n3 + 1)[None, None, :]
+        return (ks >= self.klo[:, :, None]) & (ks <= self.khi[:, :, None])
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "PruningTube":
+        """Interval hull of a dense keep-mask (a superset of its cells)."""
+        if mask.ndim != 3:
+            raise ValueError(f"mask must be 3-D, got shape {mask.shape}")
+        n3 = mask.shape[2] - 1
+        any_k = mask.any(axis=2)
+        first = mask.argmax(axis=2)
+        last = n3 - mask[:, :, ::-1].argmax(axis=2)
+        klo = np.where(any_k, first, 0)
+        khi = np.where(any_k, last, -1)
+        return cls(klo=klo, khi=khi, n3=n3)
+
+    @classmethod
+    def full(cls, dims: tuple[int, int, int]) -> "PruningTube":
+        """A tube that keeps the whole ``(n1, n2, n3)`` cube."""
+        n1, n2, n3 = dims
+        shape = (n1 + 1, n2 + 1)
+        return cls(
+            klo=np.zeros(shape, dtype=np.intp),
+            khi=np.full(shape, n3, dtype=np.intp),
+            n3=n3,
+        )

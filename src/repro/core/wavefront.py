@@ -62,6 +62,7 @@ from repro.core.dp3d import NEG
 from repro.obs import hooks as _obs
 from repro.core.scoring import ScoringScheme
 from repro.core.traceback import traceback_moves
+from repro.core.tube import PruningTube
 from repro.core.types import Alignment3, moves_to_columns
 from repro.core.workspace import PlaneWorkspace
 from repro.util.validation import check_sequences
@@ -177,6 +178,7 @@ def compute_plane_rows(
     move_cube: np.ndarray | None = None,
     mask: np.ndarray | None = None,
     ws: PlaneWorkspace | None = None,
+    tube: PruningTube | None = None,
 ) -> int:
     """Compute rows ``row_lo..row_hi`` (inclusive, cell coordinates) of plane
     ``d`` into the padded buffer ``out``.
@@ -209,11 +211,19 @@ def compute_plane_rows(
         into it for traceback.
     mask:
         Optional boolean cube; cells that are False are pruned (kept at
-        ``NEG``).
+        ``NEG``). O(n^3) memory — kept for diagnostics and arbitrary
+        (non-interval) keep-sets; production pruning passes ``tube``.
     ws:
         Scratch workspace; one per concurrently-running worker. When
         None a transient workspace is built (correct but allocating —
         every engine in the repo passes one).
+    tube:
+        Optional :class:`~repro.core.tube.PruningTube`: per-``(i, j)``
+        keep-intervals of ``k`` in O(n^2) memory. The validity test is
+        two compares against sliced interval views (its intervals are
+        clamped to ``[0, n3]``, so it subsumes the cube-bounds check),
+        and the live box is tightened exactly as for ``mask``.
+        Mutually exclusive with ``mask``.
 
     Returns
     -------
@@ -235,7 +245,10 @@ def compute_plane_rows(
     if d == 0:
         # Only the origin exists; it has no predecessors. (Its box is
         # the single cell (0, 0) whenever this call covers row 0.)
-        if row_lo == 0 and jlo == 0 and (mask is None or bool(mask[0, 0, 0])):
+        origin_kept = (mask is None or bool(mask[0, 0, 0])) and (
+            tube is None or tube.contains(0, 0, 0)
+        )
+        if row_lo == 0 and jlo == 0 and origin_kept:
             out[1, 1] = 0.0
             return 1
         return 0
@@ -279,12 +292,24 @@ def compute_plane_rows(
         np.maximum(K, 0, out=kc)
         np.minimum(kc, n3, out=kc)
     all_valid = kc is K
-    fast = move_cube is None and mask is None
+    pruned = mask is not None or tube is not None
+    fast = move_cube is None and not pruned
     if fast:
         # Score-only, unmasked: only the *invalid* cells are ever
         # needed (NEG write-back and the complement count).
         if not all_valid:
             np.not_equal(K, kc, out=tmp)
+    elif tube is not None:
+        # Interval test: klo <= K <= khi. The tube's intervals are
+        # clamped to [0, n3], so this subsumes the cube-bounds check —
+        # two compares against plain 2-D views, no cube gather.
+        np.greater_equal(
+            K, tube.klo[row_lo : row_hi + 1, jlo : jhi + 1], out=valid
+        )
+        np.less_equal(
+            K, tube.khi[row_lo : row_hi + 1, jlo : jhi + 1], out=tmp
+        )
+        valid &= tmp
     else:
         np.equal(K, kc, out=valid)
         if mask is not None:
@@ -293,7 +318,7 @@ def compute_plane_rows(
             _flat(mask).take(fi, out=tmp)
             valid &= tmp
 
-    if mask is not None:
+    if pruned:
         # Tighten the computed box to the mask's live cells: with aggressive
         # Carrillo–Lipman pruning the live region is a thin tube around the
         # main diagonal, so this is where the pruning speedup comes from.
@@ -416,7 +441,7 @@ def compute_plane_rows(
     if move_cube is not None:
         _scatter_moves(move_cube, mv, valid, K, d, row_lo, jlo, dims)
 
-    if mask is None:
+    if not pruned:
         # Unmasked traceback sweep: validity is still the pure band
         # condition, so the closed-form count applies here too.
         return _band_count(kmax, h, w) - _band_count(kmax - n3 - 1, h, w)
@@ -536,6 +561,33 @@ def compute_plane_rows_ref(
     return int(valid.sum())
 
 
+def _tube_row_ranges(
+    tube: PruningTube, dmax: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-plane kernel row ranges for a tube-pruned sweep.
+
+    Starts from the tube's live-row hulls and widens each plane's range
+    to cover the hulls of the next three planes, plus one row of margin:
+    the plane buffers rotate with period 4, and the kernel resets only
+    the rows it is asked to compute, so plane ``d``'s reset must cover
+    every row that the live cells of planes ``d+1 .. d+3`` read (their
+    shifted predecessor reads touch rows ``i-1`` and ``i``). Rows left
+    outside a range keep stale plane ``d-4`` values, but only cells the
+    tube marks invalid ever read them — and those are overwritten with
+    ``NEG`` regardless of what they computed.
+    """
+    rlo, rhi = tube.plane_row_windows()
+    n1p = tube.klo.shape[0]
+    empty = rhi < rlo
+    lo_src = np.where(empty, n1p + dmax, rlo)
+    hi_src = np.where(empty, -(n1p + dmax), rhi)
+    lo, hi = lo_src.copy(), hi_src.copy()
+    for s in (1, 2, 3):
+        np.minimum(lo[:-s], lo_src[s:], out=lo[:-s])
+        np.maximum(hi[:-s], hi_src[s:], out=hi[:-s])
+    return lo - 1, hi + 1
+
+
 @dataclass
 class WavefrontResult:
     """Output of a wavefront sweep."""
@@ -556,6 +608,7 @@ def wavefront_sweep(
     mask: np.ndarray | None = None,
     capture_level: int | None = None,
     workspace: PlaneWorkspace | None = None,
+    tube: PruningTube | None = None,
 ) -> WavefrontResult:
     """Run the full wavefront sweep.
 
@@ -565,6 +618,9 @@ def wavefront_sweep(
         Skip move-cube storage; memory drops from O(n^3) to O(n^2).
     mask:
         Optional Carrillo–Lipman pruning cube (see :mod:`repro.core.bounds`).
+    tube:
+        Optional O(n^2) :class:`~repro.core.tube.PruningTube` keep-region
+        (the production pruning path); mutually exclusive with ``mask``.
     capture_level:
         When given, collect the full slab ``F[capture_level, j, k]`` during
         the sweep (used by the Hirschberg divide-and-conquer, which needs
@@ -583,8 +639,12 @@ def wavefront_sweep(
             "use repro.core.affine for affine gaps"
         )
     n1, n2, n3 = len(sa), len(sb), len(sc)
+    if mask is not None and tube is not None:
+        raise ValueError("mask and tube are mutually exclusive")
     if mask is not None and mask.shape != (n1 + 1, n2 + 1, n3 + 1):
         raise ValueError(f"mask shape {mask.shape} does not match cube")
+    if tube is not None and tube.shape != (n1 + 1, n2 + 1, n3 + 1):
+        raise ValueError(f"tube shape {tube.shape} does not match cube")
     if capture_level is not None and not 0 <= capture_level <= n1:
         raise ValueError(
             f"capture_level must be in [0, {n1}], got {capture_level}"
@@ -618,13 +678,18 @@ def wavefront_sweep(
         plane_dur_log: list[float] = []
     cells = 0
     dmax = n1 + n2 + n3
+    row_lo_by_d, row_hi_by_d = (
+        _tube_row_ranges(tube, dmax)
+        if tube is not None and capture_level is None
+        else (None, None)
+    )
     for d in range(dmax + 1):
         out = planes[d % 4]
         t0 = time.perf_counter() if observing else 0.0
         plane_cells = compute_plane_rows(
             d,
-            0,
-            n1,
+            0 if row_lo_by_d is None else int(row_lo_by_d[d]),
+            n1 if row_hi_by_d is None else int(row_hi_by_d[d]),
             planes[(d - 1) % 4],
             planes[(d - 2) % 4],
             planes[(d - 3) % 4],
@@ -637,6 +702,7 @@ def wavefront_sweep(
             move_cube=move_cube,
             mask=mask,
             ws=ws,
+            tube=tube,
         )
         if observing:
             plane_cell_log.append(plane_cells)
@@ -689,6 +755,7 @@ def align3_wavefront(
     scheme: ScoringScheme,
     mask: np.ndarray | None = None,
     workspace: PlaneWorkspace | None = None,
+    tube: PruningTube | None = None,
 ) -> Alignment3:
     """Optimal three-way alignment via the vectorised wavefront engine."""
     from repro.obs import trace as _trace
@@ -702,6 +769,7 @@ def align3_wavefront(
             score_only=False,
             mask=mask,
             workspace=workspace,
+            tube=tube,
         )
     if res.score <= NEG / 2:
         raise RuntimeError(
@@ -727,8 +795,16 @@ def score3_wavefront(
     scheme: ScoringScheme,
     mask: np.ndarray | None = None,
     workspace: PlaneWorkspace | None = None,
+    tube: PruningTube | None = None,
 ) -> float:
     """Optimal SP score via a memory-light (O(n^2)) wavefront sweep."""
     return wavefront_sweep(
-        sa, sb, sc, scheme, score_only=True, mask=mask, workspace=workspace
+        sa,
+        sb,
+        sc,
+        scheme,
+        score_only=True,
+        mask=mask,
+        workspace=workspace,
+        tube=tube,
     ).score

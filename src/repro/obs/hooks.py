@@ -142,6 +142,36 @@ def record_degrade(
         metrics.registry().counter("degraded_runs").inc()
 
 
+def record_pruning(
+    engine: str,
+    *,
+    kept_fraction: float,
+    lower_bound: float,
+    upper_bound: float,
+) -> None:
+    """One Carrillo–Lipman-pruned run: how much of the cube survived and
+    how tight the heuristic lower bound was (``upper_bound`` is the bound
+    at the origin, an upper envelope of the optimum — the gap to
+    ``lower_bound`` is what pruning has to work with)."""
+    if trace.enabled:
+        trace.event(
+            "pruned_run",
+            engine=engine,
+            kept_fraction=kept_fraction,
+            lower_bound=lower_bound,
+            upper_bound=upper_bound,
+        )
+    if metrics.enabled:
+        reg = metrics.registry()
+        reg.counter("pruned_runs").inc()
+        reg.histogram(
+            "pruning_kept_fraction", metrics.RATIO_BUCKETS
+        ).observe(kept_fraction)
+        gap = upper_bound - lower_bound
+        if gap >= 0:
+            reg.gauge("pruning_bound_gap").set(gap)
+
+
 def record_cache(event: str) -> None:
     """One cache-tier event: ``memory_hit``/``disk_hit``/``miss``/
     ``eviction``. Counter-only — cache lookups are far too frequent for a

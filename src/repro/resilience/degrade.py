@@ -101,8 +101,17 @@ def estimate_bytes(
     if method in ("wavefront", "shared", "threads"):
         return planes + (0 if score_only else cube)
     if method in ("pruned", "banded"):
-        # Adds the boolean keep-mask over the cube.
-        return planes + cube + (0 if score_only else cube)
+        # The keep-region is a tube (two (n1+1)(n2+1) intp planes), not a
+        # boolean cube; pruned additionally holds the three O(n^2)
+        # pairwise through-matrices while building the bound. The old
+        # ``+ cube`` term for a dense mask made the planner degrade
+        # pruned runs that comfortably fit — the exact regime where
+        # pruning pays most.
+        tube = 2 * (n1 + 1) * (n2 + 1) * 8
+        through = (
+            (n1 + 1) * (n2 + 1) + (n1 + 1) * (n3 + 1) + (n2 + 1) * (n3 + 1)
+        ) * 8
+        return planes + tube + through + (0 if score_only else cube)
     if method == "hirschberg":
         from repro.core.hirschberg import memory_estimate_bytes
 

@@ -57,6 +57,12 @@ def kernel_metrics(doc: Mapping[str, Any]) -> dict[str, float]:
             hirschberg["cube_cells_per_s"]
         )
         metrics["hirschberg_seconds"] = float(hirschberg["seconds"])
+    # Documents written before the pruned regime existed lack this
+    # section; .get keeps old trajectory rows loadable.
+    high = doc.get("high_similarity")
+    if high:
+        metrics["pruned_speedup"] = float(high["speedup"])
+        metrics["pruned_kept_fraction"] = float(high["kept_fraction"])
     return metrics
 
 

@@ -1,0 +1,168 @@
+"""Adaptive method selection and the cache-key equivalence class.
+
+The selector (:func:`repro.core.api.select_method`) replaces the old
+cells-only ``auto`` split with a similarity-aware cost model; the cache
+key now hashes the *resolved* method's equivalence class rather than
+the raw request string. These tests pin both: the routing table, the
+identity estimator it relies on, and the end of the aliasing bug where
+``auto`` and its resolution were solved and stored twice.
+"""
+
+import pytest
+
+from repro.cache import (
+    EXACT_METHODS,
+    ResultCache,
+    method_key_class,
+    request_key,
+)
+from repro.core.api import (
+    AUTO_BANDED_MIN_IDENTITY,
+    AUTO_HIRSCHBERG_CELLS,
+    AUTO_PRUNE_MIN_CELLS,
+    align3,
+    estimate_identity,
+    select_method,
+)
+from repro.seqio.generate import MutationModel, mutated_family, random_sequence
+
+
+class TestEstimateIdentity:
+    def test_identical_sequences(self):
+        s = random_sequence(200, seed=1)
+        assert estimate_identity(s, s) == pytest.approx(1.0)
+
+    def test_unrelated_sequences_near_zero(self):
+        assert estimate_identity("A" * 100, "C" * 100) == 0.0
+
+    def test_monotone_in_divergence(self):
+        estimates = []
+        for sub in (0.02, 0.15, 0.4):
+            sa, sb, _ = mutated_family(
+                300, model=MutationModel(sub, sub / 4, sub / 4), seed=9
+            )
+            estimates.append(estimate_identity(sa, sb))
+        assert estimates[0] > estimates[1] > estimates[2]
+
+    def test_tracks_true_identity_roughly(self):
+        sa, sb, _ = mutated_family(
+            400, model=MutationModel(0.05, 0.0, 0.0), seed=3
+        )
+        est = estimate_identity(sa, sb)
+        assert 0.85 <= est <= 1.0
+
+    def test_short_sequences_positional(self):
+        assert estimate_identity("ACG", "ACG") == 1.0
+        assert estimate_identity("", "") == 1.0
+        assert estimate_identity("", "ACG") == 0.0
+
+
+class TestSelectMethod:
+    def _triple(self, n, sub, seed=11):
+        return mutated_family(
+            n, model=MutationModel(sub, sub / 4, sub / 4), seed=seed
+        )
+
+    def test_small_cube_is_wavefront(self, dna_scheme):
+        seqs = self._triple(20, 0.02)
+        method, sel = select_method(*seqs, dna_scheme)
+        assert method == "wavefront"
+        assert sel["cells"] <= AUTO_PRUNE_MIN_CELLS
+
+    def test_high_identity_is_banded(self, dna_scheme):
+        seqs = self._triple(100, 0.01)
+        method, sel = select_method(*seqs, dna_scheme)
+        assert method == "banded"
+        assert sel["identity"] >= AUTO_BANDED_MIN_IDENTITY
+
+    def test_moderate_identity_is_pruned(self, dna_scheme):
+        seqs = self._triple(100, 0.05)
+        method, sel = select_method(*seqs, dna_scheme)
+        assert method == "pruned"
+
+    def test_low_identity_is_wavefront(self, dna_scheme):
+        seqs = (
+            random_sequence(100, seed=1),
+            random_sequence(100, seed=2),
+            random_sequence(100, seed=3),
+        )
+        method, _ = select_method(*seqs, dna_scheme)
+        assert method == "wavefront"
+
+    def test_huge_cube_is_hirschberg(self, dna_scheme):
+        seqs = self._triple(260, 0.01)
+        assert (261) ** 3 > AUTO_HIRSCHBERG_CELLS
+        method, sel = select_method(*seqs, dna_scheme)
+        assert method == "hirschberg"
+
+    def test_cells_policy_is_legacy_split(self, dna_scheme):
+        seqs = self._triple(100, 0.01)
+        method, sel = select_method(*seqs, dna_scheme, policy="cells")
+        assert method == "wavefront"
+        assert sel["policy"] == "cells"
+        assert "identity" not in sel
+
+    def test_unknown_policy_rejected(self, dna_scheme):
+        with pytest.raises(ValueError, match="auto_policy"):
+            select_method("A", "C", "G", dna_scheme, policy="nope")
+
+    def test_align3_records_selection(self, dna_scheme):
+        seqs = self._triple(70, 0.02)
+        aln = align3(*seqs, dna_scheme, method="auto")
+        auto = aln.meta["auto"]
+        assert auto["policy"] == "similarity"
+        assert "reason" in auto and "cells" in auto
+
+    def test_align3_cells_policy(self, dna_scheme):
+        seqs = self._triple(70, 0.02)
+        aln = align3(*seqs, dna_scheme, method="auto", auto_policy="cells")
+        assert aln.meta["auto"]["policy"] == "cells"
+
+
+class TestMethodKeyClass:
+    def test_exact_engines_collapse(self):
+        assert {method_key_class(m) for m in EXACT_METHODS} == {"exact"}
+
+    def test_affine_keys_as_itself(self):
+        assert method_key_class("affine") == "affine"
+
+    def test_auto_rejected(self):
+        with pytest.raises(ValueError, match="auto"):
+            method_key_class("auto")
+
+
+class TestCacheAliasing:
+    def test_auto_and_resolved_share_one_entry(self, dna_scheme, tmp_path):
+        seqs = mutated_family(30, seed=21)
+        cache = ResultCache(cache_dir=tmp_path)
+        cold = align3(*seqs, dna_scheme, method="auto", cache=cache)
+        assert cold.meta["cache"]["hit"] is False
+        # The same triple requested under any exact engine now hits.
+        for method in ("wavefront", "dp3d", "hirschberg", "auto"):
+            again = align3(*seqs, dna_scheme, method=method, cache=cache)
+            assert again.meta["cache"]["hit"] is True, method
+            assert again.score == cold.score
+
+    def test_legacy_raw_method_key_migrates(self, dna_scheme, tmp_path):
+        seqs = mutated_family(25, seed=22)
+        cold = align3(*seqs, dna_scheme, method="wavefront")
+        # Simulate a cache persisted by an older release: the entry
+        # lives under the raw request string, not the class key.
+        class_key = request_key(tuple(seqs), dna_scheme, "global", "exact")
+        legacy_key = request_key(tuple(seqs), dna_scheme, "global", "auto")
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put(legacy_key, cold)
+        assert cache.get(class_key) is None
+        # An auto request misses the class key, probes the legacy raw
+        # key, and re-homes the entry under the class key.
+        hit = align3(*seqs, dna_scheme, method="auto", cache=cache)
+        assert hit.meta["cache"]["hit"] is True
+        assert hit.score == cold.score
+        assert cache.get(class_key) is not None
+
+    def test_distinct_triples_do_not_collide(self, dna_scheme, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        a = align3("GATTACA", "GATCA", "GTTACA", dna_scheme, cache=cache)
+        b = align3("GATTACA", "GATCA", "GTTACC", dna_scheme, cache=cache)
+        assert b.meta["cache"]["hit"] is False
+        assert a.score != b.score or a.rows != b.rows

@@ -6,9 +6,11 @@ in the committed baseline (``BENCH_kernel.json``) and fails when the
 kernel has lost its edge:
 
 * the **baseline document** must itself satisfy the acceptance
-  criterion — ≥ 1.5x speedup over the frozen reference kernel on the
-  repeated-small-plane (Hirschberg-style) workload and no regression
-  (≥ 1.0x) on the single large sweep;
+  criteria — ≥ 1.5x speedup over the frozen reference kernel on the
+  repeated-small-plane (Hirschberg-style) workload, no regression
+  (≥ 1.0x) on the single large sweep, and ≥ 5x end-to-end speedup of
+  the Carrillo–Lipman-pruned path over the unpruned wavefront on the
+  high-similarity workload;
 * the **measured speedups** of the current checkout must not regress
   more than ``--tolerance`` (default 20%) below the reference point.
 
@@ -75,9 +77,11 @@ from repro.runs import (  # noqa: E402
     trajectory_median,
 )
 
-#: The PR's acceptance floor, enforced on the committed baseline.
+#: The acceptance floors, enforced on the committed baseline.
 SMALL_SPEEDUP_FLOOR = 1.5
 LARGE_SPEEDUP_FLOOR = 1.0
+#: End-to-end pruned-vs-unpruned on the ≥0.9-identity workload.
+PRUNED_SPEEDUP_FLOOR = 5.0
 
 
 def load_baseline() -> dict:
@@ -186,6 +190,21 @@ def main(argv: list[str] | None = None) -> int:
             f"baseline large-sweep speedup {base_large:.2f}x regresses "
             f"the reference kernel"
         )
+    base_high = baseline.get("high_similarity")
+    if base_high is None:
+        failures.append(
+            "baseline has no high_similarity section — regenerate it with "
+            "'PYTHONPATH=src python benchmarks/bench_kernel.py --write'"
+        )
+        base_pruned = float("nan")
+    else:
+        base_pruned = base_high["speedup"]
+        if base_pruned < PRUNED_SPEEDUP_FLOOR:
+            failures.append(
+                f"baseline high-similarity pruned speedup "
+                f"{base_pruned:.2f}x is below the "
+                f"{PRUNED_SPEEDUP_FLOOR:.1f}x acceptance floor"
+            )
 
     store = RunStore(args.runs_file)
     fp = fingerprint_id()
@@ -206,10 +225,13 @@ def main(argv: list[str] | None = None) -> int:
     print(bench_kernel.summarise(doc))
 
     scale = 1.0 - args.tolerance
-    for name, metric, label in (
+    gates = [
         ("small_repeated", "small_speedup", "small"),
         ("large_sweep", "large_speedup", "large"),
-    ):
+    ]
+    if base_high is not None:
+        gates.append(("high_similarity", "pruned_speedup", "pruned"))
+    for name, metric, label in gates:
         now = doc[name]["speedup"]
         ref = baseline[name]["speedup"]
         source = "baseline"
@@ -239,8 +261,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"{args.tolerance:.0%} below {source} {ref:.2f}x"
             )
         if args.absolute:
-            now_abs = doc[name]["new_cells_per_s"]
-            base_abs = baseline[name]["new_cells_per_s"]
+            # The high_similarity section reports seconds, not cells/s
+            # (pruned work is not cube-proportional); the ratio gate
+            # above already covers it machine-neutrally.
+            now_abs = doc[name].get("new_cells_per_s")
+            base_abs = baseline[name].get("new_cells_per_s")
+            if now_abs is None or base_abs is None:
+                continue
             if now_abs < base_abs * scale:
                 failures.append(
                     f"{label} throughput {now_abs:,.0f} cells/s "
@@ -275,7 +302,9 @@ def main(argv: list[str] | None = None) -> int:
         f"OK: small {doc['small_repeated']['speedup']:.2f}x "
         f"(baseline {base_small:.2f}x), "
         f"large {doc['large_sweep']['speedup']:.2f}x "
-        f"(baseline {base_large:.2f}x), tolerance {args.tolerance:.0%}"
+        f"(baseline {base_large:.2f}x), "
+        f"pruned {doc['high_similarity']['speedup']:.2f}x "
+        f"(baseline {base_pruned:.2f}x), tolerance {args.tolerance:.0%}"
     )
     if args.update:
         path = bench_kernel.baseline_path()
