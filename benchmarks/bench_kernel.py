@@ -19,6 +19,13 @@ workloads that bracket the engine's regimes:
   Carrillo–Lipman tube path — banded lower bound, tube build and
   pruned sweep all inside the timed side — asserting bit-identical
   scores. This is the ≥5x acceptance number for the pruned engine.
+* **long_anchored** — an n≈2000 high-identity triple through
+  ``align3(method="anchored")`` (anchor discovery + cube-chain
+  decomposition, ``repro.anchor``): end-to-end wall time, chain
+  coverage and dense-cube-equivalent throughput. No unanchored
+  reference is timed here — a full n=2000 cube takes minutes; the
+  ≥3x speedup floor is enforced by ``tools/check_anchor.py`` with a
+  subprocess timeout instead.
 
 ``python benchmarks/bench_kernel.py`` prints a summary and (with
 ``--write``) saves ``BENCH_kernel.json`` at the repo root — the baseline
@@ -102,6 +109,7 @@ DEFAULT_CONFIG = {
     "hirschberg_n": 90,
     "hirschberg_base_cells": 20_000,
     "high_sim_n": 240,
+    "anchored_n": 2000,
     "repeats": 5,
     "seed": 20240805,
 }
@@ -288,6 +296,54 @@ def _measure_high_similarity(config, scheme):
     }
 
 
+def _measure_long_anchored(config, scheme):
+    """Long-sequence regime: anchored divide-and-conquer end to end.
+
+    One timed ``align3(method="anchored")`` run (discovery, chaining,
+    per-sub-cube engine selection, stitching) on a triple no dense
+    engine serves interactively. ``dense_equiv_cells_per_s`` divides the
+    *full* lattice size by the anchored wall time — the apples-to-apples
+    number against the other regimes' cells/s.
+    """
+    from repro.core.api import align3
+    from repro.seqio.generate import MutationModel
+
+    n = config["anchored_n"]
+    seqs = mutated_family(
+        n,
+        model=MutationModel(
+            substitution=0.02, insertion=0.005, deletion=0.005
+        ),
+        seed=config["seed"] + 4004,
+    )
+
+    def run():
+        return align3(*seqs, scheme, method="anchored")
+
+    # min-of-2, not config["repeats"]: one run is seconds, and the gate
+    # (check_perf) re-executes this whole document on every invocation.
+    seconds, aln = repeat_min(run, repeats=2, warmup=0)
+    anchor = aln.meta["anchor"]
+    assert anchor["anchors"] > 0, (
+        "anchored bench triple must actually anchor; discovery said: "
+        f"{anchor.get('discovery')}"
+    )
+    cube = 1
+    for s in seqs:
+        cube *= len(s) + 1
+    return {
+        "n": n,
+        "seconds": seconds,
+        "anchors": anchor["anchors"],
+        "coverage": anchor["coverage"],
+        "segments": anchor["segments"],
+        "max_subcube_cells": anchor["max_subcube_cells"],
+        "cube_cells": cube,
+        "dense_equiv_cells_per_s": cube / seconds,
+        "score": aln.score,
+    }
+
+
 def run(config: dict | None = None) -> dict:
     """Run the full benchmark; returns the result document."""
     cfg = dict(DEFAULT_CONFIG)
@@ -303,6 +359,7 @@ def run(config: dict | None = None) -> dict:
         "large_sweep": _measure_large_sweep(cfg, scheme),
         "hirschberg_e2e": _measure_hirschberg(cfg, scheme),
         "high_similarity": _measure_high_similarity(cfg, scheme),
+        "long_anchored": _measure_long_anchored(cfg, scheme),
     }
 
 
@@ -334,6 +391,13 @@ def summarise(doc: dict) -> str:
             f"{hs['ref_seconds'] * 1000:.1f} ms — "
             f"speedup {hs['speedup']:.2f}x "
             f"(kept {hs['kept_fraction']:.2%} of the cube)"
+        )
+    la = doc.get("long_anchored")
+    if la:
+        lines.append(
+            f"long anchored  : n={la['n']} in {la['seconds']:.2f} s — "
+            f"{la['anchors']} anchors, coverage {la['coverage']:.0%}, "
+            f"{la['dense_equiv_cells_per_s']:,.0f} dense-equiv cells/s"
         )
     return "\n".join(lines)
 

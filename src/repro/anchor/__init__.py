@@ -1,0 +1,43 @@
+"""Constrained and anchored three-way alignment (cube-chain decomposition).
+
+Two modes on top of the exact engines:
+
+- **constrained**: the caller supplies anchor triples ``(i, j, k,
+  length)`` the alignment must pass through; the result is optimal
+  subject to those constraints (Chin et al., PAPERS.md).
+- **anchored**: anchors are discovered automatically from shared unique
+  k-mers and LIS-chained; low-identity inputs fall back to the
+  unanchored path, so the mode is always exact-or-anchored, never
+  heuristic-without-saying-so.
+
+Both factor the DP cube into a chain of sub-cubes solved sequentially by
+the existing engines — see :mod:`repro.anchor.solve`. Entry points:
+``align3(constraints=...)`` and ``align3(method="anchored")``.
+"""
+
+from .chain import Segment, chain_cells, chain_coverage, decompose, max_subcube_dims
+from .discover import DEFAULT_MIN_COVERAGE, discover_anchors
+from .model import (
+    Anchor,
+    as_anchors,
+    constraints_from_jsonable,
+    normalize_constraints,
+    validate_chain,
+)
+from .solve import align3_chain
+
+__all__ = [
+    "Anchor",
+    "DEFAULT_MIN_COVERAGE",
+    "Segment",
+    "align3_chain",
+    "as_anchors",
+    "chain_cells",
+    "chain_coverage",
+    "constraints_from_jsonable",
+    "decompose",
+    "discover_anchors",
+    "max_subcube_dims",
+    "normalize_constraints",
+    "validate_chain",
+]

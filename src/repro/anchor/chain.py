@@ -1,0 +1,124 @@
+"""Cube-chain decomposition for a consistent anchor chain.
+
+A validated chain of anchors (see :mod:`repro.anchor.model`) factors the
+DP cube into an alternating sequence of free *segments* (sub-cubes the
+engines must solve) and forced anchor runs (columns spliced in
+verbatim). Because every monotone path through the cube that respects
+the anchors must enter each anchor at its start cell and leave at its
+end cell, the sub-problems are independent and the optimum subject to
+the constraints is the sum of sub-cube optima plus the anchor-column
+scores — the decomposition of Chin et al. lifted to three sequences.
+
+This module is pure geometry: no scoring, no engines. It is shared by
+the solver (:mod:`repro.anchor.solve`), the degradation planner
+(max sub-cube memory pricing) and serve admission (chain cell costing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .model import Anchor
+
+__all__ = [
+    "Segment",
+    "chain_cells",
+    "chain_coverage",
+    "decompose",
+    "max_subcube_dims",
+    "segment_dims",
+]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One free sub-cube between anchors (or a chain end)."""
+
+    start: tuple[int, int, int]
+    end: tuple[int, int, int]
+
+    @property
+    def dims(self) -> tuple[int, int, int]:
+        return (
+            self.end[0] - self.start[0],
+            self.end[1] - self.start[1],
+            self.end[2] - self.start[2],
+        )
+
+    @property
+    def cells(self) -> int:
+        n1, n2, n3 = self.dims
+        return (n1 + 1) * (n2 + 1) * (n3 + 1)
+
+    @property
+    def empty(self) -> bool:
+        return self.start == self.end
+
+
+def decompose(
+    anchors: Sequence[Anchor], dims: tuple[int, int, int]
+) -> list[Segment | Anchor]:
+    """Return the alternating segment/anchor chain covering the cube.
+
+    ``anchors`` must already be sorted and consistent (the output of
+    :func:`repro.anchor.model.validate_chain`). The result always starts
+    and ends with a :class:`Segment` (possibly empty) and contains every
+    anchor in order: ``[seg0, a0, seg1, a1, ..., segM]``.
+    """
+    parts: list[Segment | Anchor] = []
+    cursor = (0, 0, 0)
+    for a in anchors:
+        parts.append(Segment(cursor, a.start))
+        parts.append(a)
+        cursor = a.end
+    parts.append(Segment(cursor, dims))
+    return parts
+
+
+def segment_dims(
+    anchors: Sequence[Anchor], dims: tuple[int, int, int]
+) -> list[tuple[int, int, int]]:
+    """Dims of every free segment in chain order (empty ones included)."""
+    return [p.dims for p in decompose(anchors, dims) if isinstance(p, Segment)]
+
+
+def max_subcube_dims(
+    anchors: Sequence[Anchor], dims: tuple[int, int, int]
+) -> tuple[int, int, int]:
+    """Dims of the largest free sub-cube (by lattice cell count).
+
+    With no anchors this is ``dims`` itself; with a fully anchored cube
+    it is ``(0, 0, 0)``. This is what the degradation planner prices:
+    sub-cubes are solved sequentially, so peak memory follows the
+    biggest one, not the full cube.
+    """
+    best = (0, 0, 0)
+    best_cells = 1
+    for d in segment_dims(anchors, dims):
+        cells = (d[0] + 1) * (d[1] + 1) * (d[2] + 1)
+        if cells > best_cells:
+            best, best_cells = d, cells
+    return best if anchors else dims
+
+
+def chain_cells(anchors: Sequence[Anchor], dims: tuple[int, int, int]) -> int:
+    """Total DP work for the chain: sum of sub-cube lattices + anchor columns.
+
+    This is the anchored analogue of ``serve.admission.estimate_cells``'s
+    full-lattice count, used to cost constrained requests honestly.
+    """
+    total = sum(
+        (d[0] + 1) * (d[1] + 1) * (d[2] + 1)
+        for d in segment_dims(anchors, dims)
+    )
+    total += sum(a.length for a in anchors)
+    return total
+
+
+def chain_coverage(
+    anchors: Sequence[Anchor], dims: tuple[int, int, int]
+) -> float:
+    """Fraction of the alignment pinned by anchors: sum(length)/max(dims)."""
+    longest = max(dims) if max(dims) > 0 else 1
+    return min(1.0, sum(a.length for a in anchors) / longest)

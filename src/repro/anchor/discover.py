@@ -1,0 +1,197 @@
+"""Automatic anchor discovery: shared-k-mer triple matches + chaining.
+
+The anchored divide-and-conquer path needs anchors nobody supplied. We
+find them the way pairwise anchor aligners (MUMmer-style) do, lifted to
+three sequences:
+
+1. index k-mers that occur **exactly once** in each sequence (unique
+   seeds cannot be placed ambiguously, so a triple hit is an exact
+   three-way match that some optimal-ish alignment plausibly uses);
+2. intersect the three indexes → candidate cells ``(i, j, k)``;
+3. merge candidates on the same main diagonal offset into maximal runs
+   (consecutive unique k-mers overlap, giving runs of length
+   ``k + run - 1``);
+4. chain: pick the maximum-total-length subset that is component-wise
+   increasing (the 3-D LIS under anchor weight), which is exactly the
+   consistency predicate :func:`repro.anchor.model.validate_chain`
+   enforces;
+5. quality gate: if the chain covers too little of the sequences the
+   inputs are not anchor-friendly (low identity, repeats) and the
+   caller must fall back to the unanchored engines.
+
+Anchors constrain the optimum, so discovery is deliberately
+conservative: unique seeds only, exact matches only, and a coverage
+threshold before anchoring is trusted at all. Everything is
+deterministic — same sequences, same anchors — which keeps anchored
+results content-addressable in the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .chain import chain_coverage
+from .model import Anchor, validate_chain
+
+__all__ = [
+    "DEFAULT_MIN_COVERAGE",
+    "discover_anchors",
+    "unique_kmer_positions",
+]
+
+# Below this fraction of anchored columns the chain is judged too weak
+# to trust and discovery reports no anchors (solver falls back).
+DEFAULT_MIN_COVERAGE = 0.25
+
+# Chain DP is O(m^2) in candidate runs; subsample evenly above this.
+_MAX_CHAIN_CANDIDATES = 512
+
+# Trimmed from each end of every chained run: anchoring a full seed run
+# right up to its endpoints can pin a column an optimal alignment would
+# rather shift into the neighbouring free segment; a small margin leaves
+# the boundary decision to the sub-cube DP.
+_TRIM = 2
+
+
+def unique_kmer_positions(seq: str, k: int) -> dict[str, int]:
+    """Map each k-mer occurring exactly once in ``seq`` to its offset."""
+    pos: dict[str, int] = {}
+    dup: set[str] = set()
+    for i in range(len(seq) - k + 1):
+        mer = seq[i : i + k]
+        if mer in dup:
+            continue
+        if mer in pos:
+            del pos[mer]
+            dup.add(mer)
+        else:
+            pos[mer] = i
+    return pos
+
+
+def _pick_k(n_min: int) -> int | None:
+    if n_min >= 48:
+        return 12
+    if n_min >= 20:
+        return 8
+    return None
+
+
+def _merge_runs(cells: list[tuple[int, int, int]], k: int) -> list[Anchor]:
+    """Merge diagonal-consecutive seed cells into maximal match runs."""
+    runs: list[Anchor] = []
+    start = None
+    prev = None
+    for cell in sorted(cells):
+        if (
+            prev is not None
+            and cell == (prev[0] + 1, prev[1] + 1, prev[2] + 1)
+        ):
+            prev = cell
+            continue
+        if start is not None:
+            runs.append(Anchor(*start, prev[0] - start[0] + k))
+        start = cell
+        prev = cell
+    if start is not None:
+        runs.append(Anchor(*start, prev[0] - start[0] + k))
+    return runs
+
+
+def _chain_max_weight(candidates: list[Anchor]) -> list[Anchor]:
+    """Maximum-total-length consistent sub-chain (3-D weighted LIS).
+
+    O(m^2) over candidates sorted by start; ``m`` is capped by the
+    caller. Ties break toward the earliest predecessor, which keeps the
+    result deterministic under a stable sort.
+    """
+    cand = sorted(candidates)
+    m = len(cand)
+    best = [a.length for a in cand]
+    back = [-1] * m
+    for t in range(m):
+        ct = cand[t]
+        for s in range(t):
+            cs = cand[s]
+            if (
+                cs.end[0] <= ct.i
+                and cs.end[1] <= ct.j
+                and cs.end[2] <= ct.k
+                and best[s] + ct.length > best[t]
+            ):
+                best[t] = best[s] + ct.length
+                back[t] = s
+    if not cand:
+        return []
+    tail = max(range(m), key=lambda t: (best[t], -t))
+    chain: list[Anchor] = []
+    while tail != -1:
+        chain.append(cand[tail])
+        tail = back[tail]
+    chain.reverse()
+    return chain
+
+
+def _trim(anchors: list[Anchor]) -> list[Anchor]:
+    out = []
+    for a in anchors:
+        if a.length > 2 * _TRIM + 1:
+            out.append(Anchor(a.i + _TRIM, a.j + _TRIM, a.k + _TRIM, a.length - 2 * _TRIM))
+        elif a.length >= 2:
+            out.append(a)
+    return out
+
+
+def discover_anchors(
+    sa: str,
+    sb: str,
+    sc: str,
+    *,
+    min_coverage: float = DEFAULT_MIN_COVERAGE,
+) -> tuple[tuple[Anchor, ...], dict[str, Any]]:
+    """Find a consistent anchor chain for three sequences.
+
+    Returns ``(anchors, info)``. ``anchors`` is empty when the inputs
+    are too short, share no unique seeds, or the best chain covers less
+    than ``min_coverage`` of the longest sequence — the signal that the
+    caller should run the unanchored path. ``info`` reports the k used,
+    candidate/chained counts, coverage and the reason when empty (it
+    lands in ``meta["anchor"]["discovery"]``).
+    """
+    sa, sb, sc = sa.upper(), sb.upper(), sc.upper()
+    dims = (len(sa), len(sb), len(sc))
+    n_min = min(dims)
+    info: dict[str, Any] = {"min_coverage": min_coverage}
+    k = _pick_k(n_min)
+    if k is None:
+        info.update(k=None, candidates=0, chained=0, coverage=0.0,
+                    reason="sequences too short to seed")
+        return (), info
+    info["k"] = k
+
+    pa = unique_kmer_positions(sa, k)
+    pb = unique_kmer_positions(sb, k)
+    pc = unique_kmer_positions(sc, k)
+    shared = set(pa) & set(pb) & set(pc)
+    cells = [(pa[m], pb[m], pc[m]) for m in shared]
+    runs = _trim(_merge_runs(cells, k))
+    info["candidates"] = len(runs)
+    if not runs:
+        info.update(chained=0, coverage=0.0, reason="no shared unique k-mers")
+        return (), info
+
+    if len(runs) > _MAX_CHAIN_CANDIDATES:
+        runs.sort(key=lambda a: -a.length)
+        runs = runs[:_MAX_CHAIN_CANDIDATES]
+        info["subsampled"] = True
+    chain = _chain_max_weight(runs)
+    chain = list(validate_chain(chain, dims))
+    info["chained"] = len(chain)
+    coverage = chain_coverage(chain, dims)
+    info["coverage"] = round(coverage, 4)
+    if coverage < min_coverage:
+        info["reason"] = (
+            f"chain coverage {coverage:.3f} below threshold {min_coverage}"
+        )
+        return (), info
+    return tuple(chain), info

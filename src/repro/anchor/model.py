@@ -1,0 +1,174 @@
+"""Constraint model for constrained and anchored three-way alignment.
+
+A *constraint* (anchor) is a triple of start offsets plus a run length
+``(i, j, k, length)``: the alignment is forced through ``length``
+consecutive three-way columns pairing ``sa[i:i+length]``,
+``sb[j:j+length]`` and ``sc[k:k+length]`` — in DP-cube terms, the path
+must visit cell ``(i, j, k)`` and then take ``length`` all-advance
+(``ABC``) moves to cell ``(i+length, j+length, k+length)``. Anchors
+usually mark exact sequence matches (that is what
+:mod:`repro.anchor.discover` finds), but the model does not require it:
+any forced co-alignment of three equal-length substrings is a valid
+constraint, scored like every other column.
+
+A *chain* of constraints must be consistent: sorted by start cell, each
+anchor's end must be ≤ the next anchor's start **component-wise**
+(touching is allowed — the segment between them is then empty). A
+consistent chain factors the cube into independent sub-cubes (Chin et
+al., PAPERS.md), which is what :mod:`repro.anchor.chain` exploits.
+
+Everything here works on plain ``(i, j, k, length)`` int tuples at the
+boundaries (JSON IO, cache keys, :class:`~repro.batch.scheduler.AlignmentRequest`
+hashing) and on the :class:`Anchor` dataclass internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "Anchor",
+    "as_anchors",
+    "constraints_from_jsonable",
+    "normalize_constraints",
+    "validate_chain",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Anchor:
+    """One forced run of three-way columns (see module docs)."""
+
+    i: int
+    j: int
+    k: int
+    length: int
+
+    @property
+    def start(self) -> tuple[int, int, int]:
+        return (self.i, self.j, self.k)
+
+    @property
+    def end(self) -> tuple[int, int, int]:
+        return (self.i + self.length, self.j + self.length, self.k + self.length)
+
+    def astuple(self) -> tuple[int, int, int, int]:
+        return (self.i, self.j, self.k, self.length)
+
+
+def _coerce_one(raw: Any, where: str) -> Anchor:
+    if isinstance(raw, Anchor):
+        values: Sequence[Any] = raw.astuple()
+    elif isinstance(raw, dict):
+        try:
+            values = (raw["i"], raw["j"], raw["k"], raw["length"])
+        except KeyError as exc:
+            raise ValueError(
+                f"{where}: constraint object needs keys i/j/k/length "
+                f"(missing {exc.args[0]!r})"
+            ) from None
+    elif isinstance(raw, (list, tuple)):
+        values = raw
+    else:
+        raise ValueError(
+            f"{where}: constraint must be [i, j, k, length], got "
+            f"{type(raw).__name__}"
+        )
+    if len(values) != 4:
+        raise ValueError(
+            f"{where}: constraint must have exactly four integers, got "
+            f"{len(values)}"
+        )
+    out = []
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, int):
+            raise ValueError(
+                f"{where}: constraint fields must be integers, got {v!r}"
+            )
+        out.append(int(v))
+    i, j, k, length = out
+    if min(i, j, k) < 0:
+        raise ValueError(f"{where}: constraint offsets must be >= 0, got {out}")
+    if length < 1:
+        raise ValueError(f"{where}: constraint length must be >= 1, got {length}")
+    return Anchor(i, j, k, length)
+
+
+def as_anchors(constraints: Iterable[Any]) -> tuple[Anchor, ...]:
+    """Coerce an iterable of tuples/dicts/:class:`Anchor` to anchors.
+
+    Shape and sign validation only; bounds and chain consistency need the
+    sequence lengths — see :func:`validate_chain`.
+    """
+    return tuple(
+        _coerce_one(raw, f"constraint {n}")
+        for n, raw in enumerate(constraints)
+    )
+
+
+def constraints_from_jsonable(raw: Any, where: str = "constraints") -> tuple[
+    tuple[int, int, int, int], ...
+]:
+    """Parse the wire/JSONL ``constraints`` field to plain int tuples.
+
+    Accepts a list of ``[i, j, k, length]`` lists (or ``{"i": ...}``
+    objects); raises ``ValueError`` with ``where`` in the message on any
+    shape violation. Deep validation (bounds, chain order) happens where
+    the sequences are known.
+    """
+    if not isinstance(raw, (list, tuple)):
+        raise ValueError(
+            f"{where} must be a list of [i, j, k, length] entries, got "
+            f"{type(raw).__name__}"
+        )
+    return tuple(
+        _coerce_one(item, f"{where}[{n}]").astuple()
+        for n, item in enumerate(raw)
+    )
+
+
+def validate_chain(
+    anchors: Sequence[Anchor], dims: tuple[int, int, int]
+) -> tuple[Anchor, ...]:
+    """Sort ``anchors`` and verify bounds plus chain consistency.
+
+    Returns the sorted chain; raises ``ValueError`` when an anchor runs
+    past a sequence end or when two anchors cannot lie on one monotone
+    path (each anchor's end must be ≤ the next anchor's start in every
+    coordinate — overlapping or crossing anchors admit no alignment).
+    """
+    n1, n2, n3 = dims
+    chain = tuple(sorted(anchors))
+    for a in chain:
+        if a.i + a.length > n1 or a.j + a.length > n2 or a.k + a.length > n3:
+            raise ValueError(
+                f"constraint {a.astuple()} runs past the sequence ends "
+                f"{dims}"
+            )
+    for prev, nxt in zip(chain, chain[1:]):
+        pe, ns = prev.end, nxt.start
+        if any(e > s for e, s in zip(pe, ns)):
+            raise ValueError(
+                f"constraints {prev.astuple()} and {nxt.astuple()} are "
+                f"inconsistent: no monotone alignment path passes through "
+                f"both (end {pe} exceeds start {ns})"
+            )
+    return chain
+
+
+def normalize_constraints(
+    constraints: Iterable[Any] | None, dims: tuple[int, int, int]
+) -> tuple[tuple[int, int, int, int], ...]:
+    """One-stop normalisation for API boundaries.
+
+    Coerces, sorts and fully validates ``constraints`` against the
+    sequence lengths ``dims``; returns the canonical plain-tuple chain
+    (hashable, JSON-friendly, and the exact form
+    :func:`repro.cache.request_key` digests). ``None`` and empty input
+    normalise to ``()``.
+    """
+    if not constraints:
+        return ()
+    chain = validate_chain(as_anchors(constraints), dims)
+    return tuple(a.astuple() for a in chain)

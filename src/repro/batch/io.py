@@ -4,8 +4,10 @@ Two formats:
 
 * **JSONL** (``*.jsonl``/``*.ndjson``) — one request object per line,
   either ``{"seqs": ["...", "...", "..."]}`` or ``{"a": ..., "b": ...,
-  "c": ...}``, with optional ``"id"``, ``"mode"`` and ``"method"``
-  fields. Blank lines and ``#`` comment lines are skipped.
+  "c": ...}``, with optional ``"id"``, ``"mode"``, ``"method"`` and
+  ``"constraints"`` (a list of ``[i, j, k, length]`` anchor triples,
+  see :mod:`repro.anchor`) fields. Blank lines and ``#`` comment lines
+  are skipped.
 * **FASTA-of-many** — a plain FASTA file whose record count is a
   multiple of three; consecutive triples form the requests, identified
   by their first record's header.
@@ -59,12 +61,23 @@ def requests_from_jsonl(path: Any) -> list[AlignmentRequest]:
                 raise ValueError(
                     f"{path}:{lineno}: 'seqs' must be three strings"
                 )
+            constraints = None
+            if obj.get("constraints"):
+                from repro.anchor import constraints_from_jsonable
+
+                try:
+                    constraints = constraints_from_jsonable(
+                        obj["constraints"]
+                    )
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{lineno}: {exc}") from None
             out.append(
                 AlignmentRequest(
                     seqs=tuple(seqs),  # type: ignore[arg-type]
                     mode=obj.get("mode", "global"),
                     method=obj.get("method", "auto"),
                     rid=str(obj["id"]) if "id" in obj else f"req{lineno}",
+                    constraints=constraints,
                 )
             )
     return out
@@ -112,6 +125,7 @@ def read_requests(
                     mode=r.mode if r.mode != "global" else mode,
                     method=r.method if r.method != "auto" else method,
                     rid=r.rid,
+                    constraints=r.constraints,
                 )
                 for r in reqs
             ]

@@ -36,7 +36,7 @@ pool-reuse savings — and render via ``repro report`` / ``--metrics``.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.cache import (
@@ -85,6 +85,10 @@ class AlignmentRequest:
     ``scheme=None`` resolves per request from the guessed alphabet
     (:func:`repro.core.api.resolve_scheme`); ``rid`` is an optional
     caller-supplied identifier echoed back on the result.
+    ``constraints`` is an optional anchor chain (``(i, j, k, length)``
+    tuples, see :mod:`repro.anchor`) forwarded to
+    ``align3(constraints=...)``; it is normalised at admission and
+    folded into the cache key.
     """
 
     seqs: tuple[str, str, str]
@@ -92,6 +96,7 @@ class AlignmentRequest:
     mode: str = "global"
     method: str = "auto"
     rid: str | None = None
+    constraints: tuple[tuple[int, int, int, int], ...] | None = None
 
 
 @dataclass
@@ -198,6 +203,7 @@ class BatchScheduler:
         workers: int = 2,
         max_pool_cells: int = DEFAULT_MAX_POOL_CELLS,
         auto_policy: str = "similarity",
+        cells_per_s_hint: "float | Callable[[], float | None] | None" = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -210,8 +216,18 @@ class BatchScheduler:
         self.workers = int(workers)
         self.max_pool_cells = int(max_pool_cells)
         self.auto_policy = auto_policy
+        #: Observed plain-sweep throughput for admission-informed method
+        #: selection: a number, or a zero-arg callable read per request
+        #: (the serve tier binds the admission controller's live EWMA).
+        self.cells_per_s_hint = cells_per_s_hint
         self._pool = None  # lazily created WavefrontPool
         self._pool_capacity = (0, 0, 0)
+
+    def _hint(self) -> float | None:
+        hint = self.cells_per_s_hint
+        if callable(hint):
+            hint = hint()
+        return float(hint) if hint else None
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -279,6 +295,19 @@ class BatchScheduler:
             raise ValueError(
                 f"mode {req.mode!r} has a single engine; use method='auto'"
             )
+        if req.constraints:
+            if req.mode != "global":
+                raise ValueError(
+                    "constrained alignment supports mode='global' only"
+                )
+            from repro.anchor import normalize_constraints
+
+            dims = tuple(len(s) for s in req.seqs)
+            req = replace(
+                req, constraints=normalize_constraints(req.constraints, dims)
+            )
+        elif req.constraints is not None:
+            req = replace(req, constraints=None)
         return req
 
     def _resolve(
@@ -292,16 +321,28 @@ class BatchScheduler:
         under ``auto`` and its resolved engine twice (the cache-aliasing
         bug this PR fixes). Non-global modes have a single engine each,
         so their raw ``auto`` keys are already canonical.
+
+        Chain-mode requests (constraints, or ``method="anchored"``)
+        resolve to the sentinel engine ``"chain"`` — never pool-eligible,
+        always dispatched through ``align3`` which owns the per-sub-cube
+        selection. Constrained results are engine-independent (every
+        segment engine is exact), so they key as ``"exact"`` plus the
+        constraint digest; anchored results key as their own class.
         """
         if req.mode != "global":
             return req.method, req.method
+        if req.constraints:
+            return "chain", "exact"
+        if req.method == "anchored":
+            return "chain", "anchored"
         method = req.method
         if method == "auto":
             if scheme.is_affine:
                 method = "affine"
             else:
                 method, _sel = select_method(
-                    *req.seqs, scheme, policy=self.auto_policy
+                    *req.seqs, scheme, policy=self.auto_policy,
+                    cells_per_s=self._hint(),
                 )
         return method, method_key_class(method)
 
@@ -335,6 +376,8 @@ class BatchScheduler:
                 method=req.method,
                 workers=self.workers,
                 auto_policy=self.auto_policy,
+                constraints=req.constraints,
+                cells_per_s_hint=self._hint(),
             )
         aln.meta.setdefault("mode", req.mode)
         aln.meta.setdefault("scheme", scheme.name)
@@ -435,7 +478,10 @@ class BatchScheduler:
         # group here instead of two computes.
         groups: dict[str, list[int]] = {}
         for i, (req, scheme) in enumerate(zip(reqs, schemes)):
-            key = request_key(req.seqs, scheme, req.mode, resolved[i][1])
+            key = request_key(
+                req.seqs, scheme, req.mode, resolved[i][1],
+                constraints=req.constraints,
+            )
             groups.setdefault(key, []).append(i)
 
         pending: list[tuple[str, list[int]]] = []
@@ -448,9 +494,16 @@ class BatchScheduler:
             if self.cache is not None:
                 pre_disk = self.cache.stats.disk_hits
                 hit = self.cache.get(key)
-                if hit is None and req.method != key_method:
+                if (
+                    hit is None
+                    and req.method != key_method
+                    and not req.constraints
+                ):
                     # Migration probe: older releases keyed on the raw
                     # method string; re-home a hit under the class key.
+                    # (Never for constrained requests — a legacy probe
+                    # has no constraint digest, so it could alias an
+                    # unconstrained result onto a constrained request.)
                     legacy = request_key(
                         req.seqs, scheme, req.mode, req.method
                     )
@@ -474,6 +527,14 @@ class BatchScheduler:
         to_compute: list[tuple[str, list[int]]] = []
         for key, idxs in pending:
             req, scheme = reqs[idxs[0]], schemes[idxs[0]]
+            if resolved[idxs[0]][0] == "chain":
+                # Constrained/anchored requests skip permutation reuse:
+                # anchor coordinates are order-sensitive, and discovery's
+                # chain tie-breaks under a permuted sort order may pick a
+                # different co-optimal chain — score equality would not
+                # be guaranteed.
+                to_compute.append((key, idxs))
+                continue
             pkey = PERM_PREFIX + permutation_key(
                 req.seqs, scheme, req.mode, resolved[idxs[0]][1]
             )
@@ -572,6 +633,15 @@ class BatchScheduler:
     ) -> None:
         req, scheme = reqs[idxs[0]], schemes[idxs[0]]
         stats.computed += 1
+        if resolved[idxs[0]][0] == "chain":
+            # No permutation key for chain-mode results (see stage 2).
+            if self.cache is not None:
+                self.cache.put(key, aln)
+            self._fill(
+                results, reqs, idxs, key, aln, "computed", dt, stats,
+                emit=emit,
+            )
+            return
         canonical, perm = canonical_order(req.seqs)
         pkey = PERM_PREFIX + permutation_key(
             req.seqs, scheme, req.mode, resolved[idxs[0]][1]

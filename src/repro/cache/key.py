@@ -89,8 +89,19 @@ def request_key(
     scheme: ScoringScheme,
     mode: str = "global",
     method: str = "auto",
+    *,
+    constraints: Sequence[Sequence[int]] | None = None,
 ) -> str:
-    """Primary cache key: exact request identity (order-sensitive)."""
+    """Primary cache key: exact request identity (order-sensitive).
+
+    ``constraints`` is the *normalised* anchor chain (sorted
+    ``(i, j, k, length)`` tuples from
+    :func:`repro.anchor.normalize_constraints`); a constrained request
+    computes a different optimum, so the chain is folded into the
+    digest. ``None`` and ``()`` contribute nothing — unconstrained
+    requests hash byte-for-byte as they did before constraints existed,
+    so no persisted cache entry is invalidated.
+    """
     if len(seqs) != 3:
         raise ValueError(f"request needs exactly three sequences, got {len(seqs)}")
     if mode not in MODES:
@@ -104,6 +115,11 @@ def request_key(
     h.update(mode.encode())
     h.update(b"\x1e")
     h.update(method.encode())
+    if constraints:
+        h.update(b"\x1e")
+        for c in constraints:
+            i, j, k, length = c
+            h.update(f"{i},{j},{k},{length};".encode())
     return h.hexdigest()
 
 

@@ -67,8 +67,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--method",
         default="auto",
         help="engine for 3 sequences (auto/dp3d/wavefront/hirschberg/"
-        "pruned/banded/affine/shared/threads); 'auto' picks via the "
-        "--auto-policy cost model",
+        "pruned/banded/affine/shared/threads/anchored); 'auto' picks via "
+        "the --auto-policy cost model; 'anchored' discovers an anchor "
+        "chain and solves sub-cubes (long high-identity triples)",
+    )
+    p_align.add_argument(
+        "--constraints",
+        default=None,
+        metavar="SPEC",
+        help="anchor chain the alignment must pass through: inline JSON "
+        "'[[i, j, k, length], ...]' or @FILE with the same JSON; forces "
+        "constrained mode (see docs/workloads.md)",
+    )
+    p_align.add_argument(
+        "--anchored",
+        action="store_true",
+        help="shorthand for --method anchored (automatic anchor "
+        "discovery with exact fallback)",
     )
     p_align.add_argument(
         "--auto-policy",
@@ -616,14 +631,50 @@ def _cmd_align(args) -> int:
 
                 aln = align3_semiglobal(*seqs, scheme)
             else:
-                aln = align3(
-                    *seqs,
-                    scheme,
-                    method=args.method,
-                    workers=args.workers,
-                    allow_degrade=not args.no_degrade,
-                    auto_policy=args.auto_policy,
-                )
+                constraints = None
+                spec = getattr(args, "constraints", None)
+                if spec:
+                    try:
+                        if spec.startswith("@"):
+                            with open(spec[1:], encoding="utf-8") as fh:
+                                spec = fh.read()
+                        constraints = json.loads(spec)
+                    except OSError as exc:
+                        print(
+                            f"error: cannot read constraints: {exc}",
+                            file=sys.stderr,
+                        )
+                        return 2
+                    except json.JSONDecodeError as exc:
+                        print(
+                            f"error: --constraints is not valid JSON: {exc}",
+                            file=sys.stderr,
+                        )
+                        return 2
+                method = args.method
+                if getattr(args, "anchored", False) and method == "auto":
+                    method = "anchored"
+                try:
+                    aln = align3(
+                        *seqs,
+                        scheme,
+                        method=method,
+                        workers=args.workers,
+                        allow_degrade=not args.no_degrade,
+                        auto_policy=args.auto_policy,
+                        constraints=constraints,
+                    )
+                except ValueError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+                anchor = aln.meta.get("anchor")
+                if anchor:
+                    print(
+                        f"# anchor: mode={anchor['mode']} "
+                        f"anchors={anchor['anchors']} "
+                        f"coverage={anchor['coverage']:g}",
+                        file=sys.stderr,
+                    )
                 if "degraded_from" in aln.meta:
                     print(
                         f"# degraded: {aln.meta['degraded_from']} -> "
@@ -686,7 +737,7 @@ def _cmd_batch(args) -> int:
         requests = [
             AlignmentRequest(
                 seqs=r.seqs, scheme=scheme, mode=r.mode, method=r.method,
-                rid=r.rid,
+                rid=r.rid, constraints=r.constraints,
             )
             for r in requests
         ]

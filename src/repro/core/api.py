@@ -23,6 +23,15 @@ method           engine
 ``affine``       7-state affine-gap DP (requires ``scheme.gap_open != 0``)
 ``shared``       multiprocess shared-memory wavefront
 ``threads``      thread-pool wavefront
+``anchored``     anchor-discovering divide and conquer: shared unique
+                 k-mers are chained into a cube-splitting anchor chain
+                 (:mod:`repro.anchor`), each sub-cube solved by the
+                 engine :func:`select_method` picks for it; low-identity
+                 inputs fall back to the unanchored path. Passing
+                 ``constraints=`` to any linear-gap method enters the
+                 same chain solver with a user-supplied chain instead
+                 (*constrained* alignment — optimal subject to the
+                 constraints).
 ===============  =============================================================
 
 (``tests/test_api.py`` asserts every :data:`AVAILABLE_METHODS` entry
@@ -88,7 +97,31 @@ AVAILABLE_METHODS = (
     "affine",
     "shared",
     "threads",
+    "anchored",
 )
+
+#: Throughput the :data:`AUTO_PRUNE_MIN_CELLS` constant was tuned at.
+#: ``select_method``'s optional ``cells_per_s`` hint scales the
+#: threshold relative to this (see :data:`AUTO_HINT_CLAMP`).
+AUTO_REFERENCE_CELLS_PER_S = 2_000_000.0
+
+#: Bounds on the hint scaling factor — a cold or absurd EWMA reading
+#: must not swing engine selection by more than this in either direction.
+AUTO_HINT_CLAMP = (0.25, 4.0)
+
+
+def _kmer_set(seq: str, k: int) -> set[str]:
+    return {seq[i : i + k] for i in range(len(seq) - k + 1)}
+
+
+def _mash_identity(kmers_a: set, kmers_b: set, k: int) -> float:
+    import math
+
+    inter = len(kmers_a & kmers_b)
+    if not inter:
+        return 0.0
+    j = inter / len(kmers_a | kmers_b)
+    return max(0.0, min(1.0, 1.0 + math.log(2.0 * j / (1.0 + j)) / k))
 
 
 def estimate_identity(sa: str, sb: str, k: int = 8) -> float:
@@ -102,22 +135,32 @@ def estimate_identity(sa: str, sb: str, k: int = 8) -> float:
     Sequences shorter than ``k`` fall back to positional identity over
     the common prefix length.
     """
-    import math
-
     if min(len(sa), len(sb)) < k:
         if not sa or not sb:
             return 1.0 if sa == sb else 0.0
         n = min(len(sa), len(sb))
         same = sum(1 for x, y in zip(sa, sb) if x == y)
         return same / n
-    kmers_a = {sa[i : i + k] for i in range(len(sa) - k + 1)}
-    kmers_b = {sb[i : i + k] for i in range(len(sb) - k + 1)}
-    inter = len(kmers_a & kmers_b)
-    union = len(kmers_a | kmers_b)
-    if not inter:
-        return 0.0
-    j = inter / union
-    return max(0.0, min(1.0, 1.0 + math.log(2.0 * j / (1.0 + j)) / k))
+    return _mash_identity(_kmer_set(sa, k), _kmer_set(sb, k), k)
+
+
+def _min_pairwise_identity(sa: str, sb: str, sc: str, k: int = 8) -> float:
+    """``min(estimate_identity(...))`` over the three pairs, building each
+    sequence's k-mer set once instead of twice (the three pairwise calls
+    used to rebuild every set, doubling the dominant cost of ``auto``)."""
+    seqs = (sa, sb, sc)
+    kmers = {
+        s: _kmer_set(s, k) for s in set(seqs) if len(s) >= k
+    }
+    best = 1.0
+    for x, y in ((sa, sb), (sa, sc), (sb, sc)):
+        if x in kmers and y in kmers:
+            ident = _mash_identity(kmers[x], kmers[y], k)
+        else:
+            ident = estimate_identity(x, y, k)
+        if ident < best:
+            best = ident
+    return best
 
 
 def select_method(
@@ -126,6 +169,8 @@ def select_method(
     sc: str,
     scheme: ScoringScheme,
     policy: str = "similarity",
+    *,
+    cells_per_s: float | None = None,
 ) -> tuple[str, dict]:
     """Resolve ``method="auto"`` to a concrete linear-gap engine.
 
@@ -135,6 +180,12 @@ def select_method(
     cube-size-only split (wavefront below
     :data:`AUTO_HIRSCHBERG_CELLS`, hirschberg above). Affine schemes are
     resolved by the caller before this runs.
+
+    ``cells_per_s`` is an optional *observed* plain-sweep throughput (the
+    serve tier passes its admission controller's EWMA): on hardware
+    faster than the reference the plain wavefront stays cheap for larger
+    cubes, so the prune threshold rises proportionally (clamped to
+    :data:`AUTO_HINT_CLAMP`); on slower hardware pruning pays sooner.
 
     Returns ``(method, selection)`` where ``selection`` records the
     inputs of the decision for ``meta["auto"]``.
@@ -154,14 +205,17 @@ def select_method(
         )
         return method, selection
 
-    if cells <= AUTO_PRUNE_MIN_CELLS:
-        selection["reason"] = f"small cube (<= {AUTO_PRUNE_MIN_CELLS} cells)"
+    prune_min_cells = AUTO_PRUNE_MIN_CELLS
+    if cells_per_s is not None and cells_per_s > 0:
+        lo, hi = AUTO_HINT_CLAMP
+        factor = min(hi, max(lo, cells_per_s / AUTO_REFERENCE_CELLS_PER_S))
+        prune_min_cells = int(AUTO_PRUNE_MIN_CELLS * factor)
+        selection["cells_per_s_hint"] = round(cells_per_s, 1)
+        selection["prune_min_cells"] = prune_min_cells
+    if cells <= prune_min_cells:
+        selection["reason"] = f"small cube (<= {prune_min_cells} cells)"
         return "wavefront", selection
-    identity = min(
-        estimate_identity(sa, sb),
-        estimate_identity(sa, sc),
-        estimate_identity(sb, sc),
-    )
+    identity = _min_pairwise_identity(sa, sb, sc)
     selection["identity"] = round(identity, 4)
     if cells > AUTO_HIRSCHBERG_CELLS:
         # The traceback move cube is dense for every full-matrix engine
@@ -211,6 +265,8 @@ def align3(
     allow_degrade: bool = True,
     cache: "ResultCache | None" = None,
     auto_policy: str = "similarity",
+    constraints=None,
+    cells_per_s_hint: float | None = None,
 ) -> Alignment3:
     """Optimal three-sequence alignment.
 
@@ -248,6 +304,21 @@ def align3(
         How ``method="auto"`` picks an engine: ``"similarity"``
         (default) uses the identity cost model of :func:`select_method`;
         ``"cells"`` restores the legacy cube-size-only split.
+    constraints:
+        Optional anchor chain the alignment must pass through — an
+        iterable of ``(i, j, k, length)`` tuples (or ``{"i": ...}``
+        dicts), validated, sorted and checked for chain consistency by
+        :func:`repro.anchor.normalize_constraints`. A non-empty chain
+        switches to *constrained* mode (cube-chain decomposition,
+        optimal subject to the constraints, linear-gap only; ``method``
+        then names the per-sub-cube engine or ``"auto"``). ``None`` or
+        ``()`` leaves behaviour — and cache keys — exactly as before.
+        ``meta["anchor"]`` records the decomposition.
+    cells_per_s_hint:
+        Optional observed plain-sweep throughput forwarded to
+        :func:`select_method` so ``auto`` thresholds adapt to the
+        machine (the serve tier wires its admission EWMA in here);
+        recorded in ``meta["auto"]["cells_per_s_hint"]``.
 
     Returns
     -------
@@ -273,19 +344,43 @@ def align3(
         )
     scheme = resolve_scheme((sa, sb, sc), scheme)
 
+    # Constraint normalisation decides the dispatch family up front:
+    # a non-empty chain forces the chain solver regardless of ``method``
+    # (which then names the per-sub-cube engine), and ``anchored``
+    # without constraints is the chain solver in discovery mode. Empty
+    # constraints are indistinguishable from no constraints — same
+    # engines, same cache keys, bit-identical results.
+    from repro.anchor.model import normalize_constraints
+
+    constraints = normalize_constraints(
+        constraints, (len(sa), len(sb), len(sc))
+    )
+    chain_mode = None
+    if constraints:
+        chain_mode = "constrained"
+    elif method == "anchored":
+        chain_mode = "anchored"
+    if chain_mode is not None and scheme.is_affine:
+        raise ValueError(
+            "constrained/anchored alignment implements the linear gap "
+            "model but the scheme has a nonzero gap_open"
+        )
     # Resolve ``auto`` *before* touching the cache: the pre-1.x code keyed
     # on the raw method string, so ``auto`` and the engine it resolved to
     # stored the same bit-identical alignment under two different keys
     # (and a degraded run was stored under the un-degraded key). Keys now
-    # carry the resolved method's equivalence class instead.
+    # carry the resolved method's equivalence class instead. Chain-mode
+    # requests skip this: engine selection happens per sub-cube inside
+    # the solver.
     requested = method
     selection = None
-    if method == "auto":
+    if method == "auto" and chain_mode is None:
         if scheme.is_affine:
             method = "affine"
         else:
             method, selection = select_method(
-                sa, sb, sc, scheme, policy=auto_policy
+                sa, sb, sc, scheme, policy=auto_policy,
+                cells_per_s=cells_per_s_hint,
             )
     if scheme.is_affine and method != "affine":
         raise ValueError(
@@ -294,7 +389,7 @@ def align3(
         )
 
     plan = None
-    if method in _degrade.LADDER:
+    if chain_mode is None and method in _degrade.LADDER:
         plan = _degrade.plan_method(
             method, (len(sa), len(sb), len(sc))
         )
@@ -303,13 +398,31 @@ def align3(
     if cache is not None:
         from repro.cache import method_key_class, request_key
 
-        key_method = method_key_class(method)
-        cache_key = request_key((sa, sb, sc), scheme, "global", key_method)
+        if chain_mode == "anchored":
+            # Discovery is deterministic in the sequences, so anchored
+            # results are content-addressable — but they are *not*
+            # interchangeable with the exact class (anchors constrain
+            # the optimum), hence their own key class.
+            key_method = "anchored"
+        elif chain_mode == "constrained":
+            # Every per-segment engine is exact and bit-identical, so a
+            # constrained result is engine-independent; the constraint
+            # digest below separates it from unconstrained entries.
+            key_method = "exact"
+        else:
+            key_method = method_key_class(method)
+        cache_key = request_key(
+            (sa, sb, sc), scheme, "global", key_method,
+            constraints=constraints,
+        )
         hit = cache.get(cache_key)
-        if hit is None and requested != key_method:
+        if hit is None and requested != key_method and chain_mode is None:
             # Migration-safe probe: entries written by older releases are
             # keyed on the raw requested method string. Re-home a hit
             # under the class key so the legacy key ages out naturally.
+            # (Chain-mode requests never had legacy entries, and probing
+            # without the constraint digest would alias an unconstrained
+            # result onto a constrained request.)
             legacy_key = request_key((sa, sb, sc), scheme, "global", requested)
             hit = cache.get(legacy_key)
             if hit is not None:
@@ -331,7 +444,19 @@ def align3(
 
     t0 = time.perf_counter()
     with _trace.span("align3", method=method):
-        if method == "dp3d":
+        if chain_mode is not None:
+            from repro.anchor.solve import align3_chain
+
+            aln = align3_chain(
+                sa, sb, sc, scheme,
+                anchors=constraints if chain_mode == "constrained" else None,
+                method="auto" if method in ("auto", "anchored") else method,
+                auto_policy=auto_policy,
+                cells_per_s_hint=cells_per_s_hint,
+                workers=workers,
+                allow_degrade=allow_degrade,
+            )
+        elif method == "dp3d":
             from repro.core.dp3d import align3_dp3d
 
             aln = align3_dp3d(sa, sb, sc, scheme)

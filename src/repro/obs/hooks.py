@@ -172,6 +172,37 @@ def record_pruning(
             reg.gauge("pruning_bound_gap").set(gap)
 
 
+def record_anchor(
+    mode: str,
+    *,
+    anchors: int,
+    coverage: float,
+    segments: int,
+    engines: dict[str, int],
+) -> None:
+    """One chain-decomposed run (``constrained`` or ``anchored``): how
+    much of the alignment the chain pinned and which engines the
+    sub-cubes landed on (``engines`` is the per-run histogram from
+    ``meta["anchor"]["engines"]``; an anchored run that fell back counts
+    its single full-cube engine here too)."""
+    if trace.enabled:
+        trace.event(
+            "anchored_run",
+            mode=mode,
+            anchors=anchors,
+            coverage=coverage,
+            segments=segments,
+            engines=engines,
+        )
+    if metrics.enabled:
+        reg = metrics.registry()
+        reg.counter("anchored_runs").inc()
+        reg.histogram("anchor_count").observe(anchors)
+        reg.gauge("anchor_chain_coverage").set(coverage)
+        for engine, n in engines.items():
+            reg.counter(f"anchor_subcube_{engine}").inc(n)
+
+
 def record_cache(event: str) -> None:
     """One cache-tier event: ``memory_hit``/``disk_hit``/``miss``/
     ``eviction``. Counter-only — cache lookups are far too frequent for a

@@ -85,13 +85,30 @@ def memory_budget(environ=None) -> int:
 
 
 def estimate_bytes(
-    method: str, dims: tuple[int, int, int], score_only: bool = False
+    method: str,
+    dims: tuple[int, int, int],
+    score_only: bool = False,
+    *,
+    anchors=None,
 ) -> int:
     """Upper-bound estimate of an engine's peak allocation for ``dims``.
 
     Deliberately ignores the O(n) sequence data and O(n^2) profile
     matrices common to all engines; the cube-shaped buffers dominate.
+
+    ``anchors`` (a normalised constraint chain, see
+    :mod:`repro.anchor.model`) reprices the run at the **largest free
+    sub-cube** of the chain decomposition: sub-cubes are solved
+    sequentially sharing one workspace, so the full cube never exists.
+    ``method="anchored"`` prices as a wavefront over that sub-cube (the
+    most memory-hungry engine ``select_method`` can hand a segment).
     """
+    if anchors:
+        from repro.anchor import as_anchors, max_subcube_dims
+
+        dims = max_subcube_dims(as_anchors(anchors), dims)
+    if method == "anchored":
+        method = "wavefront"
     n1, n2, n3 = dims
     cube = (n1 + 1) * (n2 + 1) * (n3 + 1)
     planes = 4 * (n1 + 2) * (n2 + 2) * 8

@@ -35,7 +35,12 @@ def routing_keys(requests: list[AlignmentRequest]) -> list[str]:
     keys = []
     for req in requests:
         scheme = resolve_scheme(req.seqs, req.scheme)
-        keys.append(request_key(req.seqs, scheme, req.mode, req.method))
+        keys.append(
+            request_key(
+                req.seqs, scheme, req.mode, req.method,
+                constraints=req.constraints,
+            )
+        )
     return keys
 
 

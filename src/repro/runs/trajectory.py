@@ -63,6 +63,13 @@ def kernel_metrics(doc: Mapping[str, Any]) -> dict[str, float]:
     if high:
         metrics["pruned_speedup"] = float(high["speedup"])
         metrics["pruned_kept_fraction"] = float(high["kept_fraction"])
+    anchored = doc.get("long_anchored")
+    if anchored:
+        metrics["anchored_seconds"] = float(anchored["seconds"])
+        metrics["anchored_coverage"] = float(anchored["coverage"])
+        metrics["anchored_cells_per_s"] = float(
+            anchored["dense_equiv_cells_per_s"]
+        )
     return metrics
 
 

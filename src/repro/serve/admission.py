@@ -40,13 +40,25 @@ MIN_RETRY_AFTER = 1.0
 MAX_RETRY_AFTER = 60.0
 
 
-def estimate_cells(seqs: Sequence[str]) -> int:
+def estimate_cells(seqs: Sequence[str], constraints=None) -> int:
     """Estimated DP cost of one triple: the full lattice size.
 
     Deliberately ignores pruning, caching and dedup — admission wants the
-    worst-case cost of a *cold* compute.
+    worst-case cost of a *cold* compute. A constrained request (a
+    normalised anchor chain, see :mod:`repro.anchor`) never walks the
+    full cube, so its cost is the chain's sub-cube sum — this is what
+    makes long constrained triples admissible at all under
+    ``max_request_cells``.
     """
     n1, n2, n3 = (len(s) for s in seqs)
+    if constraints:
+        from repro.anchor import as_anchors, chain_cells, validate_chain
+
+        try:
+            anchors = validate_chain(as_anchors(constraints), (n1, n2, n3))
+            return chain_cells(anchors, (n1, n2, n3))
+        except (TypeError, ValueError):
+            pass  # malformed chain: fall through to the worst case
     return (n1 + 1) * (n2 + 1) * (n3 + 1)
 
 

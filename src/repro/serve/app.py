@@ -114,11 +114,20 @@ def parse_align_items(items: list) -> list[AlignmentRequest]:
             raise protocol.BadRequest(
                 f"request {i}: 'seqs' must be three strings"
             )
+        constraints = None
+        if item.get("constraints"):
+            from repro.anchor import constraints_from_jsonable
+
+            try:
+                constraints = constraints_from_jsonable(item["constraints"])
+            except ValueError as exc:
+                raise protocol.BadRequest(f"request {i}: {exc}") from None
         req = AlignmentRequest(
             seqs=tuple(seqs),  # type: ignore[arg-type]
             mode=item.get("mode", "global"),
             method=item.get("method", "auto"),
             rid=str(item["id"]) if "id" in item else None,
+            constraints=constraints,
         )
         try:
             req = BatchScheduler._normalise(req)
@@ -264,6 +273,10 @@ class AlignServer(JsonHttpServer):
             max_queued_requests=self.config.queue_depth,
             max_inflight_cells=self.config.max_inflight_cells,
         )
+        # Admission-informed method selection: the scheduler reads the
+        # controller's live throughput EWMA per request, so ``auto``
+        # thresholds track what this machine actually sustains.
+        self.scheduler.cells_per_s_hint = lambda: self.admission.cells_per_s
         self.batcher = MicroBatcher(
             self.scheduler,
             self.admission,
@@ -389,7 +402,7 @@ class AlignServer(JsonHttpServer):
         requests, want_async, deadline_s = parse_align_payload(
             request.json(), self.config
         )
-        cost = sum(estimate_cells(r.seqs) for r in requests)
+        cost = sum(estimate_cells(r.seqs, r.constraints) for r in requests)
         if cost > self.config.max_request_cells:
             return 413, protocol.error_payload(
                 "request_too_large",

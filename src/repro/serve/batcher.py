@@ -235,7 +235,9 @@ class MicroBatcher:
             ]
             offset += len(job.requests)
             computed_cells += sum(
-                estimate_cells(req.seqs) if r.source == "computed" else 0
+                estimate_cells(req.seqs, req.constraints)
+                if r.source == "computed"
+                else 0
                 for r, req in zip(slice_, job.requests)
             )
             if not job.future.done():

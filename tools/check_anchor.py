@@ -1,0 +1,311 @@
+#!/usr/bin/env python
+"""Guard the constrained/anchored subsystem's acceptance bounds.
+
+Three claims, cheapest first:
+
+1. **Bit-identity** — ``align3`` with ``constraints=()`` and
+   ``method="anchored"`` on inputs too short to anchor (the fallback
+   path) reproduce every exact engine's rows *and* score exactly, on a
+   spread of small triples including degenerates.
+2. **Optimality under anchoring** — on medium high-identity triples the
+   anchored result's score equals the unconstrained exact optimum (the
+   discovered chain lies on an optimal path), verified against the
+   pruned engine.
+3. **Long-regime speedup** — an n≈``--n-long`` ≥0.9-identity triple:
+   the dense engines are over the pinned memory budget
+   (``degrade.estimate_bytes`` evidence — the cube "cannot" be run),
+   and the anchored end-to-end wall time beats the best unanchored
+   engine (``method="auto"``, which degrades to Hirschberg under the
+   budget) by at least ``--min-speedup``. The unanchored side runs in a
+   subprocess with a timeout of ``min_speedup * anchored_seconds`` plus
+   margin — on this workload it is minutes vs. sub-second, so the
+   timeout expiring *proves* the floor without waiting out the full
+   alignment.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_anchor.py [--n-long 2000]
+        [--min-speedup 3.0] [--budget-bytes 2147483648]
+
+Exit status 0 when all bounds hold, 1 on violation (2 on bad
+arguments). Results self-record as one ``check_anchor`` row in the
+run-record database (``RUNS.jsonl``; disable with ``--no-record``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+
+def _ensure_importable() -> None:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        sys.path.insert(0, str(src))
+
+
+#: Exact engines the empty-chain paths must reproduce bit for bit.
+EXACT_ENGINES = ("dp3d", "wavefront", "hirschberg", "pruned", "banded")
+
+_UNANCHORED_SNIPPET = """
+import sys, time
+from repro.core.api import align3
+from repro.core.scoring import default_scheme_for
+from repro.seqio.alphabet import DNA
+from repro.seqio.generate import MutationModel, mutated_family
+
+n, seed = int(sys.argv[1]), int(sys.argv[2])
+seqs = mutated_family(
+    n,
+    model=MutationModel(substitution=0.02, insertion=0.005, deletion=0.005),
+    seed=seed,
+)
+t0 = time.perf_counter()
+aln = align3(*seqs, default_scheme_for(DNA), method="auto")
+print(f"UNANCHORED {time.perf_counter() - t0:.3f} {aln.score:g}")
+"""
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="assert anchored bit-identity, optimality and speedup"
+    )
+    parser.add_argument(
+        "--n-long",
+        type=int,
+        default=2000,
+        help="sequence length for the long-regime speedup claim",
+    )
+    parser.add_argument(
+        "--n-medium",
+        type=int,
+        default=300,
+        help="length for the anchored-vs-exact optimality claim",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="anchored must beat the best unanchored engine by this factor",
+    )
+    parser.add_argument(
+        "--budget-bytes",
+        type=int,
+        default=2 << 30,
+        help="memory budget pinned for the long run (REPRO_MEM_BUDGET)",
+    )
+    parser.add_argument(
+        "--timeout-margin-s",
+        type=float,
+        default=20.0,
+        help="extra subprocess allowance past the speedup-floor time",
+    )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip self-recording the result as a check_anchor run row",
+    )
+    parser.add_argument(
+        "--runs-file",
+        default=None,
+        metavar="FILE",
+        help="run-record store (default: RUNS.jsonl at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    if args.n_long < 100 or args.n_medium < 50:
+        parser.error("need n-long >= 100 and n-medium >= 50")
+    if args.min_speedup <= 1 or args.budget_bytes < 1:
+        parser.error("min-speedup must be > 1 and budget-bytes >= 1")
+
+    _ensure_importable()
+    import os
+    import time
+
+    from repro.core.api import align3
+    from repro.core.scoring import default_scheme_for
+    from repro.resilience.degrade import estimate_bytes
+    from repro.seqio.alphabet import DNA
+    from repro.seqio.generate import MutationModel, mutated_family
+    from repro.util.timing import format_seconds
+
+    scheme = default_scheme_for(DNA)
+    failures: list[str] = []
+    t_start = time.perf_counter()
+
+    # ---- claim 1: empty-chain paths are bit-identical to every engine
+    small = [
+        ("", "", ""),
+        ("A", "", "C"),
+        ("GATTACA", "GATCA", "GATTA"),
+        tuple(mutated_family(18, seed=901)),
+        tuple(mutated_family(12, seed=902)),
+    ]
+    for seqs in small:
+        want = align3(*seqs, scheme, method="dp3d")
+        probes = {
+            "constraints=()": align3(*seqs, scheme, constraints=()),
+            "anchored-fallback": align3(*seqs, scheme, method="anchored"),
+        }
+        for label, got in probes.items():
+            if got.rows != want.rows or got.score != want.score:
+                failures.append(
+                    f"{label} differs from dp3d on lens "
+                    f"{tuple(len(s) for s in seqs)}"
+                )
+        for engine in EXACT_ENGINES[1:]:
+            other = align3(*seqs, scheme, method=engine)
+            if other.rows != want.rows or other.score != want.score:
+                failures.append(
+                    f"engine {engine} broke exact-class identity on "
+                    f"lens {tuple(len(s) for s in seqs)}"
+                )
+
+    # ---- claim 2: anchored equals the exact optimum on medium triples
+    anchored_cov = 0.0
+    for seed in (7101, 7102):
+        seqs = mutated_family(
+            args.n_medium,
+            model=MutationModel(
+                substitution=0.02, insertion=0.005, deletion=0.005
+            ),
+            seed=seed,
+        )
+        anchored = align3(*seqs, scheme, method="anchored")
+        exact = align3(*seqs, scheme, method="pruned")
+        anchor = anchored.meta["anchor"]
+        anchored_cov = max(anchored_cov, anchor["coverage"])
+        if anchor["anchors"] == 0:
+            failures.append(
+                f"n={args.n_medium} seed={seed}: discovery found no "
+                f"anchors on a high-identity triple "
+                f"({anchor.get('discovery')})"
+            )
+        if anchored.score != exact.score:
+            failures.append(
+                f"n={args.n_medium} seed={seed}: anchored score "
+                f"{anchored.score:g} != exact optimum {exact.score:g}"
+            )
+
+    # ---- claim 3: the long regime
+    n = args.n_long
+    dims = (n, n, n)
+    # Evidence that the dense cube cannot run under the budget: every
+    # full-matrix engine's footprint exceeds it.
+    for engine in ("dp3d", "wavefront", "pruned", "banded"):
+        est = estimate_bytes(engine, dims)
+        if est <= args.budget_bytes:
+            failures.append(
+                f"{engine} at n={n} fits the {args.budget_bytes:,}-byte "
+                f"budget ({est:,} bytes) — the 'dense cube cannot' claim "
+                "does not hold at this size"
+            )
+
+    long_seed = 20240808
+    seqs = mutated_family(
+        n,
+        model=MutationModel(
+            substitution=0.02, insertion=0.005, deletion=0.005
+        ),
+        seed=long_seed,
+    )
+    env = dict(os.environ)
+    env["REPRO_MEM_BUDGET"] = str(args.budget_bytes)
+
+    t0 = time.perf_counter()
+    anchored = align3(*seqs, scheme, method="anchored")
+    anchored_s = time.perf_counter() - t0
+    anchor = anchored.meta["anchor"]
+    if anchor["anchors"] == 0:
+        failures.append(f"n={n}: discovery found no anchors")
+    if anchor["max_subcube_cells"] * 9 > args.budget_bytes:
+        failures.append(
+            f"largest sub-cube ({anchor['max_subcube_cells']:,} cells) "
+            "does not obviously fit the budget"
+        )
+
+    # The unanchored side gets min_speedup * anchored_s (+margin); if it
+    # cannot finish by then the >= floor holds a fortiori.
+    floor_s = args.min_speedup * anchored_s
+    timeout_s = floor_s + args.timeout_margin_s
+    unanchored_s: float | None = None
+    src_dir = pathlib.Path(__file__).resolve().parent.parent / "src"
+    pythonpath = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        f"{src_dir}{os.pathsep}{pythonpath}" if pythonpath else str(src_dir)
+    )
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-c", _UNANCHORED_SNIPPET, str(n), str(long_seed)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=timeout_s,
+        )
+        for line in proc.stdout.splitlines():
+            if line.startswith("UNANCHORED "):
+                unanchored_s = float(line.split()[1])
+        if proc.returncode != 0 or unanchored_s is None:
+            failures.append(
+                "unanchored reference subprocess failed: "
+                f"rc={proc.returncode} stderr={proc.stderr[-300:]!r}"
+            )
+    except subprocess.TimeoutExpired:
+        pass  # floor proven: best unanchored engine needs > timeout_s
+
+    if unanchored_s is None:
+        speedup = timeout_s / anchored_s if anchored_s > 0 else float("inf")
+        speedup_note = f">= {speedup:.1f}x (unanchored timed out)"
+    else:
+        speedup = (
+            unanchored_s / anchored_s if anchored_s > 0 else float("inf")
+        )
+        speedup_note = f"{speedup:.2f}x"
+        if speedup < args.min_speedup:
+            failures.append(
+                f"anchored speedup {speedup:.2f}x < required "
+                f"{args.min_speedup:.2f}x"
+            )
+
+    status = "FAIL" if failures else "OK"
+    print(
+        f"{status}: n={n} anchored={format_seconds(anchored_s)} "
+        f"anchors={anchor['anchors']} coverage={anchor['coverage']:g} "
+        f"unanchored="
+        f"{'timeout>' + format_seconds(timeout_s) if unanchored_s is None else format_seconds(unanchored_s)} "
+        f"speedup={speedup_note} (required {args.min_speedup:.2f}x)"
+    )
+    for f in failures:
+        print(f"  - {f}")
+
+    from repro.runs import record_run
+
+    record_run(
+        "check_anchor",
+        config={
+            "n_long": args.n_long,
+            "n_medium": args.n_medium,
+            "min_speedup": args.min_speedup,
+            "budget_bytes": args.budget_bytes,
+        },
+        metrics={
+            "anchored_seconds": anchored_s,
+            "anchored_anchors": float(anchor["anchors"]),
+            "anchored_coverage": float(anchor["coverage"]),
+            "anchored_speedup": speedup,
+            "unanchored_timed_out": float(unanchored_s is None),
+            "medium_coverage": anchored_cov,
+            "passed": float(not failures),
+        },
+        wall_s=time.perf_counter() - t_start,
+        runs_file=args.runs_file,
+        enabled=not args.no_record,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
