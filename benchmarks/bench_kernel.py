@@ -19,6 +19,13 @@ workloads that bracket the engine's regimes:
   Carrillo–Lipman tube path — banded lower bound, tube build and
   pruned sweep all inside the timed side — asserting bit-identical
   scores. This is the ≥5x acceptance number for the pruned engine.
+* **scaling** — the synchronisation-regime curve: score-only sweeps of
+  one mid-size triple through the per-plane-barrier engine (``shared``)
+  and the block-tiled engine (``blocks``) at 1/2/4/8 workers, in the
+  same interleaved A/B harness as the kernel sections. Scores are
+  asserted bit-identical to the serial wavefront at every point. The
+  gate number is the best shared/blocks wall-time ratio at ≥ 4 workers
+  — the regime where the per-plane barrier wall dominates.
 * **long_anchored** — an n≈2000 high-identity triple through
   ``align3(method="anchored")`` (anchor discovery + cube-chain
   decomposition, ``repro.anchor``): end-to-end wall time, chain
@@ -98,7 +105,7 @@ def _ab_min(run_ref, run_new, repeats):
     return t_ref, t_new, ref_result, new_result
 
 BASELINE_NAME = "BENCH_kernel.json"
-SCHEMA = "bench-kernel/1"
+SCHEMA = "bench-kernel/2"
 
 #: Default workload knobs. ``quick`` halves the repeats for the CI gate.
 DEFAULT_CONFIG = {
@@ -110,6 +117,9 @@ DEFAULT_CONFIG = {
     "hirschberg_base_cells": 20_000,
     "high_sim_n": 240,
     "anchored_n": 2000,
+    "scaling_n": 96,
+    "scaling_workers": [1, 2, 4, 8],
+    "scaling_repeats": 3,
     "repeats": 5,
     "seed": 20240805,
 }
@@ -296,6 +306,60 @@ def _measure_high_similarity(config, scheme):
     }
 
 
+def _measure_scaling(config, scheme):
+    """Barrier-wall regime: per-plane ``shared`` vs block-tiled ``blocks``.
+
+    Both engines compute identical cells with the same kernel; the only
+    difference is synchronisation — one barrier per plane versus a
+    handful of counter waits per plane *band*. Their wall-time ratio at
+    each worker count is therefore a direct measurement of the barrier
+    wall, machine-neutral in the same way the kernel A/B ratios are
+    (both sides fork the same number of processes on the same box).
+
+    The ``speedup`` gate number is the best shared/blocks ratio at
+    ≥ 4 workers: with few workers both regimes are dispatch-dominated
+    and the ratio hovers near 1.0; the barrier wall only opens up once
+    the per-plane rendezvous has enough legs. On hosts without ``fork``
+    both engines fall back to the identical serial sweep, so the ratio
+    degrades to ~1.0 rather than lying.
+    """
+    from repro.parallel.blocks import score3_blocks
+    from repro.parallel.shared import score3_shared
+
+    n = config["scaling_n"]
+    seqs = mutated_family(n, seed=config["seed"] + 5005)
+    expect = wavefront_sweep(*seqs, scheme, score_only=True).score
+    repeats = config["scaling_repeats"]
+    curve = {}
+    for w in config["scaling_workers"]:
+        t_shared, t_blocks, s_shared, s_blocks = _ab_min(
+            lambda: score3_shared(*seqs, scheme, workers=w),
+            lambda: score3_blocks(*seqs, scheme, workers=w),
+            repeats,
+        )
+        assert s_shared == expect and s_blocks == expect, (
+            f"scaling score mismatch at workers={w}: "
+            f"shared={s_shared} blocks={s_blocks} serial={expect}"
+        )
+        curve[str(w)] = {
+            "shared_seconds": t_shared,
+            "blocks_seconds": t_blocks,
+            "speedup": t_shared / t_blocks,
+        }
+    gate = [w for w in config["scaling_workers"] if w >= 4]
+    if not gate:
+        gate = [max(config["scaling_workers"])]
+    gate_w = max(gate, key=lambda w: curve[str(w)]["speedup"])
+    return {
+        "n": n,
+        "workers": list(config["scaling_workers"]),
+        "gate_workers": gate_w,
+        "curve": curve,
+        "speedup": curve[str(gate_w)]["speedup"],
+        "score": expect,
+    }
+
+
 def _measure_long_anchored(config, scheme):
     """Long-sequence regime: anchored divide-and-conquer end to end.
 
@@ -359,6 +423,7 @@ def run(config: dict | None = None) -> dict:
         "large_sweep": _measure_large_sweep(cfg, scheme),
         "hirschberg_e2e": _measure_hirschberg(cfg, scheme),
         "high_similarity": _measure_high_similarity(cfg, scheme),
+        "scaling": _measure_scaling(cfg, scheme),
         "long_anchored": _measure_long_anchored(cfg, scheme),
     }
 
@@ -391,6 +456,16 @@ def summarise(doc: dict) -> str:
             f"{hs['ref_seconds'] * 1000:.1f} ms — "
             f"speedup {hs['speedup']:.2f}x "
             f"(kept {hs['kept_fraction']:.2%} of the cube)"
+        )
+    sc = doc.get("scaling")
+    if sc:
+        points = " ".join(
+            f"w={w}:{sc['curve'][str(w)]['speedup']:.2f}x"
+            for w in sc["workers"]
+        )
+        lines.append(
+            f"scaling        : n={sc['n']} blocks vs shared — {points} "
+            f"(gate {sc['speedup']:.2f}x at w={sc['gate_workers']})"
         )
     la = doc.get("long_anchored")
     if la:

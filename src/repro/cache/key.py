@@ -52,7 +52,7 @@ MODES = ("global", "local", "semiglobal")
 #: pruning/banding keep every cell of every optimal path). Their cached
 #: results are interchangeable.
 EXACT_METHODS = frozenset(
-    {"dp3d", "wavefront", "hirschberg", "pruned", "banded", "shared", "threads"}
+    {"dp3d", "wavefront", "hirschberg", "pruned", "banded", "shared", "blocks", "threads"}
 )
 
 

@@ -67,7 +67,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--method",
         default="auto",
         help="engine for 3 sequences (auto/dp3d/wavefront/hirschberg/"
-        "pruned/banded/affine/shared/threads/anchored); 'auto' picks via "
+        "pruned/banded/affine/shared/blocks/threads/anchored); 'auto' picks via "
         "the --auto-policy cost model; 'anchored' discovers an anchor "
         "chain and solves sub-cubes (long high-identity triples)",
     )

@@ -21,8 +21,11 @@ method           engine
                  memory; pruned cells are never touched)
 ``banded``       certified band doubling around the main diagonal
 ``affine``       7-state affine-gap DP (requires ``scheme.gap_open != 0``)
-``shared``       multiprocess shared-memory wavefront
-``threads``      thread-pool wavefront
+``shared``       multiprocess shared-memory wavefront (per-plane barrier)
+``blocks``       block-tiled multiprocess wavefront: row-slab x plane-band
+                 blocks streamed over per-worker readiness counters
+                 (a fraction of the synchronisation of ``shared``)
+``threads``      thread-pool wavefront (block-tiled)
 ``anchored``     anchor-discovering divide and conquer: shared unique
                  k-mers are chained into a cube-splitting anchor chain
                  (:mod:`repro.anchor`), each sub-cube solved by the
@@ -96,6 +99,7 @@ AVAILABLE_METHODS = (
     "banded",
     "affine",
     "shared",
+    "blocks",
     "threads",
     "anchored",
 )
@@ -280,7 +284,7 @@ def align3(
     method:
         One of :data:`AVAILABLE_METHODS`.
     workers:
-        Worker count for the ``shared``/``threads`` methods.
+        Worker count for the ``shared``/``blocks``/``threads`` methods.
     allow_degrade:
         When the requested engine's estimated footprint exceeds the memory
         budget (see :mod:`repro.resilience.degrade`), True (default)
@@ -500,6 +504,10 @@ def align3(
             from repro.parallel.shared import align3_shared
 
             aln = align3_shared(sa, sb, sc, scheme, workers=workers)
+        elif method == "blocks":
+            from repro.parallel.blocks import align3_blocks
+
+            aln = align3_blocks(sa, sb, sc, scheme, workers=workers)
         else:  # threads
             from repro.parallel.threads import align3_threads
 

@@ -2,30 +2,38 @@
 
 :mod:`repro.parallel.shared` spawns its workers per call, which costs tens
 of milliseconds — more than the whole sweep below n ≈ 100 (the F3 caveat
-in ``EXPERIMENTS.md``). :class:`WavefrontPool` keeps the workers, barriers
-and shared buffers alive across calls, the way a long-running MPI rank set
-would, so repeated alignments pay only the per-plane barrier cost.
+in ``EXPERIMENTS.md``). :class:`WavefrontPool` keeps the workers and
+shared buffers alive across calls, the way a long-running MPI rank set
+would, so repeated alignments pay only the per-job dispatch cost.
 
 Protocol
 --------
-The pool allocates capacity-sized shared buffers once (four plane buffers,
-three profile-matrix buffers, a move cube and a small control block). Per
-job the main process writes the job descriptor (dims, gap, score-only
-flag) and the profile matrices, resets the planes, and everyone meets at
-the start barrier; workers then run the standard one-barrier-per-plane
-sweep and return to the start barrier for the next job. Shutdown is a job
-with the shutdown flag set.
+The pool allocates capacity-sized shared buffers once (a ``W``-deep
+rotating plane window, three profile-matrix buffers, a move cube and a
+small control block). Per job the main process writes the job descriptor
+(dims, gap, score-only flag) and the profile matrices, resets the planes
+and the progress counters, and everyone meets at the start barrier;
+workers then stream the block-tiled sweep (fixed row slab × plane bands,
+counter synchronisation — :mod:`repro.parallel.blockwave`) and return to
+the start barrier for the next job. Shutdown is a job with the shutdown
+flag set.
+
+Workers whose id exceeds the job's slab count (more workers than rows)
+publish completion immediately and go straight back to the start
+barrier: they pay zero per-plane cost for that job instead of meeting
+every barrier with an empty assignment, which is what the old per-plane
+protocol made them do.
 
 Supervision (default on) makes the pool survive worker failure: the
-control block carries per-worker heartbeats and a recovery-verdict slot,
-every barrier wait has a timeout, and the dispatcher responds to a broken
-barrier by respawning dead (or wedged) workers and replaying the current
-plane — the wavefront only reads planes ``d-1..d-3``, which are intact in
-the shared buffers, so replay is idempotent and the output stays
-bit-identical to the serial engine. See :mod:`repro.resilience.supervise`
-and ``docs/robustness.md``.
+control block carries one progress counter per worker, every counter
+wait has a timeout, and the dispatcher responds to a stall by respawning
+dead (or wedged) workers resuming at their published counter — block-
+granular replay (:class:`~repro.parallel.blockwave.CounterSupervisor`).
+The window arithmetic keeps the planes a replacement needs intact, so
+replay needs no checkpoint and the output stays bit-identical to the
+serial engine. See ``docs/robustness.md``.
 
-Determinism matches :mod:`repro.parallel.shared`: identical row splits,
+Determinism matches :mod:`repro.parallel.blocks`: identical slabs,
 identical argmax tie-breaking, bit-identical output to the serial engine.
 """
 
@@ -45,52 +53,69 @@ from repro.obs import trace as _trace
 from repro.core.scoring import ScoringScheme
 from repro.core.traceback import traceback_moves
 from repro.core.types import Alignment3, moves_to_columns
-from repro.core.wavefront import compute_plane_rows, plane_bounds
 from repro.core.workspace import PlaneWorkspace
-from repro.parallel.partition import split_range
+from repro.parallel.blockwave import (
+    BlockProgress,
+    CounterSupervisor,
+    sweep_blocks,
+    worker_counter_wait,
+)
+from repro.parallel.partition import (
+    band_depth,
+    plane_bands,
+    plane_window,
+    row_slabs,
+)
 from repro.parallel.shared import fork_available
 from repro.resilience import faults as _faults
+from repro.resilience.errors import FailureRecord
 from repro.resilience.supervise import (
-    RecoveryBlock,
     SupervisionPolicy,
     Supervisor,
     worker_idle_wait,
-    worker_plane_wait,
 )
 from repro.util.validation import check_positive, check_sequences
 
-# Control-block slots (float64 each). The recovery block (epoch, resume,
-# one heartbeat per worker) sits at _CTRL_REC_BASE.
+# Control-block slots (float64 each). One progress counter per worker
+# (the blockwave ``done[w]`` protocol) sits at _CTRL_COUNTER_BASE.
 _CTRL_SHUTDOWN = 0
 _CTRL_N1 = 1
 _CTRL_N2 = 2
 _CTRL_N3 = 3
 _CTRL_G2 = 4
 _CTRL_SCORE_ONLY = 5
-_CTRL_REC_BASE = 6
+_CTRL_COUNTER_BASE = 6
 
 
 def _ctrl_slots(workers: int) -> int:
-    return _CTRL_REC_BASE + RecoveryBlock.slots(workers)
+    return _CTRL_COUNTER_BASE + workers
+
+
+def _job_band(band_cap: int, dmax: int, active: int) -> int:
+    """The band depth every participant derives for a job — identical
+    inputs (constructor cap + staged dims), identical result."""
+    return min(band_cap, band_depth(dmax, active, cap=band_cap))
 
 
 def _pool_worker(
     worker_id: int,
     workers: int,
     capacity: tuple[int, int, int],
+    band_cap: int,
+    window_cap: int,
     names: dict[str, str],
     start_barrier,
-    plane_barrier,
     policy: SupervisionPolicy | None,
     resume_plane: int | None = None,
     faults_armed: bool = True,
 ) -> None:
-    """Worker main loop: wait for a job, sweep, repeat until shutdown.
+    """Worker main loop: wait for a job, stream its slab, repeat until
+    shutdown.
 
     A respawned replacement arrives with ``resume_plane`` set (skip the
-    job-start barrier, re-enter the current sweep there) and
-    ``faults_armed=False`` (a replayed plane must not re-trigger the
-    injected crash that killed its predecessor).
+    job-start barrier, re-enter the current sweep at its predecessor's
+    published counter) and ``faults_armed=False`` (a replayed block must
+    not re-trigger the injected crash that killed its predecessor).
     """
     if not faults_armed:
         _faults.disarm_all()
@@ -99,7 +124,7 @@ def _pool_worker(
         ctrl = np.ndarray(
             (_ctrl_slots(workers),), dtype=np.float64, buffer=shms["ctrl"].buf
         )
-        rec = RecoveryBlock(ctrl, workers, base=_CTRL_REC_BASE)
+        progress = BlockProgress(ctrl, workers, base=_CTRL_COUNTER_BASE)
         # One capacity-sized workspace per worker process, reused across
         # every job the pool ever runs — the persistent-pool analogue of
         # long-lived MPI rank buffers (zero steady-state allocation).
@@ -119,11 +144,25 @@ def _pool_worker(
             g2 = float(ctrl[_CTRL_G2])
             score_only = bool(ctrl[_CTRL_SCORE_ONLY])
             dims = (n1, n2, n3)
+            dmax = n1 + n2 + n3
+            slabs = row_slabs(n1, workers)
+            active = len(slabs)
+            if worker_id >= active:
+                # More workers than row slabs: nothing to compute for
+                # this job. Publish completion so nobody ever waits on
+                # this counter and go idle — zero per-plane cost,
+                # instead of meeting every plane barrier with an empty
+                # assignment as the old protocol required.
+                progress.publish(worker_id, dmax)
+                resume = None
+                continue
+            depth = _job_band(band_cap, dmax, active)
+            window = min(plane_window(depth), dmax + 4)
             planes = [
                 np.ndarray(
                     (n1 + 2, n2 + 2), dtype=np.float64, buffer=shms[f"plane{r}"].buf
                 )
-                for r in range(4)
+                for r in range(window)
             ]
             sab = np.ndarray((n1, n2), dtype=np.float64, buffer=shms["sab"].buf)
             sac = np.ndarray((n1, n3), dtype=np.float64, buffer=shms["sac"].buf)
@@ -138,78 +177,38 @@ def _pool_worker(
             # Observability state was inherited at pool construction time
             # (the workers fork once); per-job records still carry the
             # correct pid/worker ids. A mid-sweep replacement skips the
-            # per-plane logs — its list would not line up with plane 0.
-            observing = _obs.active() and resume is None
-            busy = wait = 0.0
-            cells = 0
-            if observing:
-                plane_cell_log: list[int] = []
-                plane_dur_log: list[float] = []
-            dmax = n1 + n2 + n3
-            d = resume if resume is not None else 0
-            resume = None
-            last_done = d - 1
-            seen = rec.epoch
-            # Sweep planes 0..dmax, then the completion rendezvous at
-            # dmax+1. On a broken barrier the wait returns the
-            # dispatcher's resume plane; planes already computed
-            # (d <= last_done) are not recomputed, only re-met.
-            while d <= dmax + 1:
-                if d <= dmax and d > last_done:
-                    _faults.maybe_inject("pool", worker_id, d, dmax)
-                    t0 = time.perf_counter() if observing else 0.0
-                    plane_cells = 0
-                    ilo, ihi, _jlo, _jhi = plane_bounds(d, n1, n2, n3)
-                    if ilo <= ihi:
-                        lo, hi = split_range(ilo, ihi, workers)[worker_id]
-                        if lo <= hi:
-                            plane_cells = compute_plane_rows(
-                                d,
-                                lo,
-                                hi,
-                                planes[(d - 1) % 4],
-                                planes[(d - 2) % 4],
-                                planes[(d - 3) % 4],
-                                planes[d % 4],
-                                sab,
-                                sac,
-                                sbc,
-                                g2,
-                                dims,
-                                move_cube=move_cube,
-                                ws=ws,
-                            )
-                            cells += plane_cells
-                    last_done = d
-                    if observing:
-                        t1 = time.perf_counter()
-                        busy += t1 - t0
-                        plane_cell_log.append(plane_cells)
-                        plane_dur_log.append(t1 - t0)
-                rec.heartbeat(worker_id, d)
-                if policy is None:
-                    plane_barrier.wait()
-                    d += 1
-                else:
-                    t_wait = time.perf_counter() if observing else 0.0
-                    d, seen = worker_plane_wait(
-                        plane_barrier, rec, d, seen, policy
-                    )
-                    if observing:
-                        wait += time.perf_counter() - t_wait
-            if observing:
-                _obs.record_planes("pool", plane_cell_log, plane_dur_log)
-                _obs.record_worker(
-                    "pool", worker_id, busy, wait, cells, dmax + 1
-                )
+            # per-worker record — its tallies would not cover the job.
+            sweep_blocks(
+                "pool",
+                worker_id,
+                active,
+                slabs[worker_id],
+                plane_bands(dmax, depth),
+                dims,
+                planes,
+                sab,
+                sac,
+                sbc,
+                g2,
+                move_cube,
+                ws,
+                progress,
+                lambda w, target: worker_counter_wait(
+                    progress, w, target, policy
+                ),
+                start_plane=0 if resume is None else resume,
+                record=resume is None,
+            )
+            if resume is None and _obs.active():
                 _trace.flush()
+            resume = None
     finally:
         for shm in shms.values():
             shm.close()
 
 
 class WavefrontPool:
-    """A reusable pool of wavefront workers.
+    """A reusable pool of block-tiled wavefront workers.
 
     Parameters
     ----------
@@ -219,13 +218,18 @@ class WavefrontPool:
     workers:
         Total workers including the dispatching process (so ``workers=2``
         spawns one child). Falls back to serial execution when 1, or when
-        the platform lacks ``fork``.
+        the platform lacks ``fork``. Jobs with fewer row slabs than
+        workers leave the surplus workers idle for that job.
     supervise:
-        When True (default) every barrier wait has a timeout and dead or
-        wedged workers are respawned with the current plane replayed;
+        When True (default) every counter wait has a timeout and dead or
+        wedged workers are respawned resuming at their published counter;
         ``policy`` tunes the timeouts. When False the pool behaves like
         the pre-supervision engine (infinite waits) — kept for overhead
         measurement.
+    band:
+        Upper bound on the plane-band depth (planes streamed between
+        synchronisations). Sizes the shared plane window once:
+        ``2 * band + 3`` capacity-sized buffers.
 
     Use as a context manager::
 
@@ -240,13 +244,17 @@ class WavefrontPool:
         workers: int = 2,
         supervise: bool = True,
         policy: SupervisionPolicy | None = None,
+        band: int = 8,
     ):
         check_positive("workers", workers)
+        check_positive("band", band)
         for c in capacity:
             if c < 0:
                 raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = tuple(int(c) for c in capacity)
         self.workers = workers
+        self.band = band
+        self.window = plane_window(band)
         self.policy = (
             (policy or SupervisionPolicy.from_env()) if supervise else None
         )
@@ -258,7 +266,8 @@ class WavefrontPool:
         self._failed = False
         self._shms: dict[str, shared_memory.SharedMemory] = {}
         self._procs: dict[int, mp.Process] = {}
-        self._supervisor: Supervisor | None = None
+        self._start_supervisor: Supervisor | None = None
+        self._failures: list[FailureRecord] = []
         if self._serial:
             return
 
@@ -271,7 +280,7 @@ class WavefrontPool:
             "sbc": max(1, c2 * c3 * 8),
             "moves": max(1, (c1 + 1) * (c2 + 1) * (c3 + 1)),
         }
-        for r in range(4):
+        for r in range(self.window):
             sizes[f"plane{r}"] = (c1 + 2) * (c2 + 2) * 8
         for key, size in sizes.items():
             self._shms[key] = shared_memory.SharedMemory(create=True, size=size)
@@ -279,19 +288,23 @@ class WavefrontPool:
             (_ctrl_slots(workers),), dtype=np.float64, buffer=self._shms["ctrl"].buf
         )
         self._ctrl[:] = 0.0
-        self._rec = RecoveryBlock(self._ctrl, workers, base=_CTRL_REC_BASE)
+        self._progress = BlockProgress(
+            self._ctrl, workers, base=_CTRL_COUNTER_BASE
+        )
         self._start_barrier = self._ctx.Barrier(workers)
-        self._plane_barrier = self._ctx.Barrier(workers)
         self._names = {key: shm.name for key, shm in self._shms.items()}
         for w in range(1, workers):
             self._procs[w] = self._spawn(w, None, faults_armed=True)
         if self.policy is not None:
-            self._supervisor = Supervisor(
+            # Supervises only the job-start rendezvous (a worker dead
+            # while idle); mid-sweep supervision is the per-job
+            # CounterSupervisor in _run_parallel.
+            self._start_supervisor = Supervisor(
                 "pool",
-                barrier=self._plane_barrier,
-                rec=self._rec,
+                barrier=self._start_barrier,
+                rec=None,  # type: ignore[arg-type]  # start waits never touch it
                 procs=self._procs,
-                respawn=self._respawn,
+                respawn=lambda w, _d: self._spawn(w, None, faults_armed=False),
                 policy=self.policy,
             )
 
@@ -308,9 +321,10 @@ class WavefrontPool:
                 worker_id,
                 self.workers,
                 self.capacity,
+                self.band,
+                self.window,
                 self._names,
                 self._start_barrier,
-                self._plane_barrier,
                 self.policy,
                 resume_plane,
                 faults_armed,
@@ -320,7 +334,7 @@ class WavefrontPool:
         proc.start()
         return proc
 
-    def _respawn(self, worker_id: int, resume_plane: int | None) -> mp.Process:
+    def _respawn(self, worker_id: int, resume_plane: int) -> mp.Process:
         return self._spawn(worker_id, resume_plane, faults_armed=False)
 
     def __enter__(self) -> "WavefrontPool":
@@ -385,16 +399,10 @@ class WavefrontPool:
         return dims
 
     def _dispatch_start(self) -> None:
-        if self._supervisor is not None:
-            self._supervisor.wait_job_start(self._start_barrier)
+        if self._start_supervisor is not None:
+            self._start_supervisor.wait_job_start(self._start_barrier)
         else:
             self._start_barrier.wait()
-
-    def _plane_wait(self, d: int) -> None:
-        if self._supervisor is not None:
-            self._supervisor.wait(d)
-        else:
-            self._plane_barrier.wait()
 
     def _run(
         self,
@@ -420,8 +428,14 @@ class WavefrontPool:
             # leaves buffers in an unknown state; poison the pool so
             # later jobs fail fast, and kill what is left.
             self._failed = True
-            if self._supervisor is not None:
-                self._supervisor.abort()
+            for proc in self._procs.values():
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in self._procs.values():
+                proc.join(timeout=5)
+                if proc.is_alive():  # pragma: no cover
+                    proc.kill()
+                    proc.join(timeout=5)
             raise
 
     def _run_parallel(
@@ -435,6 +449,11 @@ class WavefrontPool:
         n1, n2, n3 = len(sa), len(sb), len(sc)
         sab, sac, sbc = scheme.profile_matrices(sa, sb, sc)
         dims = (n1, n2, n3)
+        dmax = n1 + n2 + n3
+        slabs = row_slabs(n1, self.workers)
+        active = len(slabs)
+        depth = _job_band(self.band, dmax, active)
+        window = min(plane_window(depth), dmax + 4)
         # Stage the job into the shared buffers.
         if n1 and n2:
             np.ndarray((n1, n2), dtype=np.float64, buffer=self._shms["sab"].buf)[:] = sab
@@ -446,7 +465,7 @@ class WavefrontPool:
             np.ndarray(
                 (n1 + 2, n2 + 2), dtype=np.float64, buffer=self._shms[f"plane{r}"].buf
             )
-            for r in range(4)
+            for r in range(window)
         ]
         for p in planes:
             p.fill(NEG)
@@ -461,68 +480,72 @@ class WavefrontPool:
         self._ctrl[_CTRL_N3] = n3
         self._ctrl[_CTRL_G2] = 2.0 * scheme.gap
         self._ctrl[_CTRL_SCORE_ONLY] = 1.0 if score_only else 0.0
-        self._rec.reset_job()
+        # Counters must read -1 before any worker sees the released
+        # start barrier (workers only read them post-release).
+        self._progress.reset()
 
         observing = _obs.active()
         t_sweep = time.perf_counter() if observing else 0.0
         self._dispatch_start()
-        # The dispatcher is worker 0.
+        supervisor: CounterSupervisor | None = None
+        if self.policy is not None:
+            supervisor = CounterSupervisor(
+                "pool",
+                self._progress,
+                self._procs,
+                respawn=self._respawn,
+                policy=self.policy,
+                dmax=dmax,
+            )
+            wait = supervisor.wait_for
+        else:
+
+            def wait(w: int, target: int) -> None:
+                delay = 0.00005
+                while self._progress.done(w) < target:
+                    time.sleep(delay)
+                    delay = min(delay * 2, 0.002)
+
+        # The dispatcher is worker 0, owning the bottom slab.
         g2 = 2.0 * scheme.gap
         sab_v = np.ndarray((n1, n2), dtype=np.float64, buffer=self._shms["sab"].buf)
         sac_v = np.ndarray((n1, n3), dtype=np.float64, buffer=self._shms["sac"].buf)
         sbc_v = np.ndarray((n2, n3), dtype=np.float64, buffer=self._shms["sbc"].buf)
-        busy = wait = 0.0
-        cells = 0
-        if observing:
-            plane_cell_log: list[int] = []
-            plane_dur_log: list[float] = []
-        for d in range(n1 + n2 + n3 + 1):
-            t0 = time.perf_counter() if observing else 0.0
-            plane_cells = 0
-            ilo, ihi, _jlo, _jhi = plane_bounds(d, n1, n2, n3)
-            if ilo <= ihi:
-                lo, hi = split_range(ilo, ihi, self.workers)[0]
-                if lo <= hi:
-                    plane_cells = compute_plane_rows(
-                        d,
-                        lo,
-                        hi,
-                        planes[(d - 1) % 4],
-                        planes[(d - 2) % 4],
-                        planes[(d - 3) % 4],
-                        planes[d % 4],
-                        sab_v,
-                        sac_v,
-                        sbc_v,
-                        g2,
-                        dims,
-                        move_cube=move_cube,
-                        ws=self._ws,
-                    )
-                    cells += plane_cells
-            if observing:
-                t1 = time.perf_counter()
-                busy += t1 - t0
-                plane_cell_log.append(plane_cells)
-                plane_dur_log.append(t1 - t0)
-            self._rec.heartbeat(0, d)
-            self._plane_wait(d)
-            if observing:
-                wait += time.perf_counter() - t1
-        dmax = n1 + n2 + n3
-        self._rec.heartbeat(0, dmax + 1)
-        self._plane_wait(dmax + 1)  # job-completion rendezvous
+        try:
+            sweep_blocks(
+                "pool",
+                0,
+                active,
+                slabs[0],
+                plane_bands(dmax, depth),
+                dims,
+                planes,
+                sab_v,
+                sac_v,
+                sbc_v,
+                g2,
+                move_cube,
+                self._ws,
+                self._progress,
+                wait,
+            )
+            if supervisor is not None:
+                supervisor.wait_all()  # job-completion rendezvous
+            else:
+                for w in range(1, self.workers):
+                    wait(w, dmax)
+        finally:
+            if supervisor is not None:
+                self._failures.extend(supervisor.failures)
 
-        score = float(planes[dmax % 4][n1 + 1, n2 + 1])
+        score = float(planes[dmax % window][n1 + 1, n2 + 1])
         moves = None if move_cube is None else move_cube.copy()
         if observing:
-            _obs.record_planes("pool", plane_cell_log, plane_dur_log)
-            _obs.record_worker("pool", 0, busy, wait, cells, dmax + 1)
             _obs.record_sweep(
                 "pool",
                 cells=(n1 + 1) * (n2 + 1) * (n3 + 1),
                 seconds=time.perf_counter() - t_sweep,
-                peak_plane_bytes=4 * (n1 + 2) * (n2 + 2) * 8,
+                peak_plane_bytes=window * (n1 + 2) * (n2 + 2) * 8,
                 move_cube_bytes=0 if move_cube is None else move_cube.nbytes,
             )
         return score, moves
@@ -532,9 +555,10 @@ class WavefrontPool:
     @property
     def failures(self) -> list:
         """Failure records accumulated by supervision (empty when clean)."""
-        if self._supervisor is None:
-            return []
-        return list(self._supervisor.failures)
+        records = list(self._failures)
+        if self._start_supervisor is not None:
+            records.extend(self._start_supervisor.failures)
+        return records
 
     def score3(self, sa: str, sb: str, sc: str, scheme: ScoringScheme) -> float:
         """Optimal SP score (score-only sweep on the pool)."""

@@ -40,7 +40,7 @@ from repro.core.traceback import traceback_moves
 from repro.core.types import Alignment3, moves_to_columns
 from repro.core.wavefront import compute_plane_rows, plane_bounds
 from repro.core.workspace import PlaneWorkspace
-from repro.parallel.partition import split_range
+from repro.parallel.partition import active_workers, split_range
 from repro.resilience import faults as _faults
 from repro.resilience.errors import WorkerFailure
 from repro.resilience.supervise import (
@@ -249,7 +249,13 @@ def _shared_sweep(
     elif not supervise:
         policy = None
 
-    if workers == 1 or not fork_available():
+    # Workers beyond the widest plane's row count would receive an empty
+    # ``(x, x-1)`` chunk on *every* plane — all barrier + IPC cost, no
+    # work. Clamp before spawning: they are never forked, never sized
+    # into the barrier, never waited on.
+    active = active_workers(dims, workers)
+
+    if active == 1 or not fork_available():
         # Serial fallback keeps behaviour identical with zero IPC.
         from repro.core.wavefront import wavefront_sweep
 
@@ -289,17 +295,17 @@ def _shared_sweep(
         rec = None
         if policy is not None:
             ctrl_shm = shared_memory.SharedMemory(
-                create=True, size=RecoveryBlock.slots(workers) * 8
+                create=True, size=RecoveryBlock.slots(active) * 8
             )
             shms.append(ctrl_shm)
             ctrl = np.ndarray(
-                (RecoveryBlock.slots(workers),), dtype=np.float64,
+                (RecoveryBlock.slots(active),), dtype=np.float64,
                 buffer=ctrl_shm.buf,
             )
             ctrl[:] = 0.0
-            rec = RecoveryBlock(ctrl, workers)
+            rec = RecoveryBlock(ctrl, active)
 
-        barrier = ctx.Barrier(workers)
+        barrier = ctx.Barrier(active)
         plane_names = [s.name for s in plane_shms]
         move_name = move_shm.name if move_shm is not None else None
         ctrl_name = ctrl_shm.name if ctrl_shm is not None else None
@@ -314,7 +320,7 @@ def _shared_sweep(
                 target=_worker_loop,
                 args=(
                     w,
-                    workers,
+                    active,
                     dims,
                     plane_names,
                     move_name,
@@ -335,7 +341,7 @@ def _shared_sweep(
 
         observing = _obs.active()
         t_sweep = time.perf_counter() if observing else 0.0
-        for w in range(1, workers):
+        for w in range(1, active):
             procs[w] = spawn(w, None, faults_armed=True)
         if policy is not None and rec is not None:
             supervisor = Supervisor(
@@ -361,7 +367,7 @@ def _shared_sweep(
         # The main process is worker 0 (and, when supervised, the
         # dispatcher that detects and recovers failures).
         _sweep_planes(
-            0, workers, dims, planes, move_cube, sab, sac, sbc, g2, rec,
+            0, active, dims, planes, move_cube, sab, sac, sbc, g2, rec,
             advance,
         )
         for proc in procs.values():
@@ -388,6 +394,7 @@ def _shared_sweep(
         meta = {
             "engine": "shared",
             "workers": workers,
+            "active_workers": active,
             "supervised": policy is not None,
         }
         if supervisor is not None and supervisor.failures:

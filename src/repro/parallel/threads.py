@@ -1,20 +1,24 @@
 """Thread-pool wavefront engine.
 
-Same plane-sliced structure as :mod:`repro.parallel.shared` but with
+Same block-tiled structure as :mod:`repro.parallel.blocks` but with
 threads: workers share the process address space, so no shared-memory
-plumbing is needed — only a ``threading.Barrier`` per plane. NumPy's
-element-wise kernels release the GIL for large arrays, so modest speedup is
-possible on big planes; for small planes the GIL serialises the work and
-this engine is mostly a measurement baseline for experiment F3 (it shows
-*why* the paper's algorithm needs processes/ranks rather than threads in a
-GIL runtime).
+plumbing is needed — each worker owns a fixed row slab and streams plane
+bands, syncing on a plain per-worker counter list (GIL-atomic 8-byte
+stores) instead of a per-plane barrier. NumPy's element-wise kernels
+release the GIL for large arrays, so modest speedup is possible on big
+planes; for small planes the GIL serialises the work and this engine is
+mostly a measurement baseline for experiment F3 (it shows *why* the
+paper's algorithm needs processes/ranks rather than threads in a GIL
+runtime).
 
-Fault tolerance here is fail-fast rather than recover: a thread cannot be
-killed and respawned the way a process can, so a crashed (or injected-
-crash) worker aborts the barrier and the sweep raises a typed
+Fault tolerance here is fail-fast rather than recover: a thread cannot
+be killed and respawned the way a process can, so a crashed (or
+injected-crash) worker sets a shared stop flag, every counter wait
+checks it, and the sweep raises a typed
 :class:`~repro.resilience.errors.WorkerFailure` carrying per-worker
-failure records — it never wedges at the barrier, because every wait has
-a timeout. Recovery belongs to the process engines (``shared``, ``pool``).
+failure records — it never wedges on a frozen counter, because every
+wait has a timeout. Recovery belongs to the process engines (``shared``,
+``blocks``, ``pool``).
 """
 
 from __future__ import annotations
@@ -30,13 +34,21 @@ from repro.obs import hooks as _obs
 from repro.core.scoring import ScoringScheme
 from repro.core.traceback import traceback_moves
 from repro.core.types import Alignment3, moves_to_columns
-from repro.core.wavefront import compute_plane_rows, plane_bounds
 from repro.core.workspace import PlaneWorkspace
-from repro.parallel.partition import split_range
+from repro.parallel.blockwave import sweep_blocks
+from repro.parallel.partition import (
+    band_depth,
+    plane_bands,
+    plane_window,
+    row_slabs,
+)
 from repro.resilience import faults as _faults
 from repro.resilience.errors import FailureRecord, WorkerFailure
 from repro.resilience.supervise import SupervisionPolicy
 from repro.util.validation import check_positive, check_sequences
+
+_SLEEP_MIN = 0.00005
+_SLEEP_MAX = 0.002
 
 
 class _InjectedCrash(RuntimeError):
@@ -44,7 +56,17 @@ class _InjectedCrash(RuntimeError):
     ``os._exit`` without taking the whole process down)."""
 
 
-def _thread_inject(worker_id: int, plane: int, dmax: int) -> None:
+class _SweepAborted(RuntimeError):
+    """Collateral: a peer already failed and set the stop flag."""
+
+
+class _WaitTimeout(RuntimeError):
+    """A counter wait outlasted the policy timeout (wedged peer)."""
+
+
+def _thread_inject(engine: str, worker_id: int, plane: int, dmax: int) -> None:
+    """Raising fault hook for :func:`sweep_blocks` (see its ``inject``
+    parameter): same specs as the process engines, thread-safe delivery."""
     if not _faults.enabled:
         return
     if worker_id != 0:
@@ -66,6 +88,21 @@ def _thread_inject(worker_id: int, plane: int, dmax: int) -> None:
         time.sleep(spec.delay)
 
 
+class _ListProgress:
+    """Per-worker counters as a plain list — GIL stores are atomic and
+    every thread sees them, no shared memory required."""
+
+    def __init__(self, workers: int):
+        self._done = [-1] * workers
+        self.workers = workers
+
+    def done(self, w: int) -> int:
+        return self._done[w]
+
+    def publish(self, w: int, plane: int) -> None:
+        self._done[w] = plane
+
+
 def _threaded_sweep(
     sa: str,
     sb: str,
@@ -73,103 +110,104 @@ def _threaded_sweep(
     scheme: ScoringScheme,
     workers: int,
     score_only: bool,
+    band: int | None = None,
 ) -> tuple[float, np.ndarray | None, dict[str, Any]]:
     check_sequences((sa, sb, sc), count=3)
     check_positive("workers", workers)
+    if band is not None:
+        check_positive("band", band)
     if scheme.is_affine:
         raise ValueError("the threads engine implements the linear gap model")
     n1, n2, n3 = len(sa), len(sb), len(sc)
     dims = (n1, n2, n3)
     sab, sac, sbc = scheme.profile_matrices(sa, sb, sc)
     g2 = 2.0 * scheme.gap
+    dmax = n1 + n2 + n3
 
-    planes = [np.full((n1 + 2, n2 + 2), NEG) for _ in range(4)]
+    slabs = row_slabs(n1, workers)
+    active = len(slabs)
+    depth = band if band is not None else band_depth(dmax, active)
+    bands = plane_bands(dmax, depth)
+    window = min(plane_window(depth), dmax + 4)
+    planes = [np.full((n1 + 2, n2 + 2), NEG) for _ in range(window)]
     move_cube = (
         None
         if score_only
         else np.zeros((n1 + 1, n2 + 1, n3 + 1), dtype=np.int8)
     )
-    dmax = n1 + n2 + n3
-    barrier = threading.Barrier(workers)
     wait_timeout = SupervisionPolicy.from_env().worker_timeout
+    progress = _ListProgress(active)
+    stop = threading.Event()
     errors: list[tuple[int, BaseException]] = []
+
+    def wait_for(w: int, target: int) -> None:
+        deadline = time.perf_counter() + wait_timeout
+        delay = _SLEEP_MIN
+        while progress.done(w) < target:
+            if stop.is_set():
+                raise _SweepAborted(f"peer failure while waiting on {w}")
+            if time.perf_counter() > deadline:
+                raise _WaitTimeout(
+                    f"counter wait on worker {w} exceeded {wait_timeout}s"
+                )
+            time.sleep(delay)
+            delay = min(delay * 2, _SLEEP_MAX)
 
     observing = _obs.active()
 
     def loop(worker_id: int) -> None:
         try:
             # Workspaces are per-worker: the kernel scratch is not
-            # thread-safe, but each worker reuses its own across planes.
-            ws = PlaneWorkspace(dims)
-            busy = wait = 0.0
-            cells = 0
-            if observing:
-                plane_cell_log: list[int] = []
-                plane_dur_log: list[float] = []
-            for d in range(dmax + 1):
-                _thread_inject(worker_id, d, dmax)
-                t0 = time.perf_counter() if observing else 0.0
-                plane_cells = 0
-                ilo, ihi, _jlo, _jhi = plane_bounds(d, n1, n2, n3)
-                if ilo <= ihi:
-                    lo, hi = split_range(ilo, ihi, workers)[worker_id]
-                    if lo <= hi:
-                        plane_cells = compute_plane_rows(
-                            d,
-                            lo,
-                            hi,
-                            planes[(d - 1) % 4],
-                            planes[(d - 2) % 4],
-                            planes[(d - 3) % 4],
-                            planes[d % 4],
-                            sab,
-                            sac,
-                            sbc,
-                            g2,
-                            dims,
-                            move_cube=move_cube,
-                            ws=ws,
-                        )
-                        cells += plane_cells
-                if observing:
-                    t1 = time.perf_counter()
-                    busy += t1 - t0
-                    plane_cell_log.append(plane_cells)
-                    plane_dur_log.append(t1 - t0)
-                # Timeout only fires if a peer wedged without raising
-                # (a raising peer aborts the barrier, which surfaces here
-                # immediately as BrokenBarrierError).
-                barrier.wait(timeout=wait_timeout)
-                if observing:
-                    wait += time.perf_counter() - t1
-            if observing:
-                _obs.record_planes("threads", plane_cell_log, plane_dur_log)
-                _obs.record_worker(
-                    "threads", worker_id, busy, wait, cells, dmax + 1
-                )
+            # thread-safe, but each worker reuses its own across bands.
+            sweep_blocks(
+                "threads",
+                worker_id,
+                active,
+                slabs[worker_id],
+                bands,
+                dims,
+                planes,
+                sab,
+                sac,
+                sbc,
+                g2,
+                move_cube,
+                PlaneWorkspace(dims),
+                progress,
+                wait_for,
+                inject=_thread_inject,
+            )
         except BaseException as exc:
-            # Recorded and classified after the join; aborting the
-            # barrier releases every peer immediately.
+            # Recorded and classified after the join; the stop flag
+            # releases every waiting peer immediately.
             errors.append((worker_id, exc))
-            barrier.abort()
+            stop.set()
 
     t_sweep = time.perf_counter() if observing else 0.0
     threads = [
         threading.Thread(target=loop, args=(w,), daemon=True)
-        for w in range(1, workers)
+        for w in range(1, active)
     ]
     for t in threads:
         t.start()
     loop(0)
+    # Worker 0 owns the bottom slab and never waits on anyone above it
+    # finishing the *last* band, so rendezvous on the counters (with the
+    # stop flag breaking the wait if a peer died).
+    try:
+        for w in range(1, active):
+            wait_for(w, dmax)
+    except (_SweepAborted, _WaitTimeout):
+        pass
     for t in threads:
         t.join(timeout=10)
     if errors:
         # A genuine bug keeps its original type; injected crashes and the
-        # collateral broken-barrier waits become one typed WorkerFailure.
+        # collateral stop-flag aborts become one typed WorkerFailure.
         fatal = [
             (w, e)
             for w, e in errors
-            if not isinstance(e, threading.BrokenBarrierError)
+            if not isinstance(e, (_SweepAborted, _WaitTimeout))
         ]
         for w, exc in fatal:
             if not isinstance(exc, _InjectedCrash):
@@ -194,8 +232,14 @@ def _threaded_sweep(
             peak_plane_bytes=sum(p.nbytes for p in planes),
             move_cube_bytes=0 if move_cube is None else move_cube.nbytes,
         )
-    score = float(planes[dmax % 4][n1 + 1, n2 + 1])
-    meta = {"engine": "threads", "workers": workers}
+    score = float(planes[dmax % window][n1 + 1, n2 + 1])
+    meta = {
+        "engine": "threads",
+        "workers": workers,
+        "active_workers": active,
+        "band": depth,
+        "window": window,
+    }
     return score, move_cube, meta
 
 
@@ -205,10 +249,11 @@ def score3_threads(
     sc: str,
     scheme: ScoringScheme,
     workers: int = 2,
+    band: int | None = None,
 ) -> float:
     """Optimal SP score via the thread-pool wavefront."""
     score, _moves, _meta = _threaded_sweep(
-        sa, sb, sc, scheme, workers, score_only=True
+        sa, sb, sc, scheme, workers, score_only=True, band=band
     )
     return score
 
@@ -219,10 +264,11 @@ def align3_threads(
     sc: str,
     scheme: ScoringScheme,
     workers: int = 2,
+    band: int | None = None,
 ) -> Alignment3:
     """Optimal three-way alignment via the thread-pool wavefront."""
     score, move_cube, meta = _threaded_sweep(
-        sa, sb, sc, scheme, workers, score_only=False
+        sa, sb, sc, scheme, workers, score_only=False, band=band
     )
     assert move_cube is not None
     moves = traceback_moves(move_cube)

@@ -41,6 +41,7 @@ LADDER = {
     "pruned": "hirschberg",
     "banded": "hirschberg",
     "shared": "hirschberg",
+    "blocks": "hirschberg",
     "threads": "hirschberg",
     "hirschberg": None,
 }
@@ -117,6 +118,14 @@ def estimate_bytes(
         return cube * 8 + (0 if score_only else cube)
     if method in ("wavefront", "shared", "threads"):
         return planes + (0 if score_only else cube)
+    if method == "blocks":
+        # Block-tiled engines stream through a deeper rotating plane
+        # window (2 * band + 3 buffers; band tops out at
+        # partition.band_depth's default cap of 16).
+        from repro.parallel.partition import band_depth, plane_window
+
+        window = plane_window(band_depth(n1 + n2 + n3, 2))
+        return (window * planes) // 4 + (0 if score_only else cube)
     if method in ("pruned", "banded"):
         # The keep-region is a tube (two (n1+1)(n2+1) intp planes), not a
         # boolean cube; pruned additionally holds the three O(n^2)

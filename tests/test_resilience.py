@@ -205,6 +205,52 @@ class TestSharedRecovery:
 
 
 @pytest.mark.chaos
+class TestBlocksRecovery:
+    @needs_fork
+    def test_crash_recovers_bit_identical(self, dna_scheme, family_small):
+        from repro.parallel.blocks import align3_blocks
+
+        ref = align3_dp3d(*family_small, dna_scheme)
+        dmax = sum(len(s) for s in family_small)
+        faults.install(f"worker_crash@blocks:worker=1,plane={dmax // 2}")
+        aln = align3_blocks(*family_small, dna_scheme, workers=2)
+        assert aln.rows == ref.rows and aln.score == ref.score
+        assert aln.meta["recoveries"] >= 1
+
+    @needs_fork
+    def test_crash_with_tube_replays_same_windows(
+        self, dna_scheme, family_small
+    ):
+        # The satellite-2 regression: a respawned worker must inherit
+        # the pre-fork per-plane tube row windows, replaying only the
+        # live rows — verified by bit-identity against the serial
+        # tube-pruned alignment (a full-range replay would read rows
+        # the tube never computed and corrupt the boundary).
+        from repro.core.bounds import carrillo_lipman_tube
+        from repro.core.wavefront import align3_wavefront
+        from repro.parallel.blocks import align3_blocks
+
+        tube, _stats = carrillo_lipman_tube(*family_small, dna_scheme)
+        ref = align3_wavefront(*family_small, dna_scheme, tube=tube)
+        dmax = sum(len(s) for s in family_small)
+        faults.install(f"worker_crash@blocks:worker=1,plane={dmax // 2}")
+        aln = align3_blocks(
+            *family_small, dna_scheme, workers=2, tube=tube
+        )
+        assert aln.rows == ref.rows and aln.score == ref.score
+        assert aln.meta["recoveries"] >= 1
+
+    @needs_fork
+    def test_straggler_is_tolerated(self, dna_scheme, family_small):
+        from repro.parallel.blocks import align3_blocks
+
+        ref = align3_dp3d(*family_small, dna_scheme)
+        faults.install("straggler@blocks:worker=1,delay=0.1,plane=10")
+        aln = align3_blocks(*family_small, dna_scheme, workers=2)
+        assert aln.rows == ref.rows and aln.score == ref.score
+
+
+@pytest.mark.chaos
 class TestThreadsFailFast:
     def test_injected_crash_raises_typed_failure(
         self, dna_scheme, family_small

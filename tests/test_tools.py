@@ -1,12 +1,117 @@
-"""Tests for repo tooling (gen_api_doc.py, check_overhead.py) and the
-generated doc."""
+"""Tests for repo tooling (gen_api_doc.py, check_overhead.py, the
+check_perf gate plumbing) and the generated doc."""
 
+import copy
+import functools
+import importlib.util
+import json
 import os
 import pathlib
 import subprocess
 import sys
 
+import pytest
+
 ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@functools.lru_cache(maxsize=1)
+def _load_check_perf():
+    spec = importlib.util.spec_from_file_location(
+        "check_perf", ROOT / "tools" / "check_perf.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCheckPerfGate:
+    """In-process check_perf runs with the expensive benchmark stubbed
+    out: the gate logic (floors, tolerance, trajectory fallback, loud
+    failure on a missing scaling reference) in milliseconds."""
+
+    @pytest.fixture()
+    def cp(self, monkeypatch):
+        module = _load_check_perf()
+        baseline = json.loads(
+            (ROOT / "BENCH_kernel.json").read_text()
+        )
+        # The fresh "measurement" reproduces the baseline exactly, so
+        # every ratio gate passes with zero margin consumed.
+        monkeypatch.setattr(
+            module.bench_kernel,
+            "run",
+            lambda config: copy.deepcopy(baseline),
+        )
+        return module
+
+    def test_passes_and_reports_every_gate(self, cp, tmp_path, capsys):
+        rc = cp.main(
+            ["--no-record", "--runs-file", str(tmp_path / "RUNS.jsonl")]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        for label in ("small", "large", "pruned", "scaling"):
+            assert f"{label} reference:" in out
+
+    def test_missing_scaling_section_fails_loudly(
+        self, cp, tmp_path, monkeypatch, capsys
+    ):
+        # A hand-edited baseline without the scaling section must fail
+        # the gate outright — not silently skip the block-tiled check.
+        doc = json.loads((ROOT / "BENCH_kernel.json").read_text())
+        doc.pop("scaling")
+        mangled = tmp_path / "BENCH_kernel.json"
+        mangled.write_text(json.dumps(doc))
+        monkeypatch.setattr(
+            cp.bench_kernel, "baseline_path", lambda: mangled
+        )
+        rc = cp.main(
+            ["--no-record", "--runs-file", str(tmp_path / "RUNS.jsonl")]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "no scaling section" in out
+
+    def test_missing_baseline_is_a_hard_error_even_with_trajectory(
+        self, cp, tmp_path, monkeypatch, capsys
+    ):
+        # Neither source exists: empty run store and no committed
+        # baseline — the gate must refuse to run, not vacuously pass.
+        monkeypatch.setattr(
+            cp.bench_kernel,
+            "baseline_path",
+            lambda: tmp_path / "nope.json",
+        )
+        rc = cp.main(
+            [
+                "--trajectory",
+                "--no-record",
+                "--runs-file",
+                str(tmp_path / "RUNS.jsonl"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "FAIL" in out
+
+    def test_trajectory_on_empty_store_falls_back_to_baseline(
+        self, cp, tmp_path, capsys
+    ):
+        runs = tmp_path / "RUNS.jsonl"
+        rc = cp.main(["--trajectory", "--no-record", "--runs-file", str(runs)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        # Every gate — including the new scaling one — reports the
+        # committed-baseline fallback while the trajectory is thin.
+        assert out.count("from baseline (trajectory has 0") == 4
+        # The baseline was migrated as the seed row, scaling metric
+        # included, so the trend view starts non-empty.
+        from repro.runs import RunStore
+
+        rows = RunStore(runs).records(kind="bench_kernel")
+        assert len(rows) == 1
+        assert rows[0].metric("scaling_speedup") > 0
 
 
 def test_generator_runs_and_covers_subpackages(tmp_path):

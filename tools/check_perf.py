@@ -8,9 +8,11 @@ kernel has lost its edge:
 * the **baseline document** must itself satisfy the acceptance
   criteria — ≥ 1.5x speedup over the frozen reference kernel on the
   repeated-small-plane (Hirschberg-style) workload, no regression
-  (≥ 1.0x) on the single large sweep, and ≥ 5x end-to-end speedup of
+  (≥ 1.0x) on the single large sweep, ≥ 5x end-to-end speedup of
   the Carrillo–Lipman-pruned path over the unpruned wavefront on the
-  high-similarity workload;
+  high-similarity workload, and the block-tiled engine at least
+  matching (≥ 1.0x) the per-plane-barrier engine at ≥ 4 workers on
+  the scaling curve;
 * the **measured speedups** of the current checkout must not regress
   more than ``--tolerance`` (default 20%) below the reference point.
 
@@ -82,6 +84,11 @@ SMALL_SPEEDUP_FLOOR = 1.5
 LARGE_SPEEDUP_FLOOR = 1.0
 #: End-to-end pruned-vs-unpruned on the ≥0.9-identity workload.
 PRUNED_SPEEDUP_FLOOR = 5.0
+#: Block-tiled vs per-plane-barrier engine at >= 4 workers. The floor is
+#: deliberately break-even: on fork-less hosts both engines fall back to
+#: the identical serial sweep and the honest ratio is ~1.0; on any host
+#: that actually forks, the barrier wall should put this well above it.
+SCALING_SPEEDUP_FLOOR = 1.0
 
 
 def load_baseline() -> dict:
@@ -205,6 +212,28 @@ def main(argv: list[str] | None = None) -> int:
                 f"{base_pruned:.2f}x is below the "
                 f"{PRUNED_SPEEDUP_FLOOR:.1f}x acceptance floor"
             )
+    # Unlike the optional legacy sections above, a missing scaling
+    # section is a hard failure, not a skipped gate: every
+    # bench-kernel/2 document carries one, so its absence means the
+    # baseline was hand-edited — failing loudly beats a vacuous pass
+    # with the block-tiled engine silently ungated.
+    base_scaling = baseline.get("scaling")
+    if base_scaling is None:
+        failures.append(
+            "baseline has no scaling section — the block-tiled engine "
+            "gate has no reference; regenerate the baseline with "
+            "'PYTHONPATH=src python benchmarks/bench_kernel.py --write'"
+        )
+        base_scale_speedup = float("nan")
+    else:
+        base_scale_speedup = base_scaling["speedup"]
+        if base_scale_speedup < SCALING_SPEEDUP_FLOOR:
+            failures.append(
+                f"baseline scaling speedup {base_scale_speedup:.2f}x "
+                f"(blocks vs shared at w="
+                f"{base_scaling.get('gate_workers')}) is below the "
+                f"{SCALING_SPEEDUP_FLOOR:.1f}x acceptance floor"
+            )
 
     store = RunStore(args.runs_file)
     fp = fingerprint_id()
@@ -231,6 +260,8 @@ def main(argv: list[str] | None = None) -> int:
     ]
     if base_high is not None:
         gates.append(("high_similarity", "pruned_speedup", "pruned"))
+    if base_scaling is not None:
+        gates.append(("scaling", "scaling_speedup", "scaling"))
     for name, metric, label in gates:
         now = doc[name]["speedup"]
         ref = baseline[name]["speedup"]
@@ -304,7 +335,10 @@ def main(argv: list[str] | None = None) -> int:
         f"large {doc['large_sweep']['speedup']:.2f}x "
         f"(baseline {base_large:.2f}x), "
         f"pruned {doc['high_similarity']['speedup']:.2f}x "
-        f"(baseline {base_pruned:.2f}x), tolerance {args.tolerance:.0%}"
+        f"(baseline {base_pruned:.2f}x), "
+        f"scaling {doc['scaling']['speedup']:.2f}x "
+        f"(baseline {base_scale_speedup:.2f}x), "
+        f"tolerance {args.tolerance:.0%}"
     )
     if args.update:
         path = bench_kernel.baseline_path()
